@@ -1,0 +1,113 @@
+package uve
+
+import (
+	"repro/internal/isa"
+)
+
+// Assembler surface: registers, the scalar base ISA, the baseline SIMD
+// subset, and the UVE streaming instructions (paper §III-B). These re-export
+// the internal ISA so downstream users can hand-write kernels against the
+// public API, as the paper's authors did in extended assembler.
+
+// Reg names one architectural register.
+type Reg = isa.Reg
+
+// Inst is one decoded instruction (a single µOp).
+type Inst = isa.Inst
+
+// None is the absent-operand register.
+var None = isa.None
+
+// Register constructors: integer (x), floating point (f), vector/stream (u)
+// and predicate (p) files.
+func X(n int) Reg { return isa.X(n) }
+func F(n int) Reg { return isa.F(n) }
+func V(n int) Reg { return isa.V(n) }
+func P(n int) Reg { return isa.P(n) }
+
+// --- scalar base ISA ---
+
+func Nop() Inst                       { return isa.Nop() }
+func Halt() Inst                      { return isa.Halt() }
+func Li(rd Reg, imm int64) Inst       { return isa.Li(rd, imm) }
+func Mv(rd, rs Reg) Inst              { return isa.Mv(rd, rs) }
+func Add(rd, a, b Reg) Inst           { return isa.Add(rd, a, b) }
+func Sub(rd, a, b Reg) Inst           { return isa.Sub(rd, a, b) }
+func Mul(rd, a, b Reg) Inst           { return isa.Mul(rd, a, b) }
+func AddI(rd, rs Reg, imm int64) Inst { return isa.AddI(rd, rs, imm) }
+func SllI(rd, rs Reg, imm int64) Inst { return isa.SllI(rd, rs, imm) }
+func Beq(a, b Reg, label string) Inst { return isa.Beq(a, b, label) }
+func Bne(a, b Reg, label string) Inst { return isa.Bne(a, b, label) }
+func Blt(a, b Reg, label string) Inst { return isa.Blt(a, b, label) }
+func Bge(a, b Reg, label string) Inst { return isa.Bge(a, b, label) }
+func Jump(label string) Inst          { return isa.J(label) }
+
+// Scalar memory and floating point.
+func Load(w ElemWidth, rd, base Reg, off int64) Inst { return isa.Load(w, rd, base, off) }
+func Store(w ElemWidth, base Reg, off int64, data Reg) Inst {
+	return isa.Store(w, base, off, data)
+}
+func FLoad(w ElemWidth, rd, base Reg, off int64) Inst { return isa.FLoad(w, rd, base, off) }
+func FStore(w ElemWidth, base Reg, off int64, data Reg) Inst {
+	return isa.FStore(w, base, off, data)
+}
+func FLi(w ElemWidth, rd Reg, v float64) Inst { return isa.FLi(w, rd, v) }
+func FAdd(w ElemWidth, rd, a, b Reg) Inst     { return isa.FAdd(w, rd, a, b) }
+func FSub(w ElemWidth, rd, a, b Reg) Inst     { return isa.FSub(w, rd, a, b) }
+func FMul(w ElemWidth, rd, a, b Reg) Inst     { return isa.FMul(w, rd, a, b) }
+func FDiv(w ElemWidth, rd, a, b Reg) Inst     { return isa.FDiv(w, rd, a, b) }
+
+// --- vector subset (shared by the baselines and UVE compute) ---
+
+func VLoad(w ElemWidth, vd, base, idx Reg, imm int64, pred Reg) Inst {
+	return isa.VLoad(w, vd, base, idx, imm, pred)
+}
+func VStore(w ElemWidth, base, idx Reg, imm int64, data, pred Reg) Inst {
+	return isa.VStore(w, base, idx, imm, data, pred)
+}
+func VDup(w ElemWidth, vd, fs Reg) Inst          { return isa.VDup(w, vd, fs) }
+func VDupX(w ElemWidth, vd, xs Reg) Inst         { return isa.VDupX(w, vd, xs) }
+func VBcast(w ElemWidth, vd, vs Reg) Inst        { return isa.VBcast(w, vd, vs) }
+func VMove(w ElemWidth, vd, vs Reg) Inst         { return isa.VMove(w, vd, vs) }
+func VFAdd(w ElemWidth, vd, a, b, pred Reg) Inst { return isa.VFAdd(w, vd, a, b, pred) }
+func VFSub(w ElemWidth, vd, a, b, pred Reg) Inst { return isa.VFSub(w, vd, a, b, pred) }
+func VFMul(w ElemWidth, vd, a, b, pred Reg) Inst { return isa.VFMul(w, vd, a, b, pred) }
+func VFDiv(w ElemWidth, vd, a, b, pred Reg) Inst { return isa.VFDiv(w, vd, a, b, pred) }
+func VFMax(w ElemWidth, vd, a, b, pred Reg) Inst { return isa.VFMax(w, vd, a, b, pred) }
+func VFMin(w ElemWidth, vd, a, b, pred Reg) Inst { return isa.VFMin(w, vd, a, b, pred) }
+func VFMla(w ElemWidth, vd, a, b, pred Reg) Inst { return isa.VFMla(w, vd, a, b, pred) }
+func VFMulAdd(w ElemWidth, vd, a, b, c Reg) Inst { return isa.VFMulAdd(w, vd, a, b, c) }
+func VFAddV(w ElemWidth, vd, vs Reg) Inst        { return isa.VFAddV(w, vd, vs) }
+func VFMaxV(w ElemWidth, vd, vs Reg) Inst        { return isa.VFMaxV(w, vd, vs) }
+func VFMinV(w ElemWidth, vd, vs Reg) Inst        { return isa.VFMinV(w, vd, vs) }
+func VFAddVF(w ElemWidth, fd, vs Reg) Inst       { return isa.VFAddVF(w, fd, vs) }
+func VFMaxVF(w ElemWidth, fd, vs Reg) Inst       { return isa.VFMaxVF(w, fd, vs) }
+
+// Predication and vector-length-agnostic loop control (SVE-style).
+func Whilelt(w ElemWidth, pd, idx, n Reg) Inst { return isa.Whilelt(w, pd, idx, n) }
+func BFirst(p Reg, label string) Inst          { return isa.BFirst(p, label) }
+func IncVL(w ElemWidth, rd, rs Reg) Inst       { return isa.IncVL(w, rd, rs) }
+func GetVL(w ElemWidth, rd Reg) Inst           { return isa.GetVL(w, rd) }
+
+// --- UVE streaming (paper §III-B) ---
+
+// ConfigStream expands a descriptor into its configuration µOp sequence for
+// stream register u (one instruction per dimension and modifier).
+func ConfigStream(u int, d *Descriptor) []Inst { return isa.SCfgParts(u, d) }
+
+// SetVL requests an effective vector length of rs lanes for width w; the
+// granted count lands in rd (serializing, paper §III-B "Advanced control").
+func SetVL(w ElemWidth, rd, rs Reg) Inst { return isa.SetVL(w, rd, rs) }
+
+// Stream control.
+func StreamSuspend(u int) Inst { return isa.SSuspend(u) }
+func StreamResume(u int) Inst  { return isa.SResume(u) }
+func StreamStop(u int) Inst    { return isa.SStop(u) }
+
+// Stream-conditional branches.
+func BranchStreamNotEnd(u int, label string) Inst { return isa.SBNotEnd(u, label) }
+func BranchStreamEnd(u int, label string) Inst    { return isa.SBEnd(u, label) }
+func BranchDimNotEnd(u, dim int, label string) Inst {
+	return isa.SBDimNotEnd(u, dim, label)
+}
+func BranchDimEnd(u, dim int, label string) Inst { return isa.SBDimEnd(u, dim, label) }

@@ -1,0 +1,143 @@
+package uve_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (§VI). Each reports the paper's metrics as custom benchmark
+// units, so `go test -bench=. -benchmem` produces the full evaluation.
+// Problem sizes are scaled down (bench.Options{Scale: 4}) to keep a full
+// sweep quick; run cmd/uvebench for paper-scale numbers.
+
+func benchOpts() *bench.Options { return &bench.Options{Scale: 4} }
+
+// BenchmarkFig8Table reports the benchmark-metadata table (Fig 8 left).
+func BenchmarkFig8Table(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.FormatFig8Table()
+	}
+	b.ReportMetric(float64(len(kernels.All)), "kernels")
+}
+
+// BenchmarkFig8 regenerates Fig 8 A–D: committed-instruction reduction,
+// speedup, rename blocks and DRAM bus utilization across all 19 kernels.
+func BenchmarkFig8(b *testing.B) {
+	var rows []bench.Fig8Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig8(benchOpts())
+	}
+	b.ReportMetric(bench.GeoMeanSpeedup(rows, kernels.SVE, true), "speedup-vs-SVE")
+	b.ReportMetric(bench.GeoMeanSpeedup(rows, kernels.NEON, false), "speedup-vs-NEON")
+	b.ReportMetric(100*bench.MeanInstReduction(rows, kernels.SVE, true), "%inst-red-vs-SVE")
+	b.ReportMetric(100*bench.MeanInstReduction(rows, kernels.NEON, false), "%inst-red-vs-NEON")
+	b.ReportMetric(100*bench.MeanRenameReduction(rows, kernels.SVE, true), "%rename-red-vs-SVE")
+}
+
+// Per-kernel benchmarks: BenchmarkKernel/<ID>-<name>/<variant> measures one
+// benchmark on one machine and reports cycles and IPC.
+func BenchmarkKernel(b *testing.B) {
+	for _, k := range kernels.All {
+		k := k
+		for _, v := range []kernels.Variant{kernels.UVE, kernels.SVE, kernels.NEON} {
+			v := v
+			b.Run(fmt.Sprintf("%s-%s/%s", k.ID, k.Name, v), func(b *testing.B) {
+				var cycles int64
+				var inst uint64
+				size := bench.SizeFor(k, benchOpts())
+				for i := 0; i < b.N; i++ {
+					res := sim.MustRun(k, v, size, nil)
+					cycles, inst = res.Cycles, res.Committed
+				}
+				b.ReportMetric(float64(cycles), "cycles")
+				b.ReportMetric(float64(inst), "committed")
+			})
+		}
+	}
+}
+
+// BenchmarkFig8E regenerates the GEMM loop-unrolling ablation.
+func BenchmarkFig8E(b *testing.B) {
+	var pts []bench.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts = bench.Fig8E(benchOpts())
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.Speedup, p.Param)
+	}
+}
+
+// BenchmarkFig9 regenerates the vector physical-register sensitivity sweep.
+func BenchmarkFig9(b *testing.B) {
+	var pts []bench.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts = bench.Fig9(benchOpts())
+	}
+	// Report the paper's headline: UVE insensitive, SVE sensitive.
+	var uveMax, sveMax float64
+	for _, p := range pts {
+		d := p.Speedup
+		if d < 1 {
+			d = 1 / d
+		}
+		if p.Variant == kernels.UVE && d-1 > uveMax {
+			uveMax = d - 1
+		}
+		if p.Variant == kernels.SVE && d-1 > sveMax {
+			sveMax = d - 1
+		}
+	}
+	b.ReportMetric(100*uveMax, "%max-UVE-PR-sensitivity")
+	b.ReportMetric(100*sveMax, "%max-SVE-PR-sensitivity")
+}
+
+// BenchmarkFig10 regenerates the FIFO-depth sensitivity sweep.
+func BenchmarkFig10(b *testing.B) {
+	var pts []bench.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts = bench.Fig10(benchOpts())
+	}
+	for _, p := range pts {
+		if p.Param == "depth=2" || p.Param == "depth=4" {
+			b.ReportMetric(p.Speedup, p.Kernel+"/"+p.Param)
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates the streaming cache-level sensitivity sweep.
+func BenchmarkFig11(b *testing.B) {
+	var pts []bench.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts = bench.Fig11(benchOpts())
+	}
+	for _, p := range pts {
+		if p.Param != "L2" {
+			b.ReportMetric(p.Speedup, p.Kernel+"/"+p.Param)
+		}
+	}
+}
+
+// BenchmarkSPMSweep regenerates the stream-processing-module count sweep
+// (§VI-B: the paper reports <0.1% variation between 2 and 8 modules).
+func BenchmarkSPMSweep(b *testing.B) {
+	var pts []bench.SweepPoint
+	for i := 0; i < b.N; i++ {
+		pts = bench.SPMSweep(benchOpts())
+	}
+	var maxDev float64
+	for _, p := range pts {
+		d := p.Speedup - 1
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	b.ReportMetric(100*maxDev, "%max-SPM-variation")
+}

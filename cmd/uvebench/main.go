@@ -1,0 +1,70 @@
+// Command uvebench regenerates the paper's evaluation figures and tables
+// (§VI) on the simulated Table I machines.
+//
+// Usage:
+//
+//	uvebench -exp fig8          # Fig 8 A–D across all 19 kernels
+//	uvebench -exp fig8table     # Fig 8 left metadata table
+//	uvebench -exp fig8e         # GEMM unrolling ablation
+//	uvebench -exp fig9          # vector physical-register sensitivity
+//	uvebench -exp fig10         # FIFO depth sensitivity
+//	uvebench -exp fig11         # streaming cache-level sensitivity
+//	uvebench -exp spm           # stream-processing-module sweep
+//	uvebench -exp hw            # §VI-C storage accounting
+//	uvebench -exp ablate        # beyond-paper design-choice ablations
+//	uvebench -exp table1        # machine configuration
+//	uvebench -exp all           # everything
+//
+// -scale N divides problem sizes by N for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig8, fig8table, fig8e, fig9, fig10, fig11, spm, hw, table1, all)")
+	scale := flag.Int("scale", 1, "divide problem sizes by this factor")
+	verbose := flag.Bool("v", false, "print each run")
+	flag.Parse()
+
+	o := &bench.Options{Scale: *scale, Verbose: *verbose}
+	run := func(id string) {
+		switch id {
+		case "table1":
+			fmt.Println(bench.FormatTable1())
+		case "fig8table":
+			fmt.Println(bench.FormatFig8Table())
+		case "fig8":
+			fmt.Println(bench.FormatFig8(bench.Fig8(o)))
+		case "fig8e":
+			fmt.Println(bench.FormatSweep("Fig 8.E — UVE GEMM loop unrolling (speedup vs no unrolling)", bench.Fig8E(o)))
+		case "fig9":
+			fmt.Println(bench.FormatSweep("Fig 9 — sensitivity to vector physical registers (speedup vs 48 PRs)", bench.Fig9(o)))
+		case "fig10":
+			fmt.Println(bench.FormatSweep("Fig 10 — sensitivity to FIFO depth (speedup vs depth 8)", bench.Fig10(o)))
+		case "fig11":
+			fmt.Println(bench.FormatSweep("Fig 11 — sensitivity to streaming cache level (speedup vs L2)", bench.Fig11(o)))
+		case "spm":
+			fmt.Println(bench.FormatSweep("§VI-B — stream processing modules (speedup vs 2 modules)", bench.SPMSweep(o)))
+		case "hw":
+			fmt.Println(bench.FormatHW())
+		case "ablate":
+			fmt.Println(bench.FormatSweep("Ablations — baseline prefetchers off; engine restricted to 1 load port (speedup vs default)", bench.Ablations(o)))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, id := range []string{"table1", "fig8table", "hw", "fig8", "fig8e", "fig9", "fig10", "fig11", "spm", "ablate"} {
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}

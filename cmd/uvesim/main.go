@@ -1,0 +1,73 @@
+// Command uvesim runs one evaluation kernel on one simulated machine and
+// prints its statistics.
+//
+// Usage:
+//
+//	uvesim -kernel C -variant UVE -size 32768
+//	uvesim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+func main() {
+	kid := flag.String("kernel", "C", "kernel ID (A..S, see -list)")
+	variant := flag.String("variant", "UVE", "machine: UVE, SVE or NEON")
+	size := flag.Int("size", 0, "problem size (0 = kernel default)")
+	list := flag.Bool("list", false, "list kernels and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-3s %-16s %-14s %s\n", "ID", "name", "domain", "pattern")
+		for _, k := range kernels.All {
+			fmt.Printf("%-3s %-16s %-14s %s (default n=%d)\n", k.ID, k.Name, k.Domain, k.Pattern, k.DefaultSize)
+		}
+		return
+	}
+	k := kernels.ByID(*kid)
+	if k == nil {
+		fmt.Fprintf(os.Stderr, "unknown kernel %q (try -list)\n", *kid)
+		os.Exit(2)
+	}
+	var v kernels.Variant
+	switch *variant {
+	case "UVE", "uve":
+		v = kernels.UVE
+	case "SVE", "sve":
+		v = kernels.SVE
+	case "NEON", "neon":
+		v = kernels.NEON
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	res, err := sim.Run(k, v, *size, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s (%s) on %s, n=%d\n", k.Name, k.Domain, v, res.Size)
+	fmt.Printf("  cycles:            %d\n", res.Cycles)
+	fmt.Printf("  committed insts:   %d (IPC %.2f)\n", res.Committed, res.IPC())
+	fmt.Printf("  rename blocks/cyc: %.3f (stream waits: %d cycles)\n",
+		res.Core.RenameBlocksPerCycle(), res.Core.StreamWait)
+	fmt.Printf("  branches:          %d resolved, %d mispredicted\n",
+		res.Core.BranchesResolved, res.Core.Mispredicts)
+	fmt.Printf("  L1-D:              %d hits, %d misses\n", res.L1.Hits, res.L1.Misses)
+	fmt.Printf("  L2:                %d hits, %d misses\n", res.L2.Hits, res.L2.Misses)
+	fmt.Printf("  DRAM:              %d lines read, %d written, bus util %.1f%%\n",
+		res.DRAM.Reads, res.DRAM.Writes, 100*res.BusUtil)
+	if v == kernels.UVE {
+		fmt.Printf("  engine:            %d configs, %d chunks loaded, %d stored\n",
+			res.Eng.ConfigsCompleted, res.Eng.ChunksLoaded, res.Eng.ChunksStored)
+		fmt.Printf("                     %d line requests (%d coalesced reuses)\n",
+			res.Eng.LineRequests, res.Eng.CoalescedReuses)
+	}
+}

@@ -1,0 +1,172 @@
+// Command uvetrace prints the exact byte-address sequence of a stream
+// descriptor — a tool for exploring the paper's §II pattern model without
+// running a machine.
+//
+// The pattern is given as dimension tuples offset:size:stride (innermost
+// first) plus optional modifiers:
+//
+//	uvetrace -base 0x1000 -width 4 -dim 0:8:1 -dim 0:4:8
+//	uvetrace -base 0 -width 4 -dim 0:0:1 -dim 0:6:10 -mod size:add:1:6
+//	uvetrace -base 0 -width 4 -dim 0:4:0 -indirect offset:set:5,1,9,2
+//
+// -mod target:behavior:displacement:count attaches a static modifier to the
+// most recently declared dimension; -indirect target:behavior:v0,v1,...
+// attaches an indirect modifier fed by the given literal origin values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	uve "repro"
+)
+
+type dimFlag []string
+
+func (d *dimFlag) String() string     { return strings.Join(*d, " ") }
+func (d *dimFlag) Set(s string) error { *d = append(*d, "d"+s); return nil }
+
+type modFlag struct{ dims *dimFlag }
+
+func (m modFlag) String() string     { return "" }
+func (m modFlag) Set(s string) error { *m.dims = append(*m.dims, "m"+s); return nil }
+
+type indFlag struct{ dims *dimFlag }
+
+func (m indFlag) String() string     { return "" }
+func (m indFlag) Set(s string) error { *m.dims = append(*m.dims, "i"+s); return nil }
+
+func main() {
+	base := flag.String("base", "0", "byte base address (decimal or 0x hex)")
+	width := flag.Int("width", 4, "element width in bytes (1,2,4,8)")
+	max := flag.Int("max", 256, "print at most this many addresses")
+	var parts dimFlag
+	flag.Var(&parts, "dim", "dimension offset:size:stride (repeatable, innermost first)")
+	flag.Var(modFlag{&parts}, "mod", "static modifier target:behavior:disp:count")
+	flag.Var(indFlag{&parts}, "indirect", "indirect modifier target:behavior:v0,v1,...")
+	flag.Parse()
+
+	baseAddr, err := strconv.ParseUint(strings.TrimPrefix(*base, "0x"), chooseBase(*base), 64)
+	if err != nil {
+		fatal("bad -base: %v", err)
+	}
+	b := uve.NewLoadStream(baseAddr, uve.ElemWidth(*width))
+	origins := map[int][]uint64{}
+	nextOrigin := 30
+	for _, p := range parts {
+		kind, spec := p[0], p[1:]
+		switch kind {
+		case 'd':
+			f := splitInts(spec, 3)
+			b.Dim(f[0], f[1], f[2])
+		case 'm':
+			fs := strings.Split(spec, ":")
+			if len(fs) != 4 {
+				fatal("bad -mod %q", spec)
+			}
+			d1, _ := strconv.ParseInt(fs[2], 10, 64)
+			d2, _ := strconv.ParseInt(fs[3], 10, 64)
+			b.Mod(parseTarget(fs[0]), parseBehavior(fs[1], false), d1, d2)
+		case 'i':
+			fs := strings.Split(spec, ":")
+			if len(fs) != 3 {
+				fatal("bad -indirect %q", spec)
+			}
+			var vals []uint64
+			for _, v := range strings.Split(fs[2], ",") {
+				x, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+				if err != nil {
+					fatal("bad indirect value %q", v)
+				}
+				vals = append(vals, x)
+			}
+			origins[nextOrigin] = vals
+			b.Indirect(parseTarget(fs[0]), parseBehavior(fs[1], true), nextOrigin)
+			nextOrigin++
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println(d)
+	elems := uve.Elements(d, uve.SliceOrigin(origins))
+	for i, e := range elems {
+		if i >= *max {
+			fmt.Printf("... (%d more)\n", len(elems)-i)
+			break
+		}
+		marks := ""
+		if e.EndsDim(0) {
+			marks += " <dim0"
+		}
+		if e.Last {
+			marks += " <end"
+		}
+		fmt.Printf("%4d  %#x%s\n", i, e.Addr, marks)
+	}
+	fmt.Printf("total: %d elements\n", len(elems))
+}
+
+func chooseBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func splitInts(s string, n int) []int64 {
+	fs := strings.Split(s, ":")
+	if len(fs) != n {
+		fatal("expected %d colon-separated fields in %q", n, s)
+	}
+	out := make([]int64, n)
+	for i, f := range fs {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			fatal("bad integer %q", f)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func parseTarget(s string) uve.Target {
+	switch s {
+	case "offset":
+		return uve.TargetOffset
+	case "size":
+		return uve.TargetSize
+	case "stride":
+		return uve.TargetStride
+	}
+	fatal("bad target %q (offset|size|stride)", s)
+	return 0
+}
+
+func parseBehavior(s string, indirect bool) uve.Behavior {
+	switch s {
+	case "add":
+		if indirect {
+			return uve.ModSetAdd
+		}
+		return uve.ModAdd
+	case "sub":
+		if indirect {
+			return uve.ModSetSub
+		}
+		return uve.ModSub
+	case "set":
+		return uve.ModSetValue
+	}
+	fatal("bad behavior %q (add|sub|set)", s)
+	return 0
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,60 @@
+// Patterns explores the descriptor model standalone (no machine): it builds
+// the five example patterns of the paper's Fig 3.B and prints their exact
+// address sequences, dimension boundaries and storage cost.
+//
+//	go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+
+	uve "repro"
+)
+
+func show(name string, d *uve.Descriptor, origins uve.OriginSource) {
+	fmt.Printf("%s\n  %s\n  state: %d bytes to save on context switch\n  ", name, d, d.StateBytes())
+	elems := uve.Elements(d, origins)
+	for i, e := range elems {
+		if i == 24 {
+			fmt.Printf("… (%d total)", len(elems))
+			break
+		}
+		fmt.Printf("%d", e.Addr/4)
+		if e.EndsDim(0) && !e.Last {
+			fmt.Print(" |")
+		}
+		fmt.Print(" ")
+	}
+	fmt.Print("\n\n")
+}
+
+func main() {
+	// B1: linear.
+	show("B1 linear: A[i], i<12",
+		uve.NewLoadStream(0, uve.W4).Linear(12, 1).MustBuild(), nil)
+
+	// B2: rectangular (row-major matrix scan).
+	show("B2 rectangular: A[i*6+j]",
+		uve.NewLoadStream(0, uve.W4).Dim(0, 6, 1).Dim(0, 4, 6).MustBuild(), nil)
+
+	// B3: rectangular scattered (every other row, every other column).
+	show("B3 scattered: A[2i*8+2j]",
+		uve.NewLoadStream(0, uve.W4).Dim(0, 4, 2).Dim(0, 3, 16).MustBuild(), nil)
+
+	// B4: lower triangular via a static size modifier.
+	show("B4 triangular: A[i*8+j], j<=i",
+		uve.NewLoadStream(0, uve.W4).
+			Dim(0, 0, 1).
+			Dim(0, 5, 8).
+			Mod(uve.TargetSize, uve.ModAdd, 1, 5).
+			MustBuild(), nil)
+
+	// B5: indirection — B[A[i]] with A supplied as literal origin values.
+	idx := []uint64{9, 2, 2, 31, 0, 17}
+	show("B5 indirection: B[A[i]]",
+		uve.NewLoadStream(0, uve.W4).
+			Dim(0, int64(len(idx)), 0).
+			Indirect(uve.TargetOffset, uve.ModSetValue, 7).
+			MustBuild(),
+		uve.SliceOrigin(map[int][]uint64{7: idx}))
+}

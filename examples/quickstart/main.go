@@ -1,0 +1,99 @@
+// Quickstart: the paper's saxpy kernel (Fig 1.D / Fig 4) on the simulated
+// UVE machine, compared against the SVE-style baseline on the same inputs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	uve "repro"
+)
+
+const (
+	n = 1 << 14
+	a = 2.5
+	w = uve.W4
+)
+
+func main() {
+	uveCycles, uveInst := runUVE()
+	sveCycles, sveInst := runSVE()
+	fmt.Println()
+	fmt.Printf("UVE: %7d cycles, %7d committed instructions\n", uveCycles, uveInst)
+	fmt.Printf("SVE: %7d cycles, %7d committed instructions\n", sveCycles, sveInst)
+	fmt.Printf("speedup %.2fx, instruction reduction %.1f%%\n",
+		float64(sveCycles)/float64(uveCycles),
+		100*(1-float64(uveInst)/float64(sveInst)))
+}
+
+// runUVE streams x and y through the engine: the loop body is one multiply,
+// one add and a single stream-conditional branch — no loads, stores or
+// index arithmetic (the paper's features F1/F2/F4).
+func runUVE() (int64, uint64) {
+	m := uve.NewMachine(uve.DefaultConfig())
+	x, y := makeData(m)
+
+	b := uve.NewProgram("saxpy-uve")
+	b.ConfigStream(0, uve.NewLoadStream(x.Base, w).Linear(n, 1).MustBuild())
+	b.ConfigStream(1, uve.NewLoadStream(y.Base, w).Linear(n, 1).MustBuild())
+	b.ConfigStream(2, uve.NewStoreStream(y.Base, w).Linear(n, 1).MustBuild())
+	b.I(uve.VDup(w, uve.V(3), uve.F(1))) // broadcast the scalar a
+	b.Label("loop")
+	b.I(uve.VFMul(w, uve.V(4), uve.V(3), uve.V(0), uve.None)) // a·x chunk
+	b.I(uve.VFAdd(w, uve.V(2), uve.V(4), uve.V(1), uve.None)) // + y chunk → out
+	b.I(uve.BranchStreamNotEnd(0, "loop"))
+	b.I(uve.Halt())
+
+	res, err := m.Run(b.MustBuild(), uve.FloatArg(1, w, a))
+	check(err, y)
+	return res.Cycles, res.Committed
+}
+
+// runSVE is the Fig 1.B shape: predicated loads/stores, whilelt loop
+// control, explicit index stepping.
+func runSVE() (int64, uint64) {
+	m := uve.NewMachine(uve.SVEConfig())
+	x, y := makeData(m)
+
+	b := uve.NewProgram("saxpy-sve")
+	b.I(uve.VDup(w, uve.V(0), uve.F(1)))
+	b.I(uve.Li(uve.X(4), 0))
+	b.I(uve.Whilelt(w, uve.P(1), uve.X(4), uve.X(3)))
+	b.Label("loop")
+	b.I(uve.VLoad(w, uve.V(1), uve.X(8), uve.X(4), 0, uve.P(1)))
+	b.I(uve.VLoad(w, uve.V(2), uve.X(9), uve.X(4), 0, uve.P(1)))
+	b.I(uve.VFMla(w, uve.V(2), uve.V(0), uve.V(1), uve.P(1)))
+	b.I(uve.VStore(w, uve.X(9), uve.X(4), 0, uve.V(2), uve.P(1)))
+	b.I(uve.IncVL(w, uve.X(4), uve.X(4)))
+	b.I(uve.Whilelt(w, uve.P(1), uve.X(4), uve.X(3)))
+	b.I(uve.BFirst(uve.P(1), "loop"))
+	b.I(uve.Halt())
+
+	res, err := m.Run(b.MustBuild(),
+		uve.FloatArg(1, w, a),
+		uve.IntArg(3, n), uve.IntArg(8, x.Base), uve.IntArg(9, y.Base))
+	check(err, y)
+	return res.Cycles, res.Committed
+}
+
+func makeData(m *uve.Machine) (x, y *uve.F32Array) {
+	x = m.Float32s(n)
+	y = m.Float32s(n)
+	x.Fill(func(i int) float64 { return float64(i % 100) })
+	y.Fill(func(i int) float64 { return float64(i % 37) })
+	return x, y
+}
+
+func check(err error, y *uve.F32Array) {
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(float32(a)*float32(i%100) + float32(i%37))
+		if y.At(i) != want {
+			panic(fmt.Sprintf("y[%d] = %v, want %v", i, y.At(i), want))
+		}
+	}
+	fmt.Println("result validated:", n, "elements")
+}

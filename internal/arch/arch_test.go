@@ -1,0 +1,49 @@
+package arch
+
+import "testing"
+
+func TestElemWidths(t *testing.T) {
+	for _, w := range []ElemWidth{W1, W2, W4, W8} {
+		if !w.Valid() {
+			t.Errorf("%v must be valid", w)
+		}
+	}
+	for _, w := range []ElemWidth{0, 3, 5, 16} {
+		if w.Valid() {
+			t.Errorf("%d must be invalid", int(w))
+		}
+	}
+	names := map[ElemWidth]string{W1: "b", W2: "h", W4: "w", W8: "d"}
+	for w, n := range names {
+		if w.String() != n {
+			t.Errorf("%d.String() = %q, want %q", int(w), w.String(), n)
+		}
+	}
+}
+
+func TestLanesFor(t *testing.T) {
+	if LanesFor(64, W4) != 16 || LanesFor(64, W8) != 8 || LanesFor(16, W4) != 4 {
+		t.Error("lane counts wrong")
+	}
+	if LanesFor(64, 3) != 0 || LanesFor(0, W4) != 0 {
+		t.Error("invalid inputs must give zero lanes")
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(63) != 0 || LineOf(64) != 64 || LineOf(130) != 128 {
+		t.Error("line rounding wrong")
+	}
+}
+
+func TestSamePage(t *testing.T) {
+	if !SamePage(0, PageSize-1) || SamePage(PageSize-1, PageSize) {
+		t.Error("page comparison wrong")
+	}
+}
+
+func TestCacheLevelStrings(t *testing.T) {
+	if LevelL1.String() != "L1" || LevelL2.String() != "L2" || LevelMem.String() != "DRAM" {
+		t.Error("level names wrong")
+	}
+}

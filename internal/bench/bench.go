@@ -1,0 +1,457 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§VI): Fig 8 A–E (instruction reduction, speedup, rename
+// blocks, bus utilization, GEMM unrolling), Fig 9 (vector physical
+// registers), Fig 10 (FIFO depth), Fig 11 (streaming cache level), the
+// stream-processing-module sweep, and the §VI-C storage accounting.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/engine"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Scale shrinks problem sizes for quick runs: the harness uses
+// max(MinSize, DefaultSize/Scale) elements.
+type Options struct {
+	Scale   int  // 1 = paper-scale defaults
+	Verbose bool // print each run as it completes
+}
+
+func (o *Options) scale(size int) int {
+	if o == nil || o.Scale <= 1 {
+		return size
+	}
+	s := size / o.Scale
+	return s
+}
+
+// SizeFor shrinks a kernel's default size while respecting each kernel's
+// structural constraints (multiples of the 512-bit lane count for the
+// blocked kernels).
+func SizeFor(k *kernels.Kernel, o *Options) int {
+	n := o.scale(k.DefaultSize)
+	switch k.ID {
+	case "D", "E", "N", "F", "G": // lane-blocked matrices
+		if n < 32 {
+			n = 32
+		}
+		n = n / 16 * 16
+	case "K": // 3-D grid edge
+		if n < 8 {
+			n = 8
+		}
+	case "L": // NEON main loop needs a multiple of 4
+		if n < 16 {
+			n = 16
+		}
+		n = n / 4 * 4
+	default:
+		if n < 16 {
+			n = 16
+		}
+	}
+	return n
+}
+
+// Fig8Row carries one benchmark's measurements across the three machines.
+type Fig8Row struct {
+	ID, Name      string
+	SVEVectorized bool
+	Size          int
+
+	Cycles map[kernels.Variant]int64
+	Inst   map[kernels.Variant]uint64
+	Rename map[kernels.Variant]float64
+	BusU   map[kernels.Variant]float64
+}
+
+// SpeedupVs returns UVE speedup over the given baseline.
+func (r *Fig8Row) SpeedupVs(v kernels.Variant) float64 {
+	return float64(r.Cycles[v]) / float64(r.Cycles[kernels.UVE])
+}
+
+// InstReductionVs returns 1 − Inst(UVE)/Inst(baseline), the Fig 8.A metric.
+func (r *Fig8Row) InstReductionVs(v kernels.Variant) float64 {
+	return 1 - float64(r.Inst[kernels.UVE])/float64(r.Inst[v])
+}
+
+// Fig8 runs all benchmarks on all three machines with the Table I
+// configuration and collects the Fig 8 A–D metrics.
+func Fig8(o *Options) []Fig8Row {
+	var rows []Fig8Row
+	for _, k := range kernels.All {
+		size := SizeFor(k, o)
+		row := Fig8Row{
+			ID: k.ID, Name: k.Name, SVEVectorized: k.SVEVectorized, Size: size,
+			Cycles: map[kernels.Variant]int64{},
+			Inst:   map[kernels.Variant]uint64{},
+			Rename: map[kernels.Variant]float64{},
+			BusU:   map[kernels.Variant]float64{},
+		}
+		for _, v := range []kernels.Variant{kernels.UVE, kernels.SVE, kernels.NEON} {
+			res := sim.MustRun(k, v, size, nil)
+			row.Cycles[v] = res.Cycles
+			row.Inst[v] = res.Committed
+			row.Rename[v] = res.Core.RenameBlocksPerCycle()
+			row.BusU[v] = res.BusUtil
+			if o != nil && o.Verbose {
+				fmt.Printf("  %s/%s n=%d: %d cycles, %d inst, IPC %.2f\n",
+					k.Name, v, size, res.Cycles, res.Committed, res.IPC())
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// GeoMeanSpeedup aggregates UVE-vs-baseline speedups over the kernels the
+// paper includes in its average (only compiler-vectorized ones for SVE).
+func GeoMeanSpeedup(rows []Fig8Row, base kernels.Variant, vectorizedOnly bool) float64 {
+	logSum, n := 0.0, 0
+	for _, r := range rows {
+		if vectorizedOnly && !r.SVEVectorized {
+			continue
+		}
+		logSum += math.Log(r.SpeedupVs(base))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// MeanInstReduction averages the Fig 8.A metric.
+func MeanInstReduction(rows []Fig8Row, base kernels.Variant, vectorizedOnly bool) float64 {
+	sum, n := 0.0, 0
+	for _, r := range rows {
+		if vectorizedOnly && !r.SVEVectorized {
+			continue
+		}
+		sum += r.InstReductionVs(base)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanRenameReduction compares the average rename-blocks/cycle across the
+// kernel set: 1 − mean(UVE)/mean(baseline) (Fig 8.C). Averaging the rates
+// first keeps kernels whose baseline barely stalls from dominating.
+func MeanRenameReduction(rows []Fig8Row, base kernels.Variant, vectorizedOnly bool) float64 {
+	var uveSum, baseSum float64
+	for _, r := range rows {
+		if vectorizedOnly && !r.SVEVectorized {
+			continue
+		}
+		uveSum += r.Rename[kernels.UVE]
+		baseSum += r.Rename[base]
+	}
+	if baseSum <= 0 {
+		return 0
+	}
+	return 1 - uveSum/baseSum
+}
+
+// FormatFig8 renders the A–D panels as a text table.
+func FormatFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8 — per-benchmark evaluation (Table I machines)\n")
+	fmt.Fprintf(&b, "%-2s %-15s %6s | %9s %9s | %7s %7s | %7s %7s | %7s %7s %7s\n",
+		"ID", "kernel", "size", "inst-red", "inst-red", "speedup", "speedup",
+		"renameB", "renameB", "busU", "busU", "busU")
+	fmt.Fprintf(&b, "%-2s %-15s %6s | %9s %9s | %7s %7s | %7s %7s | %7s %7s %7s\n",
+		"", "", "", "vs SVE", "vs NEON", "vs SVE", "vs NEON", "UVE", "SVE", "UVE", "SVE", "NEON")
+	for _, r := range rows {
+		star := ""
+		if !r.SVEVectorized {
+			star = "*"
+		}
+		fmt.Fprintf(&b, "%-2s %-15s %6d | %8.1f%% %8.1f%% | %6.2fx %6.2fx | %7.3f %7.3f | %6.1f%% %6.1f%% %6.1f%%\n",
+			r.ID, r.Name+star, r.Size,
+			100*r.InstReductionVs(kernels.SVE), 100*r.InstReductionVs(kernels.NEON),
+			r.SpeedupVs(kernels.SVE), r.SpeedupVs(kernels.NEON),
+			r.Rename[kernels.UVE], r.Rename[kernels.SVE],
+			100*r.BusU[kernels.UVE], 100*r.BusU[kernels.SVE], 100*r.BusU[kernels.NEON])
+	}
+	fmt.Fprintf(&b, "\n(*) not vectorized by the paper's ARM SVE compiler: baselines run scalar code\n")
+	fmt.Fprintf(&b, "geomean speedup vs SVE (vectorized only): %.2fx   (paper: 2.4x)\n",
+		GeoMeanSpeedup(rows, kernels.SVE, true))
+	fmt.Fprintf(&b, "geomean speedup vs NEON (all):            %.2fx\n",
+		GeoMeanSpeedup(rows, kernels.NEON, false))
+	fmt.Fprintf(&b, "mean committed-inst reduction vs SVE:     %.1f%%  (paper: 60.9%%)\n",
+		100*MeanInstReduction(rows, kernels.SVE, true))
+	fmt.Fprintf(&b, "mean committed-inst reduction vs NEON:    %.1f%%  (paper: 93.2%%)\n",
+		100*MeanInstReduction(rows, kernels.NEON, false))
+	fmt.Fprintf(&b, "mean rename-block reduction vs SVE:       %.1f%%  (paper: 33.4%%)\n",
+		100*MeanRenameReduction(rows, kernels.SVE, true))
+	return b.String()
+}
+
+// SweepPoint is one (kernel, parameter) measurement of a sensitivity sweep,
+// normalized against the kernel's reference configuration.
+type SweepPoint struct {
+	Kernel  string
+	Variant kernels.Variant
+	Param   string
+	Cycles  int64
+	Speedup float64 // reference cycles / cycles
+}
+
+// sensitivityKernels is the Fig 9–11 subset.
+var sensitivityKernels = []string{"D", "J", "B", "O"}
+
+// Fig9 sweeps the number of vector physical registers {48, 64, 96} for UVE
+// and SVE (paper Fig 9: UVE flat, SVE rising).
+func Fig9(o *Options) []SweepPoint {
+	prs := []int{48, 64, 96}
+	var out []SweepPoint
+	for _, id := range sensitivityKernels {
+		k := kernels.ByID(id)
+		size := SizeFor(k, o)
+		for _, v := range []kernels.Variant{kernels.UVE, kernels.SVE} {
+			ref := int64(0)
+			for _, pr := range prs {
+				opts := sim.DefaultOptions(v)
+				opts.Core.VecPRF = pr
+				res := sim.MustRun(k, v, size, &opts)
+				if pr == 48 {
+					ref = res.Cycles
+				}
+				out = append(out, SweepPoint{
+					Kernel: k.Name, Variant: v, Param: fmt.Sprintf("%dPR", pr),
+					Cycles: res.Cycles, Speedup: float64(ref) / float64(res.Cycles),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Fig10 sweeps the Load/Store FIFO depth {2, 4, 8, 12} on the UVE machine
+// (paper Fig 10: ≥4 needed, 8 slightly better, saturating; MAMR most
+// sensitive). Results are normalized to depth 8.
+func Fig10(o *Options) []SweepPoint {
+	depths := []int{2, 4, 8, 12}
+	ks := append([]string{"E"}, sensitivityKernels...)
+	var out []SweepPoint
+	for _, id := range ks {
+		k := kernels.ByID(id)
+		size := SizeFor(k, o)
+		cycles := map[int]int64{}
+		for _, d := range depths {
+			opts := sim.DefaultOptions(kernels.UVE)
+			opts.Eng.FIFODepth = d
+			res := sim.MustRun(k, kernels.UVE, size, &opts)
+			cycles[d] = res.Cycles
+		}
+		for _, d := range depths {
+			out = append(out, SweepPoint{
+				Kernel: k.Name, Variant: kernels.UVE, Param: fmt.Sprintf("depth=%d", d),
+				Cycles: cycles[d], Speedup: float64(cycles[8]) / float64(cycles[d]),
+			})
+		}
+	}
+	return out
+}
+
+// Fig11 sweeps the memory level streams operate over {L1, L2, DRAM}
+// (paper Fig 11: L2 generally best). Normalized to L2.
+func Fig11(o *Options) []SweepPoint {
+	levels := []arch.CacheLevel{arch.LevelL1, arch.LevelL2, arch.LevelMem}
+	var out []SweepPoint
+	for _, id := range sensitivityKernels {
+		k := kernels.ByID(id)
+		size := SizeFor(k, o)
+		cycles := map[arch.CacheLevel]int64{}
+		for _, lvl := range levels {
+			lvl := lvl
+			opts := sim.DefaultOptions(kernels.UVE)
+			opts.Eng.ForceLevel = &lvl
+			res := sim.MustRun(k, kernels.UVE, size, &opts)
+			cycles[lvl] = res.Cycles
+		}
+		for _, lvl := range levels {
+			out = append(out, SweepPoint{
+				Kernel: k.Name, Variant: kernels.UVE, Param: lvl.String(),
+				Cycles: cycles[lvl], Speedup: float64(cycles[arch.LevelL2]) / float64(cycles[lvl]),
+			})
+		}
+	}
+	return out
+}
+
+// SPMSweep varies the number of Stream Processing Modules from 2 to 8
+// (paper §VI-B: less than 0.1% variation). Normalized to 2 modules.
+func SPMSweep(o *Options) []SweepPoint {
+	mods := []int{2, 4, 8}
+	var out []SweepPoint
+	for _, id := range sensitivityKernels {
+		k := kernels.ByID(id)
+		size := SizeFor(k, o)
+		cycles := map[int]int64{}
+		for _, m := range mods {
+			opts := sim.DefaultOptions(kernels.UVE)
+			opts.Eng.NumModules = m
+			res := sim.MustRun(k, kernels.UVE, size, &opts)
+			cycles[m] = res.Cycles
+		}
+		for _, m := range mods {
+			out = append(out, SweepPoint{
+				Kernel: k.Name, Variant: kernels.UVE, Param: fmt.Sprintf("%dSPM", m),
+				Cycles: cycles[m], Speedup: float64(cycles[2]) / float64(cycles[m]),
+			})
+		}
+	}
+	return out
+}
+
+// Fig8E measures the UVE GEMM with inner-loop unrolling 1/2/4/8 (paper
+// Fig 8.E). Normalized to no unrolling.
+func Fig8E(o *Options) []SweepPoint {
+	factors := []int{1, 2, 4, 8}
+	k := kernels.ByID("D")
+	size := SizeFor(k, o)
+	cycles := map[int]int64{}
+	for _, f := range factors {
+		hc := mem.DefaultHierarchyConfig()
+		h := mem.NewHierarchy(hc)
+		inst := kernels.UnrolledGemmUVE(h, size, f)
+		eng := engine.New(engine.DefaultConfig(), h)
+		core := cpu.New(cpu.DefaultConfig(), inst.Prog, h, eng)
+		cyc := core.Run()
+		if err := inst.Check(); err != nil {
+			panic(fmt.Sprintf("fig8e unroll=%d: %v", f, err))
+		}
+		cycles[f] = cyc
+	}
+	var out []SweepPoint
+	for _, f := range factors {
+		out = append(out, SweepPoint{
+			Kernel: "GEMM", Variant: kernels.UVE, Param: fmt.Sprintf("unroll=%d", f),
+			Cycles: cycles[f], Speedup: float64(cycles[1]) / float64(cycles[f]),
+		})
+	}
+	return out
+}
+
+// FormatSweep renders sweep points grouped by kernel.
+func FormatSweep(title string, pts []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	byKernel := map[string][]SweepPoint{}
+	var order []string
+	for _, p := range pts {
+		key := p.Kernel + "/" + p.Variant.String()
+		if _, ok := byKernel[key]; !ok {
+			order = append(order, key)
+		}
+		byKernel[key] = append(byKernel[key], p)
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		fmt.Fprintf(&b, "  %-18s", key)
+		for _, p := range byKernel[key] {
+			fmt.Fprintf(&b, "  %s:%6.3f (%d cyc)", p.Param, p.Speedup, p.Cycles)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatFig8Table renders the Fig 8 left metadata table from the registry.
+func FormatFig8Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 8 benchmark table\n%-2s %-15s %-14s %8s %8s  %s\n",
+		"ID", "kernel", "domain", "#streams", "#loops", "pattern")
+	for _, k := range kernels.All {
+		star := " "
+		if !k.SVEVectorized {
+			star = "*"
+		}
+		fmt.Fprintf(&b, "%-2s %-15s %-14s %8d %8d  %s%s\n",
+			k.ID, k.Name, k.Domain, k.Streams, k.Loops, k.Pattern, star)
+	}
+	return b.String()
+}
+
+// FormatTable1 renders the machine configuration (Table I).
+func FormatTable1() string {
+	c := cpu.DefaultConfig()
+	hc := mem.DefaultHierarchyConfig()
+	ec := engine.DefaultConfig()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — CPU model configuration\n")
+	fmt.Fprintf(&b, "  core:    %d-wide fetch/commit, %d-wide issue; ROB %d, IQ %d (%d/port), LQ %d, SQ %d\n",
+		c.FetchWidth, c.IssueWidth, c.ROBSize, c.IQSize, c.SchedSize, c.LQSize, c.SQSize)
+	fmt.Fprintf(&b, "  PRFs:    %d int, %d FP, %d x %d-bit vector, %d predicate\n",
+		c.IntPRF, c.FPPRF, c.VecPRF, c.VecBytes*8, c.PredPRF)
+	fmt.Fprintf(&b, "  FUs:     %d int ALUs, %d vector/FP, %d load + %d store ports\n",
+		c.IntALUs, c.VecFPUs, c.LoadPorts, c.StorePorts)
+	fmt.Fprintf(&b, "  engine:  %d SPMs, %d-entry FIFOs, %d streams (%d physical), MRQ %d\n",
+		ec.NumModules, ec.FIFODepth, ec.LogStreams, ec.PhysStreams, ec.MRQSize)
+	fmt.Fprintf(&b, "  L1-D:    %d KB %d-way, %d-cycle hit, stride prefetcher depth %d (baseline)\n",
+		hc.L1.SizeBytes>>10, hc.L1.Ways, hc.L1.HitLatency, hc.StrideDepth)
+	fmt.Fprintf(&b, "  L2:      %d KB %d-way, %d-cycle hit, AMPM prefetcher (baseline)\n",
+		hc.L2.SizeBytes>>10, hc.L2.Ways, hc.L2.HitLatency)
+	fmt.Fprintf(&b, "  DRAM:    %d channels, %d-cycle access, %d cycles/line per channel (DDR3-1600-class)\n",
+		hc.DRAM.Channels, hc.DRAM.AccessLatency, hc.DRAM.LineService)
+	return b.String()
+}
+
+// FormatHW renders the §VI-C storage accounting.
+func FormatHW() string {
+	table, mrq, fifos := engine.StorageFootprint(engine.DefaultConfig())
+	small := engine.DefaultConfig()
+	small.LogStreams = 8
+	st, sm, sf := engine.StorageFootprint(small)
+	var b strings.Builder
+	fmt.Fprintf(&b, "§VI-C — Streaming Engine storage accounting\n")
+	fmt.Fprintf(&b, "  Stream Table + SCROB: %6d B  (paper: ≈14 KB)\n", table)
+	fmt.Fprintf(&b, "  Memory Request Queue: %6d B  (paper: 160 B)\n", mrq)
+	fmt.Fprintf(&b, "  Load/Store FIFOs:     %6d B  (paper: ≈17 KB)\n", fifos)
+	fmt.Fprintf(&b, "  total:                %6d B\n", table+mrq+fifos)
+	fmt.Fprintf(&b, "  reduced (8 streams):  %6d B  (paper: ≈6 KB + FIFOs)\n", st+sm+sf)
+	return b.String()
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out, beyond the
+// paper's own sweeps: the baseline without its hardware prefetchers, and
+// the engine restricted to a single load port.
+func Ablations(o *Options) []SweepPoint {
+	var out []SweepPoint
+	for _, id := range []string{"C", "D", "B", "F"} {
+		k := kernels.ByID(id)
+		size := SizeFor(k, o)
+		// Baseline prefetchers on/off.
+		ref := sim.MustRun(k, kernels.SVE, size, nil).Cycles
+		noPf := sim.DefaultOptions(kernels.SVE)
+		noPf.Hier.Prefetchers = false
+		cyc := sim.MustRun(k, kernels.SVE, size, &noPf).Cycles
+		out = append(out, SweepPoint{
+			Kernel: k.Name, Variant: kernels.SVE, Param: "no-prefetch",
+			Cycles: cyc, Speedup: float64(ref) / float64(cyc),
+		})
+		// Engine load ports 2 → 1.
+		uveRef := sim.MustRun(k, kernels.UVE, size, nil).Cycles
+		onePort := sim.DefaultOptions(kernels.UVE)
+		onePort.Eng.LoadPorts = 1
+		cyc = sim.MustRun(k, kernels.UVE, size, &onePort).Cycles
+		out = append(out, SweepPoint{
+			Kernel: k.Name, Variant: kernels.UVE, Param: "1-load-port",
+			Cycles: cyc, Speedup: float64(uveRef) / float64(cyc),
+		})
+	}
+	return out
+}

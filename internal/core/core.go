@@ -1,0 +1,59 @@
+// Package core ties together the paper's primary contribution — the UVE
+// streaming model. The two halves live in sibling packages and are
+// re-exported here as the canonical internal entry point:
+//
+//   - repro/internal/descriptor: the §II memory-access pattern model
+//     (hierarchical {Offset,Size,Stride} dimensions with static and
+//     indirect modifiers, and exact incremental address generation);
+//   - repro/internal/engine: the §IV-B Streaming Engine that executes those
+//     descriptors inside an out-of-order core (SCROB, stream table and
+//     renaming, processing modules, speculative/committed FIFOs).
+//
+// The supporting substrates (ISA, memory hierarchy, out-of-order pipeline)
+// are deliberately not part of this package: they exist so the contribution
+// can be evaluated, as in the paper.
+package core
+
+import (
+	"repro/internal/descriptor"
+	"repro/internal/engine"
+)
+
+// Descriptor is a fully configured stream pattern (paper §II).
+type Descriptor = descriptor.Descriptor
+
+// Dim is one {Offset, Size, Stride} tuple.
+type Dim = descriptor.Dim
+
+// StaticMod and IndirectMod are the two descriptor modifier families.
+type (
+	StaticMod   = descriptor.StaticMod
+	IndirectMod = descriptor.IndirectMod
+)
+
+// Iterator generates a descriptor's exact element sequence incrementally,
+// as a Stream Processing Module does.
+type Iterator = descriptor.Iterator
+
+// Engine is the Streaming Engine (paper §IV-B).
+type Engine = engine.Engine
+
+// EngineConfig sizes the Streaming Engine (paper Table I).
+type EngineConfig = engine.Config
+
+// ChunkView is a vector-register-sized slice of a stream handed to the
+// pipeline at rename.
+type ChunkView = engine.ChunkView
+
+// NewStream starts a descriptor builder (see descriptor.New for the full
+// builder surface).
+var NewStream = descriptor.New
+
+// NewIterator builds a standalone iterator over a descriptor.
+var NewIterator = descriptor.NewIterator
+
+// NewEngine attaches a Streaming Engine to a memory hierarchy.
+var NewEngine = engine.New
+
+// DefaultEngineConfig is the Table I engine.
+var DefaultEngineConfig = engine.DefaultConfig

@@ -1,0 +1,177 @@
+package cpu
+
+import (
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// commit retires up to CommitWidth finished instructions in order, applying
+// the architectural side effects: store writes become visible, stream
+// consumes/produces/configs commit to the engine, stream control executes,
+// and precise exceptions are taken.
+func (c *Core) commit() {
+	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
+		e := c.rob[0]
+		if !e.done {
+			return
+		}
+		if e.fault {
+			c.takeFault(e)
+			return
+		}
+		in := &e.inst
+
+		for i := range e.consumes {
+			rec := &e.consumes[i]
+			if rec.consumed {
+				c.eng.CommitConsume(rec.slot, rec.seq)
+			}
+			c.freePhys(isa.ClassVec, rec.phys)
+		}
+		if e.produce != nil && e.produce.consumed {
+			c.eng.CommitStore(e.produce.slot, e.produce.seq, c.cycle)
+		}
+		if e.cfgTok != nil {
+			c.eng.CommitConfigPart(e.cfgTok)
+		}
+		if e.ctl && in.Op == isa.OpSStop {
+			c.eng.CommitStop(int(in.Dst.N), e.ctlUndo)
+		}
+		if e.isMem && !e.isLoad {
+			c.commitStore(e)
+		}
+		if e.isLoad && e.lqHeld {
+			c.lqCount--
+			e.lqHeld = false
+		}
+		if e.dstClass != isa.ClassNone {
+			c.freePhys(e.dstClass, e.oldPhys)
+		}
+		if in.Op == isa.OpSSetVL {
+			c.effVecBytes = int(e.resVal) * int(in.W)
+			c.serializeInROB = false
+			if c.eng != nil {
+				c.eng.SetVL(c.effVecBytes)
+			}
+		}
+
+		c.rob = c.rob[1:]
+		c.Stats.Committed++
+		c.Stats.CommittedByKind[in.Op.Kind().String()]++
+		c.lastCommit = c.cycle
+		if in.Op == isa.OpHalt {
+			c.halted = true
+			c.haltCycle = c.cycle
+			return
+		}
+	}
+}
+
+// commitStore makes a scalar/vector store architecturally visible and
+// queues its lines for timing drain.
+func (c *Core) commitStore(e *robEntry) {
+	sq := c.sqEntryFor(e.seq)
+	if sq == nil || !sq.resolved {
+		panic("cpu: committing unresolved store")
+	}
+	for i, lane := range sq.lanes {
+		c.hier.Mem.Write(sq.addr+uint64(i)*uint64(sq.w), sq.w, lane)
+	}
+	if sq.bytes > 0 {
+		for _, line := range lineSpan(sq.addr, sq.bytes) {
+			c.drainQ = append(c.drainQ, line)
+		}
+	}
+	sq.live = false
+	c.removeSQ(e.seq)
+	e.sqHeld = false
+	c.Stats.StoresCommitted++
+}
+
+func (c *Core) removeSQ(seq int64) {
+	for i, s := range c.sq {
+		if s.seq == seq {
+			c.sq = append(c.sq[:i], c.sq[i+1:]...)
+			return
+		}
+	}
+}
+
+// takeFault implements precise page-fault handling at commit (paper §IV-A
+// "Exception Handling"): squash everything, run the OS model (map the page,
+// flush the TLB), rewind streams to their commit point, and re-execute from
+// the faulting instruction.
+func (c *Core) takeFault(e *robEntry) {
+	c.Stats.PageFaults++
+	faultPC := e.pc
+	faultAddr := e.faultAddr
+	c.squashAfter(-1) // squash the whole window including the faulting entry
+	c.hier.Mem.MapPage(faultAddr)
+	c.hier.TLB.Flush()
+	if c.eng != nil {
+		c.eng.ReloadAllFromCommit()
+	}
+	c.redirect(faultPC, c.cfg.FaultPenalty)
+	c.lastCommit = c.cycle
+}
+
+// squashAfter removes all ROB entries younger than index keep (exclusive),
+// walking youngest-first and undoing rename, LSQ and stream effects — the
+// paper's ROB-walk recovery with stream-pointer reversal (§IV-A
+// "Miss-Speculation").
+func (c *Core) squashAfter(keep int) {
+	for i := len(c.rob) - 1; i > keep; i-- {
+		e := c.rob[i]
+		e.squashed = true
+		c.Stats.Squashed++
+
+		if !e.issued {
+			c.iqCount--
+			c.schedCnt[e.group]--
+		}
+		if e.lqHeld {
+			c.lqCount--
+			e.lqHeld = false
+		}
+		if e.sqHeld {
+			c.removeSQ(e.seq)
+			e.sqHeld = false
+		}
+		if e.produce != nil && e.produce.consumed {
+			c.eng.Unconsume(e.produce.slot, e.produce.prevEnd, e.produce.prevLast)
+		}
+		for j := len(e.consumes) - 1; j >= 0; j-- {
+			rec := &e.consumes[j]
+			if rec.consumed {
+				c.eng.Unconsume(rec.slot, rec.prevEnd, rec.prevLast)
+			}
+			c.freePhys(isa.ClassVec, rec.phys)
+		}
+		if e.cfgTok != nil {
+			c.eng.SquashConfigPart(e.cfgTok)
+		}
+		if e.ctl && e.inst.Op != isa.OpSForce {
+			c.eng.SquashCtl(e.ctlUndo)
+		}
+		if e.dstClass != isa.ClassNone {
+			*c.ratOf(e.dstClass, e.dstArch) = e.oldPhys
+			c.freePhys(e.dstClass, e.newPhys)
+		}
+		if e.inst.Op == isa.OpSSetVL {
+			c.serializeInROB = false
+		}
+	}
+	c.rob = c.rob[:keep+1]
+}
+
+// DrainedStoreLines exposes pending senior-store lines (tests).
+func (c *Core) DrainedStoreLines() int { return len(c.drainQ) }
+
+// VecReg reads an architectural vector register (after Run), for tests.
+func (c *Core) VecReg(n int) isa.VecVal { return c.vecVal[c.ratVec[n]] }
+
+// PredReg reads an architectural predicate register, for tests.
+func (c *Core) PredReg(n int) isa.PredVal { return c.prVal[c.ratPred[n]] }
+
+// ReadMem exposes the functional memory for result validation.
+func (c *Core) ReadMem(addr uint64, w arch.ElemWidth) uint64 { return c.hier.Mem.Read(addr, w) }

@@ -1,0 +1,435 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// portGroup classifies instructions by the functional-unit port they issue
+// through.
+type portGroup int
+
+const (
+	pgInt portGroup = iota
+	pgVec
+	pgLoad
+	pgStore
+	pgCount
+)
+
+func groupOf(op isa.Op) portGroup {
+	switch op.Kind() {
+	case isa.KindIntALU, isa.KindBranch, isa.KindNop, isa.KindStreamCfg, isa.KindStreamCtl:
+		return pgInt
+	case isa.KindFPALU, isa.KindVecALU:
+		return pgVec
+	case isa.KindLoad:
+		return pgLoad
+	case isa.KindStore:
+		return pgStore
+	}
+	return pgInt
+}
+
+// streamRec records one stream consume/reserve performed at rename, for
+// commit and ROB-walk undo.
+type streamRec struct {
+	slot     int
+	seq      int64
+	prevEnd  uint16
+	prevLast bool
+	consumed bool
+	n        int
+	phys     int // temporary vector physical register holding consumed data
+}
+
+type robEntry struct {
+	seq      int64
+	pc       int
+	inst     isa.Inst
+	squashed bool
+
+	dstClass isa.RegClass
+	dstArch  uint8
+	newPhys  int
+	oldPhys  int
+
+	srcPhys  [4]int
+	srcClass [4]isa.RegClass
+
+	issued     bool
+	done       bool
+	execDoneAt int64
+	group      portGroup
+
+	predTaken  bool
+	actTaken   bool
+	actTarget  int
+	isBranch   bool
+	brResolved bool
+
+	isMem       bool
+	isLoad      bool
+	agDone      bool
+	addr        uint64
+	laneAddrs   []uint64 // gather element addresses
+	memW        arch.ElemWidth
+	memLanes    int
+	memBytes    int
+	lines       []uint64
+	linesIssued int
+	linesPend   int
+	memDone     bool
+	fwdLatency  bool
+	sqIdx       int
+	lqHeld      bool
+	sqHeld      bool
+
+	resVal     uint64
+	resVec     isa.VecVal
+	resPred    isa.PredVal
+	storeStamp int64 // engine reservation stamp at rename (load ordering)
+
+	consumes []streamRec
+	produce  *streamRec
+	cfgTok   *engine.ConfigToken
+	ctl      bool // stream-control µOp (suspend/resume/stop/force)
+	ctlUndo  engine.CtlUndo
+
+	sbEnd  uint16
+	sbLast bool
+
+	fault     bool
+	faultAddr uint64
+}
+
+type sqEntry struct {
+	seq      int64
+	addr     uint64
+	bytes    int
+	w        arch.ElemWidth
+	lanes    []uint64
+	resolved bool
+	live     bool
+}
+
+type fetchedInst struct {
+	pc        int
+	predTaken bool
+}
+
+// Core is one simulated out-of-order core.
+type Core struct {
+	cfg  Config
+	prog *program.Program
+	hier *mem.Hierarchy
+	eng  *engine.Engine // nil for non-UVE baselines
+
+	cycle int64
+	seq   int64
+
+	fetchPC     int
+	fetchHoldTo int64
+	fetchHalted bool
+	decodeQ     []fetchedInst
+	// Instruction-fetch timing through the L1-I: the front end stalls when
+	// the current fetch line is not resident.
+	ifetchReadyLine uint64
+	ifetchHaveLine  bool
+	ifetchBusy      bool
+
+	// Branch predictor: 2-bit counters, lazily initialized
+	// backward-taken/forward-not-taken.
+	bp map[int]uint8
+
+	ratInt  [isa.NumIntRegs]int
+	ratFP   [isa.NumFPRegs]int
+	ratVec  [isa.NumVecRegs]int
+	ratPred [isa.NumPredRegs]int
+
+	intVal   []uint64
+	intReady []bool
+	intFree  []int
+	fpVal    []uint64
+	fpReady  []bool
+	fpFree   []int
+	vecVal   []isa.VecVal
+	vecReady []bool
+	vecFree  []int
+	prVal    []isa.PredVal
+	prReady  []bool
+	prFree   []int
+
+	rob      []*robEntry
+	iqCount  int
+	schedCnt [pgCount]int
+	lqCount  int
+
+	sq     []*sqEntry
+	drainQ []uint64 // committed store lines awaiting issue
+
+	halted     bool
+	haltCycle  int64
+	lastCommit int64
+
+	// effVecBytes is the effective vector length set by ss.setvl, capped by
+	// the physical width; it applies to instructions renamed after the
+	// setvl commits (the instruction serializes the pipeline).
+	effVecBytes    int
+	serializeInROB bool
+
+	Stats Stats
+}
+
+// New builds a core executing prog over the given memory hierarchy. eng may
+// be nil (baseline cores without streaming support).
+func New(cfg Config, prog *program.Program, h *mem.Hierarchy, eng *engine.Engine) *Core {
+	c := &Core{cfg: cfg, prog: prog, hier: h, eng: eng, bp: make(map[int]uint8)}
+	c.Stats.CommittedByKind = make(map[string]uint64)
+	c.effVecBytes = cfg.VecBytes
+
+	alloc := func(n, archN int) (free []int) {
+		for i := archN; i < n; i++ {
+			free = append(free, i)
+		}
+		return free
+	}
+	c.intVal = make([]uint64, cfg.IntPRF)
+	c.intReady = make([]bool, cfg.IntPRF)
+	c.intFree = alloc(cfg.IntPRF, isa.NumIntRegs)
+	c.fpVal = make([]uint64, cfg.FPPRF)
+	c.fpReady = make([]bool, cfg.FPPRF)
+	c.fpFree = alloc(cfg.FPPRF, isa.NumFPRegs)
+	c.vecVal = make([]isa.VecVal, cfg.VecPRF)
+	c.vecReady = make([]bool, cfg.VecPRF)
+	c.vecFree = alloc(cfg.VecPRF, isa.NumVecRegs)
+	c.prVal = make([]isa.PredVal, cfg.PredPRF)
+	c.prReady = make([]bool, cfg.PredPRF)
+	c.prFree = alloc(cfg.PredPRF, isa.NumPredRegs)
+
+	for i := range c.ratInt {
+		c.ratInt[i] = i
+		c.intReady[i] = true
+	}
+	for i := range c.ratFP {
+		c.ratFP[i] = i
+		c.fpReady[i] = true
+	}
+	for i := range c.ratVec {
+		c.ratVec[i] = i
+		c.vecReady[i] = true
+	}
+	for i := range c.ratPred {
+		c.ratPred[i] = i
+		c.prReady[i] = true
+	}
+	c.prVal[0] = isa.AllLanes // p0 hardwired to all-true
+
+	if eng != nil {
+		eng.SyncStoresPending = func() bool {
+			return len(c.sq) > 0 || len(c.drainQ) > 0
+		}
+	}
+	return c
+}
+
+// SetIntReg initializes an architectural integer register before Run (the
+// ABI by which the harness passes kernel arguments).
+func (c *Core) SetIntReg(n int, v uint64) {
+	if n == 0 {
+		return
+	}
+	c.intVal[c.ratInt[n]] = v
+}
+
+// SetFPReg initializes an architectural FP register before Run.
+func (c *Core) SetFPReg(n int, w arch.ElemWidth, f float64) {
+	c.fpVal[c.ratFP[n]] = isa.FloatBits(w, f)
+}
+
+// IntReg reads an architectural integer register (after Run).
+func (c *Core) IntReg(n int) uint64 { return c.intVal[c.ratInt[n]] }
+
+// FPReg reads an architectural FP register as a float of width w.
+func (c *Core) FPReg(n int, w arch.ElemWidth) float64 {
+	return isa.BitsFloat(w, c.fpVal[c.ratFP[n]])
+}
+
+// Cycle returns the current cycle.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// Halted reports whether the program has committed its halt.
+func (c *Core) Halted() bool { return c.halted }
+
+// Run executes the program to completion (halt committed and all stores
+// drained) and returns the cycle count at halt commit — the performance
+// figure used throughout §VI.
+func (c *Core) Run() int64 {
+	for !c.halted {
+		c.Step()
+	}
+	// Drain timing: outstanding stores and stream stores flow to memory.
+	for i := 0; i < 1_000_000; i++ {
+		pending := len(c.drainQ) > 0 || !c.hier.Quiesce()
+		if c.eng != nil && c.eng.StoresPending() {
+			pending = true
+		}
+		if !pending {
+			break
+		}
+		c.Step()
+	}
+	return c.haltCycle
+}
+
+// Step advances the machine one cycle.
+func (c *Core) Step() {
+	c.cycle++
+	c.Stats.Cycles = c.cycle
+	c.Stats.ROBOccupancySum += int64(len(c.rob))
+
+	c.commit()
+	c.complete()
+	c.memPhase()
+	c.issue()
+	c.rename()
+	c.fetch()
+	c.drainStores()
+
+	if c.eng != nil {
+		c.eng.Tick(c.cycle)
+	}
+	c.hier.Tick(c.cycle)
+
+	if !c.halted && c.cycle-c.lastCommit > c.cfg.Watchdog {
+		panic(fmt.Sprintf("cpu: watchdog: no commit for %d cycles at pc≈%d (rob head %s)",
+			c.cfg.Watchdog, c.fetchPC, c.robHeadDesc()))
+	}
+}
+
+func (c *Core) robHeadDesc() string {
+	if len(c.rob) == 0 {
+		return "<empty>"
+	}
+	e := c.rob[0]
+	return fmt.Sprintf("seq=%d pc=%d %s issued=%v done=%v", e.seq, e.pc, e.inst.Op.Name(), e.issued, e.done)
+}
+
+// lanes returns the effective vector lane count for width w (ss.setvl can
+// narrow it below the physical width).
+func (c *Core) lanes(w arch.ElemWidth) int { return arch.LanesFor(c.effVecBytes, w) }
+
+// EffVecBytes returns the current effective vector length in bytes.
+func (c *Core) EffVecBytes() int { return c.effVecBytes }
+
+// --- physical register helpers ---
+
+func (c *Core) readVal(class isa.RegClass, phys int) uint64 {
+	switch class {
+	case isa.ClassInt:
+		return c.intVal[phys]
+	case isa.ClassFP:
+		return c.fpVal[phys]
+	}
+	return 0
+}
+
+func (c *Core) physReady(class isa.RegClass, phys int) bool {
+	switch class {
+	case isa.ClassInt:
+		return c.intReady[phys]
+	case isa.ClassFP:
+		return c.fpReady[phys]
+	case isa.ClassVec:
+		return c.vecReady[phys]
+	case isa.ClassPred:
+		return c.prReady[phys]
+	}
+	return true
+}
+
+func (c *Core) writePhys(class isa.RegClass, phys int, v uint64, vec isa.VecVal, pr isa.PredVal) {
+	switch class {
+	case isa.ClassInt:
+		if phys != 0 {
+			c.intVal[phys] = v
+		}
+		c.intReady[phys] = true
+	case isa.ClassFP:
+		c.fpVal[phys] = v
+		c.fpReady[phys] = true
+	case isa.ClassVec:
+		c.vecVal[phys] = vec
+		c.vecReady[phys] = true
+	case isa.ClassPred:
+		if phys != 0 {
+			c.prVal[phys] = pr
+		}
+		c.prReady[phys] = true
+	}
+}
+
+func (c *Core) freeListOf(class isa.RegClass) *[]int {
+	switch class {
+	case isa.ClassInt:
+		return &c.intFree
+	case isa.ClassFP:
+		return &c.fpFree
+	case isa.ClassVec:
+		return &c.vecFree
+	case isa.ClassPred:
+		return &c.prFree
+	}
+	return nil
+}
+
+func (c *Core) ratOf(class isa.RegClass, n uint8) *int {
+	switch class {
+	case isa.ClassInt:
+		return &c.ratInt[n]
+	case isa.ClassFP:
+		return &c.ratFP[n]
+	case isa.ClassVec:
+		return &c.ratVec[n]
+	case isa.ClassPred:
+		return &c.ratPred[n]
+	}
+	return nil
+}
+
+func (c *Core) allocPhys(class isa.RegClass) (int, bool) {
+	fl := c.freeListOf(class)
+	if len(*fl) == 0 {
+		return 0, false
+	}
+	p := (*fl)[len(*fl)-1]
+	*fl = (*fl)[:len(*fl)-1]
+	switch class {
+	case isa.ClassInt:
+		c.intReady[p] = false
+	case isa.ClassFP:
+		c.fpReady[p] = false
+	case isa.ClassVec:
+		c.vecReady[p] = false
+	case isa.ClassPred:
+		c.prReady[p] = false
+	}
+	return p, true
+}
+
+func (c *Core) freePhys(class isa.RegClass, p int) {
+	if p < 0 {
+		return
+	}
+	// Never recycle the hardwired zero registers.
+	if (class == isa.ClassInt || class == isa.ClassPred) && p == 0 {
+		return
+	}
+	fl := c.freeListOf(class)
+	*fl = append(*fl, p)
+}

@@ -1,0 +1,551 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+type machine struct {
+	core *Core
+	hier *mem.Hierarchy
+	eng  *engine.Engine
+}
+
+func newMachine(t *testing.T, p *program.Program, uve bool) *machine {
+	t.Helper()
+	hc := mem.DefaultHierarchyConfig()
+	hc.Prefetchers = !uve
+	h := mem.NewHierarchy(hc)
+	var e *engine.Engine
+	if uve {
+		e = engine.New(engine.DefaultConfig(), h)
+	}
+	cfg := DefaultConfig()
+	cfg.Watchdog = 200_000
+	return &machine{core: New(cfg, p, h, e), hier: h, eng: e}
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	p := program.NewBuilder("arith").
+		I(isa.Li(isa.X(1), 6)).
+		I(isa.Li(isa.X(2), 7)).
+		I(isa.Mul(isa.X(3), isa.X(1), isa.X(2))).
+		I(isa.AddI(isa.X(3), isa.X(3), 58)).
+		I(isa.Halt()).
+		MustBuild()
+	m := newMachine(t, p, false)
+	m.core.Run()
+	if got := m.core.IntReg(3); got != 100 {
+		t.Fatalf("x3 = %d, want 100", got)
+	}
+	if m.core.Stats.Committed != 5 {
+		t.Fatalf("committed %d, want 5", m.core.Stats.Committed)
+	}
+}
+
+func TestScalarLoop(t *testing.T) {
+	// Sum 1..100 with a backward branch.
+	p := program.NewBuilder("loop").
+		I(isa.Li(isa.X(1), 0)).   // sum
+		I(isa.Li(isa.X(2), 1)).   // i
+		I(isa.Li(isa.X(3), 101)). // bound
+		Label("loop").
+		I(isa.Add(isa.X(1), isa.X(1), isa.X(2))).
+		I(isa.AddI(isa.X(2), isa.X(2), 1)).
+		I(isa.Blt(isa.X(2), isa.X(3), "loop")).
+		I(isa.Halt()).
+		MustBuild()
+	m := newMachine(t, p, false)
+	m.core.Run()
+	if got := m.core.IntReg(1); got != 5050 {
+		t.Fatalf("sum = %d, want 5050", got)
+	}
+	if m.core.Stats.Mispredicts == 0 {
+		t.Log("note: loop exit usually mispredicts once")
+	}
+}
+
+func TestX0IsZero(t *testing.T) {
+	p := program.NewBuilder("x0").
+		I(isa.Li(isa.X(0), 42)). // write to x0 is discarded
+		I(isa.Add(isa.X(1), isa.X(0), isa.X(0))).
+		I(isa.Halt()).
+		MustBuild()
+	m := newMachine(t, p, false)
+	m.core.Run()
+	if got := m.core.IntReg(1); got != 0 {
+		t.Fatalf("x1 = %d, want 0 (x0 hardwired)", got)
+	}
+}
+
+func TestScalarMemoryRoundTrip(t *testing.T) {
+	p := program.NewBuilder("mem").
+		I(isa.Store(arch.W8, isa.X(1), 0, isa.X(2))).
+		I(isa.Load(arch.W8, isa.X(3), isa.X(1), 0)).
+		I(isa.AddI(isa.X(3), isa.X(3), 1)).
+		I(isa.Halt()).
+		MustBuild()
+	m := newMachine(t, p, false)
+	addr := m.hier.Mem.Alloc(64, 64)
+	m.core.SetIntReg(1, addr)
+	m.core.SetIntReg(2, 999)
+	m.core.Run()
+	if got := m.core.IntReg(3); got != 1000 {
+		t.Fatalf("x3 = %d, want 1000 (store-to-load forwarding)", got)
+	}
+	if got := m.hier.Mem.Read(addr, arch.W8); got != 999 {
+		t.Fatalf("memory = %d, want 999", got)
+	}
+}
+
+func TestScalarFP(t *testing.T) {
+	p := program.NewBuilder("fp").
+		I(isa.FLi(arch.W8, isa.F(1), 2.5)).
+		I(isa.FLi(arch.W8, isa.F(2), 4.0)).
+		I(isa.FMul(arch.W8, isa.F(3), isa.F(1), isa.F(2))).
+		I(isa.FSqrt(arch.W8, isa.F(4), isa.F(3))).
+		I(isa.Halt()).
+		MustBuild()
+	m := newMachine(t, p, false)
+	m.core.Run()
+	if got := m.core.FPReg(3, arch.W8); got != 10 {
+		t.Fatalf("f3 = %v, want 10", got)
+	}
+	if got := m.core.FPReg(4, arch.W8); got < 3.16 || got > 3.17 {
+		t.Fatalf("f4 = %v, want sqrt(10)", got)
+	}
+}
+
+// referenceSaxpyProgramSVE builds the paper's Fig 1.B loop shape.
+func saxpySVE(w arch.ElemWidth) *program.Program {
+	// x1=n, x2=&x, x3=&y, f1=a
+	return program.NewBuilder("saxpy-sve").
+		I(isa.Li(isa.X(4), 0)).
+		I(isa.Whilelt(w, isa.P(1), isa.X(4), isa.X(1))).
+		I(isa.VDup(w, isa.V(0), isa.F(1))).
+		Label("loop").
+		I(isa.VLoad(w, isa.V(1), isa.X(2), isa.X(4), 0, isa.P(1))).
+		I(isa.VLoad(w, isa.V(2), isa.X(3), isa.X(4), 0, isa.P(1))).
+		I(isa.VFMla(w, isa.V(2), isa.V(0), isa.V(1), isa.P(1))).
+		I(isa.VStore(w, isa.X(3), isa.X(4), 0, isa.V(2), isa.P(1))).
+		I(isa.IncVL(w, isa.X(4), isa.X(4))).
+		I(isa.Whilelt(w, isa.P(1), isa.X(4), isa.X(1))).
+		I(isa.BFirst(isa.P(1), "loop")).
+		I(isa.Halt()).
+		MustBuild()
+}
+
+func TestSVEStyleSaxpy(t *testing.T) {
+	const n = 100
+	const a = 2.5
+	p := saxpySVE(arch.W4)
+	m := newMachine(t, p, false)
+	xb := m.hier.Mem.Alloc(4*n, 64)
+	yb := m.hier.Mem.Alloc(4*n, 64)
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		y := float64(2 * i)
+		m.hier.Mem.WriteFloat(xb+uint64(4*i), arch.W4, x)
+		m.hier.Mem.WriteFloat(yb+uint64(4*i), arch.W4, y)
+		want[i] = float64(float32(a)*float32(x) + float32(y))
+	}
+	m.core.SetIntReg(1, n)
+	m.core.SetIntReg(2, xb)
+	m.core.SetIntReg(3, yb)
+	m.core.SetFPReg(1, arch.W4, a)
+	cycles := m.core.Run()
+	for i := 0; i < n; i++ {
+		if got := m.hier.Mem.ReadFloat(yb+uint64(4*i), arch.W4); got != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+	if cycles <= 0 {
+		t.Fatal("no cycles recorded")
+	}
+}
+
+// saxpyUVE is the paper's Fig 4 kernel: three streams, a broadcast, a
+// multiply and add per chunk, and a single stream-conditional branch.
+func saxpyUVE(w arch.ElemWidth, n int64, xb, yb uint64) *program.Program {
+	dx := descriptor.New(xb, w, descriptor.Load).Linear(n, 1).MustBuild()
+	dyIn := descriptor.New(yb, w, descriptor.Load).Linear(n, 1).MustBuild()
+	dyOut := descriptor.New(yb, w, descriptor.Store).Linear(n, 1).MustBuild()
+	return program.NewBuilder("saxpy-uve").
+		ConfigStream(0, dx).
+		ConfigStream(1, dyIn).
+		ConfigStream(2, dyOut).
+		I(isa.VDup(w, isa.V(3), isa.F(1))).
+		Label("loop").
+		I(isa.VFMul(w, isa.V(4), isa.V(3), isa.V(0), isa.None)).
+		I(isa.VFAdd(w, isa.V(2), isa.V(4), isa.V(1), isa.None)).
+		I(isa.SBNotEnd(0, "loop")).
+		I(isa.Halt()).
+		MustBuild()
+}
+
+func TestUVESaxpy(t *testing.T) {
+	const n = 200
+	const a = 1.5
+	hc := mem.DefaultHierarchyConfig()
+	hc.Prefetchers = false
+	h := mem.NewHierarchy(hc)
+	xb := h.Mem.Alloc(4*n, 64)
+	yb := h.Mem.Alloc(4*n, 64)
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(i) * 0.5
+		y := float64(i) * 0.25
+		h.Mem.WriteFloat(xb+uint64(4*i), arch.W4, x)
+		h.Mem.WriteFloat(yb+uint64(4*i), arch.W4, y)
+		want[i] = float64(float32(a)*float32(x) + float32(y))
+	}
+	p := saxpyUVE(arch.W4, n, xb, yb)
+	e := engine.New(engine.DefaultConfig(), h)
+	cfg := DefaultConfig()
+	cfg.Watchdog = 200_000
+	core := New(cfg, p, h, e)
+	core.SetFPReg(1, arch.W4, a)
+	cycles := core.Run()
+	for i := 0; i < n; i++ {
+		if got := h.Mem.ReadFloat(yb+uint64(4*i), arch.W4); got != want[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+	t.Logf("UVE saxpy: %d cycles, %d committed", cycles, core.Stats.Committed)
+	// The loop is 3 instructions per 16-lane chunk + preamble; the whole
+	// kernel must commit far fewer instructions than an element-wise loop.
+	if core.Stats.Committed > 100 {
+		t.Fatalf("committed %d instructions; UVE loop should be ~3 per chunk", core.Stats.Committed)
+	}
+}
+
+func TestUVEvsSVESaxpyCyclesAndInstructions(t *testing.T) {
+	const n = 1 << 12
+	runSVE := func() (int64, uint64) {
+		p := saxpySVE(arch.W4)
+		m := newMachine(t, p, false)
+		xb := m.hier.Mem.Alloc(4*n, 64)
+		yb := m.hier.Mem.Alloc(4*n, 64)
+		m.core.SetIntReg(1, n)
+		m.core.SetIntReg(2, xb)
+		m.core.SetIntReg(3, yb)
+		m.core.SetFPReg(1, arch.W4, 2.0)
+		cyc := m.core.Run()
+		return cyc, m.core.Stats.Committed
+	}
+	runUVE := func() (int64, uint64) {
+		hc := mem.DefaultHierarchyConfig()
+		hc.Prefetchers = false
+		h := mem.NewHierarchy(hc)
+		xb := h.Mem.Alloc(4*n, 64)
+		yb := h.Mem.Alloc(4*n, 64)
+		p := saxpyUVE(arch.W4, n, xb, yb)
+		e := engine.New(engine.DefaultConfig(), h)
+		cfg := DefaultConfig()
+		cfg.Watchdog = 200_000
+		core := New(cfg, p, h, e)
+		core.SetFPReg(1, arch.W4, 2.0)
+		cyc := core.Run()
+		return cyc, core.Stats.Committed
+	}
+	sveCyc, sveInst := runSVE()
+	uveCyc, uveInst := runUVE()
+	t.Logf("SVE: %d cycles %d inst; UVE: %d cycles %d inst (speedup %.2fx, inst reduction %.1f%%)",
+		sveCyc, sveInst, uveCyc, uveInst,
+		float64(sveCyc)/float64(uveCyc), 100*(1-float64(uveInst)/float64(sveInst)))
+	if uveInst*2 >= sveInst {
+		t.Fatalf("UVE committed %d vs SVE %d; expected large reduction", uveInst, sveInst)
+	}
+	if uveCyc >= sveCyc {
+		t.Fatalf("UVE %d cycles vs SVE %d; expected speedup", uveCyc, sveCyc)
+	}
+}
+
+func TestUVEPageFaultRecovery(t *testing.T) {
+	hc := mem.DefaultHierarchyConfig()
+	hc.Prefetchers = false
+	h := mem.NewHierarchy(hc)
+	n := int64(arch.PageSize/4 + 64)
+	xb := h.Mem.Alloc(int(4*n), arch.PageSize)
+	yb := h.Mem.Alloc(int(4*n), arch.PageSize)
+	for i := int64(0); i < n; i++ {
+		h.Mem.WriteFloat(xb+uint64(4*i), arch.W4, 1)
+		h.Mem.WriteFloat(yb+uint64(4*i), arch.W4, 2)
+	}
+	// Fault in the middle of the x stream.
+	h.Mem.UnmapPage(xb + arch.PageSize)
+	p := saxpyUVE(arch.W4, n, xb, yb)
+	e := engine.New(engine.DefaultConfig(), h)
+	cfg := DefaultConfig()
+	cfg.Watchdog = 500_000
+	core := New(cfg, p, h, e)
+	core.SetFPReg(1, arch.W4, 3)
+	core.Run()
+	if core.Stats.PageFaults == 0 {
+		t.Fatal("expected a page fault")
+	}
+	for i := int64(0); i < n; i++ {
+		if got := h.Mem.ReadFloat(yb+uint64(4*i), arch.W4); got != 5 {
+			t.Fatalf("y[%d] = %v, want 5 (fault recovery must be transparent)", i, got)
+		}
+	}
+}
+
+func TestUVERowReductionMAMRShape(t *testing.T) {
+	// Fig 2 kernel: per-row maximum of a matrix via dim-0 chunking,
+	// horizontal max, and dimension-conditional branches.
+	hc := mem.DefaultHierarchyConfig()
+	hc.Prefetchers = false
+	h := mem.NewHierarchy(hc)
+	const rows, cols = 5, 37
+	ab := h.Mem.Alloc(4*rows*cols, 64)
+	cb := h.Mem.Alloc(4*rows, 64)
+	want := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		best := -1e30
+		for j := 0; j < cols; j++ {
+			v := float64((i*31+j*17)%101) - 50
+			h.Mem.WriteFloat(ab+uint64(4*(i*cols+j)), arch.W4, v)
+			if v > best {
+				best = v
+			}
+		}
+		want[i] = best
+	}
+	da := descriptor.New(ab, arch.W4, descriptor.Load).Dim(0, cols, 1).Dim(0, rows, cols).MustBuild()
+	// One scalar result per row: shape the output as rows of one element so
+	// every horizontal-max write is its own chunk.
+	dc := descriptor.New(cb, arch.W4, descriptor.Store).Dim(0, 1, 1).Dim(0, rows, 1).MustBuild()
+	p := program.NewBuilder("mamr").
+		ConfigStream(0, da).
+		ConfigStream(1, dc).
+		Label("next").
+		I(isa.VMove(arch.W4, isa.V(5), isa.V(0))).
+		I(isa.SBDimEnd(0, 0, "hmax")).
+		Label("loop").
+		I(isa.VFMax(arch.W4, isa.V(5), isa.V(5), isa.V(0), isa.None)).
+		I(isa.SBDimNotEnd(0, 0, "loop")).
+		Label("hmax").
+		I(isa.VFMaxV(arch.W4, isa.V(1), isa.V(5))).
+		I(isa.SBNotEnd(0, "next")).
+		I(isa.Halt()).
+		MustBuild()
+	e := engine.New(engine.DefaultConfig(), h)
+	cfg := DefaultConfig()
+	cfg.Watchdog = 200_000
+	core := New(cfg, p, h, e)
+	core.Run()
+	for i := 0; i < rows; i++ {
+		if got := h.Mem.ReadFloat(cb+uint64(4*i), arch.W4); got != want[i] {
+			t.Fatalf("C[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestRenameBlocksTrackedUnderPRFPressure(t *testing.T) {
+	// A long dependent FP chain with many renames on a tiny FP PRF.
+	b := program.NewBuilder("prf")
+	b.I(isa.Li(isa.X(1), 0), isa.Li(isa.X(2), 400))
+	b.Label("loop")
+	for i := 1; i < 9; i++ {
+		b.I(isa.FAdd(arch.W8, isa.F(i), isa.F(i), isa.F(i)))
+	}
+	b.I(isa.AddI(isa.X(1), isa.X(1), 1))
+	b.I(isa.Blt(isa.X(1), isa.X(2), "loop"))
+	b.I(isa.Halt())
+	p := b.MustBuild()
+	hc := mem.DefaultHierarchyConfig()
+	h := mem.NewHierarchy(hc)
+	cfg := DefaultConfig()
+	cfg.FPPRF = 40
+	cfg.Watchdog = 200_000
+	core := New(cfg, p, h, nil)
+	core.Run()
+	if core.Stats.RenameBlocked == 0 {
+		t.Fatal("expected rename blocks under PRF pressure")
+	}
+	if core.Stats.RenameBlockCause[BlockPRF] == 0 {
+		t.Fatal("expected PRF-cause blocks")
+	}
+}
+
+func TestMispredictRecoveryCorrectness(t *testing.T) {
+	// Data-dependent branches on pseudo-random values force mispredicts;
+	// architectural state must stay exact.
+	b := program.NewBuilder("br")
+	b.I(isa.Li(isa.X(1), 0))   // i
+	b.I(isa.Li(isa.X(2), 200)) // n
+	b.I(isa.Li(isa.X(3), 0))   // acc
+	b.I(isa.Li(isa.X(5), 0))   // lcg state
+	b.Label("loop")
+	b.I(isa.Mul(isa.X(5), isa.X(5), isa.X(0))) // x5 = 0 (keep it simple but data-dependent-looking)
+	b.I(isa.Add(isa.X(5), isa.X(5), isa.X(1)))
+	b.I(isa.AndI(isa.X(6), isa.X(5), 3))
+	b.I(isa.Beq(isa.X(6), isa.X(0), "skip"))
+	b.I(isa.AddI(isa.X(3), isa.X(3), 1))
+	b.Label("skip")
+	b.I(isa.AddI(isa.X(1), isa.X(1), 1))
+	b.I(isa.Blt(isa.X(1), isa.X(2), "loop"))
+	b.I(isa.Halt())
+	p := b.MustBuild()
+	m := newMachine(t, p, false)
+	m.core.Run()
+	want := uint64(0)
+	for i := 0; i < 200; i++ {
+		if i&3 != 0 {
+			want++
+		}
+	}
+	if got := m.core.IntReg(3); got != want {
+		t.Fatalf("acc = %d, want %d", got, want)
+	}
+	if m.core.Stats.Mispredicts == 0 {
+		t.Fatal("expected mispredicts on the pattern")
+	}
+}
+
+func TestAndIOp(t *testing.T) {
+	p := program.NewBuilder("andi").
+		I(isa.Li(isa.X(1), 0b1101)).
+		I(isa.Inst{Op: isa.OpAndI, Dst: isa.X(2), Src1: isa.X(1), Imm: 0b0110}).
+		I(isa.Halt()).MustBuild()
+	m := newMachine(t, p, false)
+	m.core.Run()
+	if got := m.core.IntReg(2); got != 0b0100 {
+		t.Fatalf("andi = %#b", got)
+	}
+}
+
+// TestSetVLNarrowsVectorLength exercises ss.setvl (paper §III-B "Advanced
+// control"): narrowing the effective vector length changes both the
+// engine's chunk sizes and the core's lane counts, with results unchanged.
+func TestSetVLNarrowsVectorLength(t *testing.T) {
+	const n = 128
+	hc := mem.DefaultHierarchyConfig()
+	hc.Prefetchers = false
+	h := mem.NewHierarchy(hc)
+	xb := h.Mem.Alloc(4*n, 64)
+	yb := h.Mem.Alloc(4*n, 64)
+	for i := 0; i < n; i++ {
+		h.Mem.WriteFloat(xb+uint64(4*i), arch.W4, float64(i))
+	}
+	// setvl to 4 lanes of W4 (128-bit emulation), then stream-copy.
+	b := program.NewBuilder("setvl")
+	b.I(isa.Li(isa.X(5), 4))
+	b.I(isa.SetVL(arch.W4, isa.X(6), isa.X(5)))
+	b.ConfigStream(0, descriptor.New(xb, arch.W4, descriptor.Load).Linear(n, 1).MustBuild())
+	b.ConfigStream(1, descriptor.New(yb, arch.W4, descriptor.Store).Linear(n, 1).MustBuild())
+	b.Label("loop")
+	b.I(isa.VMove(arch.W4, isa.V(1), isa.V(0)))
+	b.I(isa.SBNotEnd(0, "loop"))
+	b.I(isa.Halt())
+	e := engine.New(engine.DefaultConfig(), h)
+	cfg := DefaultConfig()
+	cfg.Watchdog = 200_000
+	core := New(cfg, b.MustBuild(), h, e)
+	core.Run()
+	if got := core.IntReg(6); got != 4 {
+		t.Fatalf("granted VL = %d lanes, want 4", got)
+	}
+	if core.EffVecBytes() != 16 {
+		t.Fatalf("effective vector bytes = %d, want 16", core.EffVecBytes())
+	}
+	for i := 0; i < n; i++ {
+		if got := h.Mem.ReadFloat(yb+uint64(4*i), arch.W4); got != float64(i) {
+			t.Fatalf("y[%d] = %v", i, got)
+		}
+	}
+	// 128 elements at 4 lanes → 32 chunks per stream.
+	if e.Stats.ChunksLoaded != 32 {
+		t.Fatalf("chunks loaded = %d, want 32 (narrowed VL)", e.Stats.ChunksLoaded)
+	}
+}
+
+// TestSetVLGrantClamps checks an oversized request is clamped to the
+// physical width.
+func TestSetVLGrantClamps(t *testing.T) {
+	p := program.NewBuilder("clamp").
+		I(isa.Li(isa.X(5), 999)).
+		I(isa.SetVL(arch.W4, isa.X(6), isa.X(5))).
+		I(isa.GetVL(arch.W4, isa.X(7))).
+		I(isa.Halt()).
+		MustBuild()
+	m := newMachine(t, p, false)
+	m.core.Run()
+	if got := m.core.IntReg(6); got != 16 {
+		t.Fatalf("granted = %d, want 16 (clamped)", got)
+	}
+	if got := m.core.IntReg(7); got != 16 {
+		t.Fatalf("getvl = %d, want 16", got)
+	}
+}
+
+// TestInstructionFetchTiming checks that cold instruction lines stall the
+// front end (L1-I misses) while steady-state loops run from the cache.
+func TestInstructionFetchTiming(t *testing.T) {
+	b := program.NewBuilder("ifetch")
+	b.I(isa.Li(isa.X(1), 0), isa.Li(isa.X(2), 2000))
+	b.Label("loop")
+	b.I(isa.AddI(isa.X(1), isa.X(1), 1))
+	b.I(isa.Blt(isa.X(1), isa.X(2), "loop"))
+	b.I(isa.Halt())
+	m := newMachine(t, b.MustBuild(), false)
+	m.core.Run()
+	if m.core.Stats.FetchStallCycles == 0 {
+		t.Fatal("cold-start fetch must stall on the L1-I")
+	}
+	if m.hier.L1I.Stats.Misses == 0 {
+		t.Fatal("no L1-I misses recorded")
+	}
+	// Steady state: the 2000-iteration loop must not miss per iteration.
+	if m.hier.L1I.Stats.Misses > 4 {
+		t.Fatalf("L1-I misses = %d; loop should be cache-resident", m.hier.L1I.Stats.Misses)
+	}
+}
+
+// TestStreamSuspendResumeInstructions drives ss.suspend/ss.resume through
+// the pipeline: while suspended the register reads as a normal vector
+// register; after resume the stream continues from where it stopped.
+func TestStreamSuspendResumeInstructions(t *testing.T) {
+	const n = 64
+	hc := mem.DefaultHierarchyConfig()
+	hc.Prefetchers = false
+	h := mem.NewHierarchy(hc)
+	xb := h.Mem.Alloc(4*n, 64)
+	yb := h.Mem.Alloc(4*n, 64)
+	for i := 0; i < n; i++ {
+		h.Mem.WriteFloat(xb+uint64(4*i), arch.W4, float64(i+1))
+	}
+	b := program.NewBuilder("suspend")
+	b.ConfigStream(0, descriptor.New(xb, arch.W4, descriptor.Load).Linear(n, 1).MustBuild())
+	b.ConfigStream(1, descriptor.New(yb, arch.W4, descriptor.Store).Linear(n, 1).MustBuild())
+	// Consume two chunks, suspend, do unrelated work using u0 as a PLAIN
+	// register, resume, and drain the rest.
+	b.I(isa.VMove(arch.W4, isa.V(1), isa.V(0)))
+	b.I(isa.VMove(arch.W4, isa.V(1), isa.V(0)))
+	b.I(isa.SSuspend(0))
+	b.I(isa.VDupX(arch.W4, isa.V(0), isa.X(0))) // plain write, not a stream op
+	b.I(isa.VMove(arch.W4, isa.V(5), isa.V(0))) // plain read
+	b.I(isa.SResume(0))
+	b.Label("drain")
+	b.I(isa.VMove(arch.W4, isa.V(1), isa.V(0)))
+	b.I(isa.SBNotEnd(0, "drain"))
+	b.I(isa.Halt())
+	e := engine.New(engine.DefaultConfig(), h)
+	cfg := DefaultConfig()
+	cfg.Watchdog = 200_000
+	core := New(cfg, b.MustBuild(), h, e)
+	core.Run()
+	for i := 0; i < n; i++ {
+		if got := h.Mem.ReadFloat(yb+uint64(4*i), arch.W4); got != float64(i+1) {
+			t.Fatalf("y[%d] = %v, want %v", i, got, float64(i+1))
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// refInterp executes a program sequentially with plain functional
+// semantics — the oracle for differential testing of the out-of-order core.
+type refInterp struct {
+	x   [isa.NumIntRegs]uint64
+	f   [isa.NumFPRegs]uint64
+	m   *mem.Memory
+	p   *program.Program
+	pc  int
+	ran int
+}
+
+func (r *refInterp) run(maxSteps int) bool {
+	for r.ran = 0; r.ran < maxSteps; r.ran++ {
+		in := r.p.At(r.pc)
+		next := r.pc + 1
+		op := in.Op
+		switch {
+		case op == isa.OpHalt:
+			return true
+		case op == isa.OpNop:
+		case op.Kind() == isa.KindIntALU:
+			v := isa.EvalInt(op, r.x[in.Src1.N], r.x[in.Src2.N], in.Imm)
+			if in.Dst.N != 0 {
+				r.x[in.Dst.N] = v
+			}
+		case op.Kind() == isa.KindFPALU:
+			a, b, c := r.f[in.Src1.N], r.f[in.Src2.N], r.f[in.Src3.N]
+			r.f[in.Dst.N] = isa.EvalFP(op, in.W, a, b, c, in.Imm)
+		case op == isa.OpLoad:
+			if in.Dst.N != 0 {
+				r.x[in.Dst.N] = r.m.Read(r.x[in.Src1.N]+uint64(in.Imm), in.W)
+			}
+		case op == isa.OpFLoad:
+			r.f[in.Dst.N] = r.m.Read(r.x[in.Src1.N]+uint64(in.Imm), in.W)
+		case op == isa.OpStore:
+			r.m.Write(r.x[in.Src1.N]+uint64(in.Imm), in.W, r.x[in.Src3.N])
+		case op == isa.OpFStore:
+			r.m.Write(r.x[in.Src1.N]+uint64(in.Imm), in.W, r.f[in.Src3.N])
+		case op == isa.OpJ:
+			next = in.Target
+		case op.IsBranch():
+			if isa.EvalCondBranch(op, r.x[in.Src1.N], r.x[in.Src2.N]) {
+				next = in.Target
+			}
+		default:
+			panic("refInterp: unsupported op " + op.Name())
+		}
+		r.pc = next
+	}
+	return false
+}
+
+// genProgram builds a random but always-terminating program: a prologue of
+// random ALU/memory ops, a counted loop whose body mixes data-dependent
+// branches, ALU ops and memory traffic, and an epilogue.
+func genProgram(rng *rand.Rand, memBase uint64) *program.Program {
+	b := program.NewBuilder("fuzz")
+	// x20 = memory base; x21 = loop counter; x22 = loop bound.
+	b.I(isa.Li(isa.X(20), int64(memBase)))
+	b.I(isa.Li(isa.X(21), 0))
+	b.I(isa.Li(isa.X(22), int64(8+rng.Intn(60))))
+
+	randReg := func() isa.Reg { return isa.X(1 + rng.Intn(15)) }
+	randF := func() isa.Reg { return isa.F(1 + rng.Intn(10)) }
+	emitRandom := func(allowSkip bool, tag string) {
+		switch rng.Intn(13) {
+		case 0:
+			b.I(isa.Li(randReg(), int64(rng.Intn(1000))-500))
+		case 1:
+			b.I(isa.Add(randReg(), randReg(), randReg()))
+		case 2:
+			b.I(isa.Sub(randReg(), randReg(), randReg()))
+		case 3:
+			b.I(isa.Mul(randReg(), randReg(), randReg()))
+		case 4:
+			b.I(isa.AndI(randReg(), randReg(), int64(rng.Intn(255))))
+		case 5:
+			b.I(isa.AddI(randReg(), randReg(), int64(rng.Intn(64))-32))
+		case 6:
+			// Store then load within a small window: exercises forwarding.
+			off := int64(8 * rng.Intn(16))
+			b.I(isa.Store(arch.W8, isa.X(20), off, randReg()))
+			b.I(isa.Load(arch.W8, randReg(), isa.X(20), off))
+		case 7:
+			off := int64(8 * rng.Intn(16))
+			b.I(isa.Load(arch.W8, randReg(), isa.X(20), off))
+		case 8:
+			if allowSkip {
+				// Data-dependent forward branch (mispredict generator).
+				skip := tag
+				b.I(isa.AndI(isa.X(19), randReg(), 3))
+				b.I(isa.Bne(isa.X(19), isa.X(0), skip))
+				b.I(isa.AddI(randReg(), randReg(), 7))
+				b.Label(skip)
+			} else {
+				b.I(isa.SllI(randReg(), randReg(), int64(rng.Intn(8))))
+			}
+		case 9:
+			b.I(isa.Slt(randReg(), randReg(), randReg()))
+		case 10:
+			// FP chain: load-immediate, arithmetic, occasional store+load.
+			b.I(isa.FLi(arch.W8, randF(), float64(rng.Intn(100))-50))
+			b.I(isa.FAdd(arch.W8, randF(), randF(), randF()))
+		case 11:
+			b.I(isa.FMul(arch.W8, randF(), randF(), randF()))
+			b.I(isa.FMadd(arch.W8, randF(), randF(), randF(), randF()))
+		case 12:
+			off := int64(8 * (16 + rng.Intn(8)))
+			b.I(isa.FStore(arch.W8, isa.X(20), off, randF()))
+			b.I(isa.FLoad(arch.W8, randF(), isa.X(20), off))
+		}
+	}
+	for i := 0; i < 4+rng.Intn(8); i++ {
+		emitRandom(false, "")
+	}
+	b.Label("loop")
+	for i := 0; i < 3+rng.Intn(10); i++ {
+		emitRandom(true, "skip"+string(rune('a'+i))+"x")
+	}
+	b.I(isa.AddI(isa.X(21), isa.X(21), 1))
+	b.I(isa.Blt(isa.X(21), isa.X(22), "loop"))
+	for i := 0; i < 3; i++ {
+		emitRandom(false, "")
+	}
+	b.I(isa.Halt())
+	return b.MustBuild()
+}
+
+// TestDifferentialRandomPrograms runs random programs on both the
+// out-of-order core and the sequential oracle and requires identical
+// architectural state: registers and memory.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+
+		hc := mem.DefaultHierarchyConfig()
+		h := mem.NewHierarchy(hc)
+		memBase := h.Mem.Alloc(256, 64)
+		p := genProgram(rng, memBase)
+
+		cfg := DefaultConfig()
+		cfg.Watchdog = 500_000
+		core := New(cfg, p, h, nil)
+		// Same initial register noise for both.
+		var init [16]uint64
+		for i := 1; i < 16; i++ {
+			init[i] = uint64(rng.Int63n(1 << 20))
+			core.SetIntReg(i, init[i])
+		}
+		core.Run()
+
+		ref := &refInterp{m: mem.NewMemory(), p: p}
+		refBase := ref.m.Alloc(256, 64)
+		if refBase != memBase {
+			t.Fatalf("allocator divergence: %#x vs %#x", refBase, memBase)
+		}
+		for i := 1; i < 16; i++ {
+			ref.x[i] = init[i]
+		}
+		if !ref.run(1_000_000) {
+			t.Fatalf("trial %d: oracle did not terminate", trial)
+		}
+
+		for i := 1; i < 23; i++ {
+			if got, want := core.IntReg(i), ref.x[i]; got != want {
+				t.Fatalf("trial %d: x%d = %#x, want %#x\nprogram:\n%s", trial, i, got, want, p)
+			}
+		}
+		for i := 1; i < 11; i++ {
+			got := isa.FloatBits(arch.W8, core.FPReg(i, arch.W8))
+			if got != ref.f[i] {
+				t.Fatalf("trial %d: f%d = %#x, want %#x\nprogram:\n%s", trial, i, got, ref.f[i], p)
+			}
+		}
+		for off := 0; off < 256; off += 8 {
+			a := memBase + uint64(off)
+			if got, want := h.Mem.Read(a, arch.W8), ref.m.Read(a, arch.W8); got != want {
+				t.Fatalf("trial %d: mem[%#x] = %#x, want %#x\nprogram:\n%s", trial, a, got, want, p)
+			}
+		}
+	}
+}

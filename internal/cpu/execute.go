@@ -1,0 +1,480 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// srcsReady reports whether every renamed source value is available.
+func (c *Core) srcsReady(e *robEntry) bool {
+	for i, cl := range e.srcClass {
+		if cl == isa.ClassNone {
+			continue
+		}
+		if !c.physReady(cl, e.srcPhys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// issue selects ready instructions oldest-first, bounded by the issue width
+// and per-port functional-unit counts (Table I: 2 int ALUs, 2 vector/FP
+// units, 2 load + 1 store ports).
+func (c *Core) issue() {
+	caps := [pgCount]int{
+		pgInt:   c.cfg.IntALUs,
+		pgVec:   c.cfg.VecFPUs,
+		pgLoad:  c.cfg.LoadPorts,
+		pgStore: c.cfg.StorePorts,
+	}
+	var used [pgCount]int
+	issued := 0
+	for _, e := range c.rob {
+		if issued >= c.cfg.IssueWidth {
+			break
+		}
+		if e.issued || e.squashed {
+			continue
+		}
+		if used[e.group] >= caps[e.group] {
+			continue
+		}
+		if !c.srcsReady(e) {
+			continue
+		}
+		e.issued = true
+		c.iqCount--
+		c.schedCnt[e.group]--
+		used[e.group]++
+		issued++
+		c.execute(e)
+	}
+}
+
+func (c *Core) operandU64(e *robEntry, i int) uint64 {
+	if e.srcClass[i] == isa.ClassNone {
+		return 0
+	}
+	return c.readVal(e.srcClass[i], e.srcPhys[i])
+}
+
+func (c *Core) operandVec(e *robEntry, i int) isa.VecVal {
+	if e.srcClass[i] != isa.ClassVec {
+		return isa.VecVal{}
+	}
+	return c.vecVal[e.srcPhys[i]]
+}
+
+func (c *Core) operandPred(e *robEntry) isa.PredVal {
+	if e.srcClass[3] != isa.ClassPred {
+		return isa.AllLanes
+	}
+	return c.prVal[e.srcPhys[3]]
+}
+
+// execute computes the instruction's result (or starts its memory phase)
+// and schedules writeback after the opcode latency.
+func (c *Core) execute(e *robEntry) {
+	in := &e.inst
+	op := in.Op
+	lat := int64(op.Latency())
+	e.execDoneAt = c.cycle + lat
+
+	switch {
+	case op == isa.OpSCfg:
+		// Completes only once the SCROB has processed the part (one per
+		// cycle); see complete().
+		e.execDoneAt = c.cycle + 1
+
+	case op == isa.OpNop || op == isa.OpHalt || e.ctl:
+		// Effects apply at commit.
+
+	case op.IsStreamBranch():
+		dim := int(in.Imm)
+		switch op {
+		case isa.OpSBNotEnd:
+			e.actTaken = !e.sbLast
+		case isa.OpSBEnd:
+			e.actTaken = e.sbLast
+		case isa.OpSBDimNotEnd:
+			e.actTaken = e.sbEnd&(1<<uint(dim)) == 0
+		case isa.OpSBDimEnd:
+			e.actTaken = e.sbEnd&(1<<uint(dim)) != 0
+		}
+
+	case op == isa.OpJ:
+		e.actTaken = true
+	case op == isa.OpBeq || op == isa.OpBne || op == isa.OpBlt || op == isa.OpBge:
+		e.actTaken = isa.EvalCondBranch(op, c.operandU64(e, 0), c.operandU64(e, 1))
+	case op == isa.OpBFirst:
+		e.actTaken = c.readPredSrc(e).Any()
+	case op == isa.OpBNone:
+		e.actTaken = !c.readPredSrc(e).Any()
+
+	case op == isa.OpSSetVL:
+		req := int(c.operandU64(e, 0))
+		max := c.cfg.Lanes(in.W)
+		if req <= 0 || req > max {
+			req = max
+		}
+		e.resVal = uint64(req)
+
+	case op == isa.OpWhilelt:
+		e.resPred = isa.EvalWhilelt(c.operandU64(e, 0), c.operandU64(e, 1), c.lanes(in.W))
+	case op == isa.OpPTrue:
+		e.resPred = isa.PredVal{Active: c.lanes(in.W)}
+	case op == isa.OpPNot:
+		p := c.readPredSrc(e)
+		e.resPred = isa.PredVal{Active: c.lanes(in.W) - p.Limit(c.lanes(in.W))}
+	case op == isa.OpIncVL:
+		e.resVal = c.operandU64(e, 0) + uint64(c.lanes(in.W))
+	case op == isa.OpGetVL:
+		e.resVal = uint64(c.lanes(in.W))
+
+	case op.Kind() == isa.KindIntALU:
+		e.resVal = isa.EvalInt(op, c.operandU64(e, 0), c.operandU64(e, 1), in.Imm)
+	case op.Kind() == isa.KindFPALU:
+		e.resVal = isa.EvalFP(op, in.W, c.operandU64(e, 0), c.operandU64(e, 1), c.operandU64(e, 2), in.Imm)
+
+	case op == isa.OpVFAddV || op == isa.OpVFMaxV || op == isa.OpVFMinV:
+		bits := isa.EvalVecHoriz(op, in.W, c.operandVec(e, 0))
+		e.resVec = isa.VecFrom(in.W, []uint64{bits})
+	case op == isa.OpVFAddVF || op == isa.OpVFMaxVF || op == isa.OpVFMinVF:
+		e.resVal = isa.EvalVecHoriz(op, in.W, c.operandVec(e, 0))
+
+	case op.Kind() == isa.KindVecALU:
+		args := isa.VecArgs{
+			A: c.operandVec(e, 0), B: c.operandVec(e, 1), C: c.operandVec(e, 2),
+			Pred: c.operandPred(e), Lanes: c.lanes(in.W), W: in.W,
+		}
+		switch op {
+		case isa.OpVDup, isa.OpVDupX:
+			args.Scalar = c.operandU64(e, 0)
+		case isa.OpVExtract:
+			args.Scalar = uint64(in.Imm)
+		}
+		// Destructive forms merge into the old destination (the renamed read
+		// of the same architectural register), so short stream chunks act as
+		// false-predicated lanes rather than truncating the accumulator.
+		if in.Dst.Class == isa.ClassVec {
+			for i, r := range [...]isa.Reg{in.Src1, in.Src2, in.Src3} {
+				if r.Class == isa.ClassVec && r.N == in.Dst.N {
+					mv := c.operandVec(e, i)
+					args.Merge = &mv
+					break
+				}
+			}
+		}
+		e.resVec = isa.EvalVecALU(op, args)
+
+	case op == isa.OpLoad || op == isa.OpFLoad:
+		e.agDone = true
+		e.addr = c.operandU64(e, 0) + uint64(in.Imm)
+		e.memBytes = int(in.W)
+		e.memLanes = 1
+		e.lines = lineSpan(e.addr, e.memBytes)
+		e.execDoneAt = 0 // completes via the memory phase
+
+	case op == isa.OpVLoad:
+		e.agDone = true
+		pred := c.operandPred(e)
+		lanes := pred.Limit(c.lanes(in.W))
+		e.addr = c.operandU64(e, 0) + (c.operandU64(e, 1)+uint64(in.Imm))*uint64(in.W)
+		e.memLanes = lanes
+		e.memBytes = lanes * int(in.W)
+		if e.memBytes == 0 {
+			// All lanes inactive: completes immediately with an empty vector.
+			e.resVec = isa.VecVal{W: in.W}
+			e.execDoneAt = c.cycle + lat
+			e.memDone = true
+			break
+		}
+		e.lines = lineSpan(e.addr, e.memBytes)
+		e.execDoneAt = 0
+
+	case op == isa.OpVLoadG:
+		e.agDone = true
+		pred := c.operandPred(e)
+		idx := c.operandVec(e, 1)
+		lanes := pred.Limit(idx.N)
+		base := c.operandU64(e, 0)
+		e.memLanes = lanes
+		e.memBytes = lanes * int(in.W)
+		e.laneAddrs = e.laneAddrs[:0]
+		seen := map[uint64]bool{}
+		e.lines = nil
+		for l := 0; l < lanes; l++ {
+			a := base + idx.Lane(l)*uint64(in.W)
+			e.laneAddrs = append(e.laneAddrs, a)
+			ln := arch.LineOf(a)
+			if !seen[ln] {
+				seen[ln] = true
+				e.lines = append(e.lines, ln)
+			}
+		}
+		if lanes == 0 {
+			e.resVec = isa.VecVal{W: in.W}
+			e.execDoneAt = c.cycle + lat
+			e.memDone = true
+			break
+		}
+		e.execDoneAt = 0
+
+	case op == isa.OpStore || op == isa.OpFStore:
+		e.agDone = true
+		e.addr = c.operandU64(e, 0) + uint64(in.Imm)
+		e.memBytes = int(in.W)
+		sq := c.sqEntryFor(e.seq)
+		if sq != nil {
+			sq.addr = e.addr
+			sq.bytes = e.memBytes
+			sq.w = in.W
+			sq.lanes = []uint64{isa.Truncate(in.W, c.operandU64(e, 2))}
+			sq.resolved = true
+		}
+		if _, fault := c.hier.TLB.Translate(e.addr); fault {
+			e.fault = true
+			e.faultAddr = e.addr
+		}
+
+	case op == isa.OpVStore:
+		e.agDone = true
+		pred := c.operandPred(e)
+		data := c.operandVec(e, 2)
+		lanes := pred.Limit(data.N)
+		e.addr = c.operandU64(e, 0) + (c.operandU64(e, 1)+uint64(in.Imm))*uint64(in.W)
+		e.memBytes = lanes * int(in.W)
+		sq := c.sqEntryFor(e.seq)
+		if sq != nil {
+			sq.addr = e.addr
+			sq.bytes = e.memBytes
+			sq.w = in.W
+			sq.lanes = append([]uint64(nil), data.L[:lanes]...)
+			sq.resolved = true
+		}
+		if e.memBytes > 0 {
+			if _, fault := c.hier.TLB.Translate(e.addr); fault {
+				e.fault = true
+				e.faultAddr = e.addr
+			}
+		}
+
+	default:
+		panic(fmt.Sprintf("cpu: unimplemented op %s", op.Name()))
+	}
+}
+
+func (c *Core) readPredSrc(e *robEntry) isa.PredVal {
+	if e.srcClass[0] == isa.ClassPred {
+		return c.prVal[e.srcPhys[0]]
+	}
+	return isa.AllLanes
+}
+
+// lineSpan returns the cache lines covering [addr, addr+bytes).
+func lineSpan(addr uint64, bytes int) []uint64 {
+	first := arch.LineOf(addr)
+	last := arch.LineOf(addr + uint64(bytes) - 1)
+	lines := []uint64{first}
+	for l := first + arch.LineSize; l <= last; l += arch.LineSize {
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// memPhase drives issued loads through the LSQ: memory-dependence checks,
+// stream-store overlap checks, translation, and line requests.
+func (c *Core) memPhase() {
+	ports := c.cfg.LoadPorts // line requests issuable this cycle
+	for _, e := range c.rob {
+		if !e.isLoad || !e.issued || e.squashed || e.memDone || !e.agDone || e.fault {
+			continue
+		}
+		// All older store addresses must be known (conservative memory
+		// dependence policy). Among resolved overlapping older stores the
+		// YOUNGEST one supplies the value: an exact scalar match forwards,
+		// anything else holds the load until that store commits.
+		conflict := false
+		var fwd *sqEntry
+		for _, s := range c.sq { // ordered oldest→youngest
+			if s.seq >= e.seq || !s.live {
+				continue
+			}
+			if !s.resolved {
+				conflict = true
+				break
+			}
+			if s.bytes > 0 && overlaps(e.addr, e.memBytes, s.addr, s.bytes) {
+				if e.memLanes == 1 && s.addr == e.addr && s.w == e.memW && len(s.lanes) == 1 && e.linesIssued == 0 {
+					fwd = s // keep scanning: a younger store supersedes
+				} else {
+					fwd = nil
+					conflict = true
+					break
+				}
+			}
+			if e.inst.Op == isa.OpVLoadG && s.bytes > 0 {
+				for _, a := range e.laneAddrs {
+					if overlaps(a, int(e.memW), s.addr, s.bytes) {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					break
+				}
+			}
+		}
+		if !conflict && fwd != nil {
+			e.resVal = fwd.lanes[0]
+			e.resVec = isa.VecFrom(e.memW, fwd.lanes)
+			e.memDone = true
+			e.fwdLatency = true
+			e.execDoneAt = c.cycle + 4
+			c.Stats.LoadsExecuted++
+			continue
+		}
+		if conflict || e.memDone {
+			continue
+		}
+		// Output streams draining to the same range block scalar loads
+		// (core-side coherence, paper §IV-A).
+		if c.eng != nil && e.linesIssued == 0 {
+			lo := e.addr
+			if e.inst.Op == isa.OpVLoadG && len(e.laneAddrs) > 0 {
+				over := false
+				for _, a := range e.laneAddrs {
+					if c.eng.StoreMayOverlap(a, int(e.memW), e.storeStamp) {
+						over = true
+						break
+					}
+				}
+				if over {
+					continue
+				}
+			} else if c.eng.StoreMayOverlap(lo, e.memBytes, e.storeStamp) {
+				continue
+			}
+		}
+		if e.linesIssued == 0 {
+			if _, fault := c.hier.TLB.Translate(e.addr); fault {
+				e.fault = true
+				e.faultAddr = e.addr
+				e.execDoneAt = c.cycle + 1
+				continue
+			}
+		}
+		// Issue outstanding line requests within port bandwidth.
+		for e.linesIssued < len(e.lines) && ports > 0 {
+			line := e.lines[e.linesIssued]
+			ee := e
+			req := &mem.Req{Line: line, PC: e.pc, Done: func(at int64) { c.loadLineArrived(ee, at) }}
+			if !c.hier.Access(c.cycle, req) {
+				break
+			}
+			e.linesIssued++
+			e.linesPend++
+			ports--
+		}
+	}
+}
+
+func overlaps(a uint64, an int, b uint64, bn int) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}
+
+// loadLineArrived completes one line of a load; when all lines are in, the
+// value is read functionally and writeback scheduled.
+func (c *Core) loadLineArrived(e *robEntry, now int64) {
+	if e.squashed || e.memDone {
+		return
+	}
+	e.linesPend--
+	if e.linesPend > 0 || e.linesIssued < len(e.lines) {
+		return
+	}
+	e.memDone = true
+	c.Stats.LoadsExecuted++
+	w := e.memW
+	switch e.inst.Op {
+	case isa.OpLoad:
+		e.resVal = c.hier.Mem.Read(e.addr, w)
+	case isa.OpFLoad:
+		e.resVal = c.hier.Mem.Read(e.addr, w)
+	case isa.OpVLoad:
+		lanes := make([]uint64, e.memLanes)
+		for i := range lanes {
+			lanes[i] = c.hier.Mem.Read(e.addr+uint64(i)*uint64(w), w)
+		}
+		e.resVec = isa.VecFrom(w, lanes)
+	case isa.OpVLoadG:
+		lanes := make([]uint64, len(e.laneAddrs))
+		for i, a := range e.laneAddrs {
+			lanes[i] = c.hier.Mem.Read(a, w)
+		}
+		e.resVec = isa.VecFrom(w, lanes)
+	}
+	e.execDoneAt = now + 1
+}
+
+// complete retires execution results into the physical registers, resolves
+// branches (squashing on mispredicts), and feeds output-stream data to the
+// engine.
+func (c *Core) complete() {
+	for idx := 0; idx < len(c.rob); idx++ {
+		e := c.rob[idx]
+		if e.squashed || e.done || !e.issued {
+			continue
+		}
+		if e.execDoneAt == 0 || e.execDoneAt > c.cycle {
+			continue
+		}
+		if e.cfgTok != nil && !c.eng.ConfigProcessed(e.cfgTok) {
+			continue // configuration still queued in the SCROB
+		}
+		e.done = true
+		if e.dstClass != isa.ClassNone {
+			c.writePhys(e.dstClass, e.newPhys, e.resVal, e.resVec, e.resPred)
+		}
+		if e.produce != nil && e.produce.consumed && c.eng != nil {
+			c.eng.WriteStoreData(e.produce.slot, e.produce.seq, e.resVec)
+		}
+		if e.isBranch && !e.brResolved {
+			e.brResolved = true
+			c.Stats.BranchesResolved++
+			if e.inst.Op != isa.OpJ {
+				c.trainPredictor(e.pc, e.actTaken)
+			}
+			e.actTarget = e.pc + 1
+			if e.actTaken {
+				e.actTarget = e.inst.Target
+			}
+			predTarget := e.pc + 1
+			if e.predTaken {
+				predTarget = e.inst.Target
+			}
+			if e.actTarget != predTarget {
+				c.Stats.Mispredicts++
+				c.squashAfter(idx)
+				c.redirect(e.actTarget, c.cfg.MispredictPenalty)
+				return // younger entries are gone
+			}
+		}
+	}
+}
+
+// drainStores issues committed (senior) store lines to the memory system.
+func (c *Core) drainStores() {
+	for n := 0; n < c.cfg.StorePorts && len(c.drainQ) > 0; n++ {
+		line := c.drainQ[0]
+		req := &mem.Req{Line: line, Write: true}
+		if !c.hier.Access(c.cycle, req) {
+			return
+		}
+		c.drainQ = c.drainQ[1:]
+	}
+}

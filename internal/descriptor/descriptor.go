@@ -1,0 +1,353 @@
+// Package descriptor implements the hierarchical stream-descriptor model of
+// UVE (paper §II): n-dimensional affine access patterns encoded as cascaded
+// {Offset, Size, Stride} tuples, optionally altered by static modifiers
+// {Target, Behavior, Displacement, Size} and indirect modifiers
+// {Target, Behavior, StreamPointer}.
+//
+// A stream access is y(X) = base + (O0 + Σk ik·Sk + Σk>0 Ok·Sk) · width,
+// with ik ∈ [0, Ek). Dimension 0 is the innermost dimension; its offset is
+// an element displacement added to the byte base address (the paper folds the
+// base into O0 — we keep them separate so modifiers can retarget O0 in
+// element units, which is what indirection needs).
+package descriptor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+)
+
+// Kind distinguishes load (input) from store (output) streams.
+type Kind int
+
+const (
+	// Load streams move data from memory into the core.
+	Load Kind = iota
+	// Store streams move data from the core to memory.
+	Store
+)
+
+func (k Kind) String() string {
+	if k == Store {
+		return "store"
+	}
+	return "load"
+}
+
+// Target selects which parameter of the affected dimension a modifier
+// rewrites (paper §II-B2, §II-B3).
+type Target int
+
+const (
+	// TargetOffset modifies the dimension's offset (element units).
+	TargetOffset Target = iota
+	// TargetSize modifies the dimension's element count.
+	TargetSize
+	// TargetStride modifies the dimension's stride.
+	TargetStride
+)
+
+func (t Target) String() string {
+	switch t {
+	case TargetOffset:
+		return "offset"
+	case TargetSize:
+		return "size"
+	case TargetStride:
+		return "stride"
+	}
+	return fmt.Sprintf("Target(%d)", int(t))
+}
+
+// Behavior is the modification operator. Add and Sub are cumulative and used
+// by static modifiers; the Set* forms are used by indirect modifiers and are
+// re-derived from the original parameter value on every application.
+type Behavior int
+
+const (
+	// Add accumulates +Displacement into the target parameter.
+	Add Behavior = iota
+	// Sub accumulates -Displacement into the target parameter.
+	Sub
+	// SetAdd sets target = original + dynamic displacement.
+	SetAdd
+	// SetSub sets target = original - dynamic displacement.
+	SetSub
+	// SetValue sets target = dynamic displacement.
+	SetValue
+)
+
+func (b Behavior) String() string {
+	switch b {
+	case Add:
+		return "add"
+	case Sub:
+		return "sub"
+	case SetAdd:
+		return "set-add"
+	case SetSub:
+		return "set-sub"
+	case SetValue:
+		return "set-value"
+	}
+	return fmt.Sprintf("Behavior(%d)", int(b))
+}
+
+// Dim is one {Offset, Size, Stride} tuple, all in element units.
+type Dim struct {
+	Offset int64
+	Size   int64
+	Stride int64
+}
+
+// StaticMod is a static descriptor modifier {T, B, D, E} (paper §II-B2).
+// It is bound to dimension Bound (≥1) and rewrites parameter Target of
+// dimension Bound-1 on every iteration of dimension Bound, for at most
+// Count applications (Count ≤ 0 means unlimited).
+type StaticMod struct {
+	Bound  int
+	Target Target
+	Behav  Behavior // Add or Sub
+	Disp   int64
+	Count  int64
+}
+
+// IndirectMod is an indirect descriptor modifier {T, B, P} (paper §II-B3).
+// Each iteration of dimension Bound consumes one value from the origin
+// stream Origin and sets parameter Target of dimension Bound-1 according to
+// Behav (SetAdd, SetSub or SetValue). Two extensions of the binding rule
+// realize the paper's scatter-gather support (F3):
+//
+//   - Bound == 0 fires once per element and retargets dimension 0 itself —
+//     a per-element gather (A[B[i][j]], paper Fig 2.C), which the engine
+//     packs into dense vector chunks.
+//   - Bound == len(Dims) forms a virtual outer level whose trip count
+//     follows the origin stream's length (the paper: "the indirection
+//     modifier does not require any size parameter", Fig 3.B5).
+type IndirectMod struct {
+	Bound  int
+	Target Target
+	Behav  Behavior // SetAdd, SetSub or SetValue
+	Origin int      // stream register number of the origin stream
+}
+
+// Descriptor is a fully configured stream pattern.
+type Descriptor struct {
+	Base     uint64 // byte base address
+	Width    arch.ElemWidth
+	Kind     Kind
+	Level    arch.CacheLevel // memory level the stream operates over
+	Dims     []Dim           // Dims[0] is innermost
+	Static   []StaticMod
+	Indirect []IndirectMod
+}
+
+// MaxDims and MaxMods bound descriptor complexity, matching the paper's
+// implementation limit of 8 dimensions and 7 modifiers per stream (§III-A2).
+const (
+	MaxDims = 8
+	MaxMods = 7
+)
+
+// Levels returns the number of hierarchy levels, counting virtual levels
+// formed by indirect modifiers bound beyond the last real dimension.
+func (d *Descriptor) Levels() int {
+	n := len(d.Dims)
+	for _, m := range d.Indirect {
+		if m.Bound+1 > n {
+			n = m.Bound + 1
+		}
+	}
+	return n
+}
+
+// HasIndirect reports whether the descriptor uses any indirect modifier.
+func (d *Descriptor) HasIndirect() bool { return len(d.Indirect) > 0 }
+
+// Origins returns the stream register numbers this descriptor's indirect
+// modifiers consume from, in configuration order.
+func (d *Descriptor) Origins() []int {
+	if len(d.Indirect) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(d.Indirect))
+	for _, m := range d.Indirect {
+		out = append(out, m.Origin)
+	}
+	return out
+}
+
+// Validate checks the descriptor against the architected limits and basic
+// well-formedness rules.
+func (d *Descriptor) Validate() error {
+	if !d.Width.Valid() {
+		return fmt.Errorf("descriptor: invalid element width %d", int(d.Width))
+	}
+	if len(d.Dims) == 0 {
+		return fmt.Errorf("descriptor: no dimensions")
+	}
+	if len(d.Dims) > MaxDims {
+		return fmt.Errorf("descriptor: %d dimensions exceeds the limit of %d", len(d.Dims), MaxDims)
+	}
+	if n := len(d.Static) + len(d.Indirect); n > MaxMods {
+		return fmt.Errorf("descriptor: %d modifiers exceeds the limit of %d", n, MaxMods)
+	}
+	levels := d.Levels()
+	if levels > MaxDims {
+		return fmt.Errorf("descriptor: %d levels (with virtual) exceeds the limit of %d", levels, MaxDims)
+	}
+	for i, m := range d.Static {
+		if m.Bound < 1 || m.Bound >= levels {
+			return fmt.Errorf("descriptor: static modifier %d bound to level %d, want 1..%d", i, m.Bound, levels-1)
+		}
+		if m.Behav != Add && m.Behav != Sub {
+			return fmt.Errorf("descriptor: static modifier %d has non-static behavior %v", i, m.Behav)
+		}
+	}
+	for i, m := range d.Indirect {
+		if m.Bound < 0 || m.Bound >= levels+1 {
+			return fmt.Errorf("descriptor: indirect modifier %d bound to level %d, want 0..%d", i, m.Bound, levels)
+		}
+		switch m.Behav {
+		case SetAdd, SetSub, SetValue:
+		default:
+			return fmt.Errorf("descriptor: indirect modifier %d has non-indirect behavior %v", i, m.Behav)
+		}
+		if m.Origin < 0 {
+			return fmt.Errorf("descriptor: indirect modifier %d has negative origin stream %d", i, m.Origin)
+		}
+	}
+	return nil
+}
+
+// StateBytes returns the number of bytes needed to save this stream's
+// committed iteration state for a context switch (paper §IV-A "Context
+// Switching": 32 B for 1-D patterns up to 400 B for 8-D with 7 modifiers).
+// Each additional dimension or modifier costs 26 B: packed parameters plus
+// the iteration index/application counter.
+func (d *Descriptor) StateBytes() int {
+	n := 32 // base address, width/kind/level flags, dim-0 params and position
+	n += (len(d.Dims) - 1) * 26
+	n += (len(d.Static) + len(d.Indirect)) * 26
+	return n
+}
+
+func (d *Descriptor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s.%s base=%#x %s", d.Kind, d.Width, d.Base, d.Level)
+	for i, dim := range d.Dims {
+		fmt.Fprintf(&b, " D%d{%d,%d,%d}", i, dim.Offset, dim.Size, dim.Stride)
+	}
+	for _, m := range d.Static {
+		fmt.Fprintf(&b, " M@%d{%s,%s,%d,%d}", m.Bound, m.Target, m.Behav, m.Disp, m.Count)
+	}
+	for _, m := range d.Indirect {
+		fmt.Fprintf(&b, " I@%d{%s,%s,u%d}", m.Bound, m.Target, m.Behav, m.Origin)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the descriptor.
+func (d *Descriptor) Clone() *Descriptor {
+	c := *d
+	c.Dims = append([]Dim(nil), d.Dims...)
+	c.Static = append([]StaticMod(nil), d.Static...)
+	c.Indirect = append([]IndirectMod(nil), d.Indirect...)
+	return &c
+}
+
+// Builder assembles descriptors with a fluent API mirroring the UVE stream
+// configuration instruction sequence (ss.ld.sta / ss.app / ss.end, §III-B).
+type Builder struct {
+	d   Descriptor
+	err error
+}
+
+// New starts a descriptor for a stream of elements of width w based at byte
+// address base. The innermost dimension is supplied via the first Dim call.
+func New(base uint64, w arch.ElemWidth, kind Kind) *Builder {
+	return &Builder{d: Descriptor{Base: base, Width: w, Kind: kind, Level: arch.LevelL2}}
+}
+
+// Dim appends the next-outer dimension {offset, size, stride}.
+func (b *Builder) Dim(offset, size, stride int64) *Builder {
+	b.d.Dims = append(b.d.Dims, Dim{Offset: offset, Size: size, Stride: stride})
+	return b
+}
+
+// Linear is shorthand for a one-dimensional pattern of size elements with
+// the given stride, starting at the base address.
+func (b *Builder) Linear(size, stride int64) *Builder { return b.Dim(0, size, stride) }
+
+// Mod attaches a static modifier to the most recently added dimension: it
+// fires on each iteration of that dimension and rewrites parameter t of the
+// dimension below it. count ≤ 0 means unlimited applications.
+func (b *Builder) Mod(t Target, behav Behavior, disp, count int64) *Builder {
+	bound := len(b.d.Dims) - 1
+	if bound < 1 {
+		b.fail("static modifier requires at least two dimensions")
+		return b
+	}
+	b.d.Static = append(b.d.Static, StaticMod{Bound: bound, Target: t, Behav: behav, Disp: disp, Count: count})
+	return b
+}
+
+// Indirect attaches an indirect modifier to the most recently added
+// dimension: each of its iterations consumes one value from origin and sets
+// parameter t of the dimension below. When only the innermost dimension has
+// been added, the modifier binds to dimension 0 and becomes a per-element
+// gather.
+func (b *Builder) Indirect(t Target, behav Behavior, origin int) *Builder {
+	bound := len(b.d.Dims) - 1
+	if bound < 0 {
+		b.fail("indirect modifier requires a dimension")
+		return b
+	}
+	b.d.Indirect = append(b.d.Indirect, IndirectMod{Bound: bound, Target: t, Behav: behav, Origin: origin})
+	return b
+}
+
+// IndirectOuter appends a virtual outer level driven by the origin stream:
+// for every origin value, parameter t of the current outermost dimension is
+// set and the inner pattern replayed. The stream's length follows the
+// origin stream's length (paper Fig 3.B5).
+func (b *Builder) IndirectOuter(t Target, behav Behavior, origin int) *Builder {
+	bound := b.d.Levels()
+	b.d.Indirect = append(b.d.Indirect, IndirectMod{Bound: bound, Target: t, Behav: behav, Origin: origin})
+	return b
+}
+
+// AtLevel routes the stream to the given memory level (so.cfg.memx).
+func (b *Builder) AtLevel(l arch.CacheLevel) *Builder {
+	b.d.Level = l
+	return b
+}
+
+func (b *Builder) fail(msg string) {
+	if b.err == nil {
+		b.err = fmt.Errorf("descriptor builder: %s", msg)
+	}
+}
+
+// Build validates and returns the descriptor.
+func (b *Builder) Build() (*Descriptor, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	d := b.d.Clone()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustBuild is Build that panics on error; intended for hand-written kernels
+// whose patterns are fixed at compile time.
+func (b *Builder) MustBuild() *Descriptor {
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,661 @@
+package descriptor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+// addrsOf runs the pure-Go nested loops in ref and collects byte addresses,
+// serving as the oracle the descriptor sequence must match.
+func addrsOf(ref func(emit func(elemIdx int64))) []uint64 {
+	var out []uint64
+	ref(func(e int64) { out = append(out, uint64(e)) })
+	return out
+}
+
+// scale converts element indices from an oracle into byte addresses.
+func scale(base uint64, w arch.ElemWidth, idx []uint64) []uint64 {
+	out := make([]uint64, len(idx))
+	for i, e := range idx {
+		out[i] = base + e*uint64(w)
+	}
+	return out
+}
+
+func TestLinearPatternB1(t *testing.T) {
+	// Fig 3.B1: for (i=0; i<N; i++) A[i]
+	const base, n = 0x1000, 17
+	d := New(base, arch.W4, Load).Linear(n, 1).MustBuild()
+	got := Addresses(d, nil)
+	want := scale(base, arch.W4, addrsOf(func(emit func(int64)) {
+		for i := int64(0); i < n; i++ {
+			emit(i)
+		}
+	}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("linear: got %v want %v", got, want)
+	}
+}
+
+func TestRectangularPatternB2(t *testing.T) {
+	// Fig 3.B2: for (i..Nr) for (j..Nc) A[i*Nc+j]
+	const base, nr, nc = 0x2000, 5, 7
+	d := New(base, arch.W8, Load).
+		Dim(0, nc, 1).
+		Dim(0, nr, nc).
+		MustBuild()
+	got := Addresses(d, nil)
+	want := scale(base, arch.W8, addrsOf(func(emit func(int64)) {
+		for i := int64(0); i < nr; i++ {
+			for j := int64(0); j < nc; j++ {
+				emit(i*nc + j)
+			}
+		}
+	}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rectangular: got %v want %v", got, want)
+	}
+}
+
+func TestRectangularScatteredPatternB3(t *testing.T) {
+	// Fig 3.B3: for (i=0; i<Nr; i+=2) for (j=0; j<d; j+=2) A[i*Nc+j]
+	// Descriptor: D0{&A, d/2, 2}, D1{0, Nr/2, 2*Nc}
+	const base, nr, nc, dd = 0x3000, 8, 10, 6
+	d := New(base, arch.W4, Load).
+		Dim(0, dd/2, 2).
+		Dim(0, nr/2, 2*nc).
+		MustBuild()
+	got := Addresses(d, nil)
+	want := scale(base, arch.W4, addrsOf(func(emit func(int64)) {
+		for i := int64(0); i < nr; i += 2 {
+			for j := int64(0); j < dd; j += 2 {
+				emit(i*nc + j)
+			}
+		}
+	}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scattered: got %v want %v", got, want)
+	}
+}
+
+func TestLowerTriangularPatternB4(t *testing.T) {
+	// Fig 3.B4: for (K=i=0; i<Nr; i++) { K++; for (j=0; j<K; j++) A[i*Nc+j] }
+	// Descriptor: D0{&A, 0, 1}, D1{0, Nr, Nc}, static modifier {Size, Add, 1, Nr}.
+	const base, nr, nc = 0x4000, 6, 9
+	d := New(base, arch.W4, Load).
+		Dim(0, 0, 1).
+		Dim(0, nr, nc).
+		Mod(TargetSize, Add, 1, nr).
+		MustBuild()
+	got := Addresses(d, nil)
+	want := scale(base, arch.W4, addrsOf(func(emit func(int64)) {
+		k := int64(0)
+		for i := int64(0); i < nr; i++ {
+			k++
+			for j := int64(0); j < k; j++ {
+				emit(i*nc + j)
+			}
+		}
+	}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("triangular: got %v want %v", got, want)
+	}
+}
+
+func TestUpperTriangularWithSub(t *testing.T) {
+	// Complement of B4: row i has Nr-i elements, realized with a Sub modifier
+	// and a compensating offset modifier.
+	const base, nr, nc = 0x9000, 6, 6
+	d := New(base, arch.W4, Load).
+		Dim(0, nr+1, 1).
+		Dim(0, nr, nc).
+		Mod(TargetSize, Sub, 1, nr).
+		Mod(TargetOffset, Add, 1, nr).
+		MustBuild()
+	// First outer iteration fires both mods: size Nr+1-1=Nr, offset 1.
+	got := Addresses(d, nil)
+	want := scale(base, arch.W4, addrsOf(func(emit func(int64)) {
+		for i := int64(0); i < nr; i++ {
+			for j := i + 1; j < nr+1; j++ {
+				emit(i*nc + j)
+			}
+		}
+	}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("upper triangular: got %v want %v", got, want)
+	}
+}
+
+func TestIndirectionPatternB5(t *testing.T) {
+	// Fig 3.B5: for (i=0; i<Nc; i++) B[A[i]]
+	// Stream B: D0{&B, 1, 0} with a virtual indirect level {Offset, SetAdd, A}.
+	const base = 0x5000
+	idx := []uint64{4, 0, 9, 2, 2, 7}
+	d := New(base, arch.W8, Load).
+		Dim(0, 1, 0).
+		IndirectOuter(TargetOffset, SetAdd, 3).
+		MustBuild()
+	src := NewSliceOrigin(map[int][]uint64{3: idx})
+	got := Addresses(d, src)
+	want := make([]uint64, len(idx))
+	for i, v := range idx {
+		want[i] = base + v*8
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("indirection: got %v want %v", got, want)
+	}
+}
+
+func TestIndirectSetValue(t *testing.T) {
+	// SetValue retargets the offset absolutely each iteration.
+	vals := []uint64{10, 3, 3, 0}
+	d := New(0, arch.W1, Load).
+		Dim(0, 2, 1). // two consecutive bytes per indirection
+		IndirectOuter(TargetOffset, SetValue, 1).
+		MustBuild()
+	src := NewSliceOrigin(map[int][]uint64{1: vals})
+	got := Addresses(d, src)
+	want := []uint64{10, 11, 3, 4, 3, 4, 0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("set-value: got %v want %v", got, want)
+	}
+}
+
+func TestIndirectSetSub(t *testing.T) {
+	d := New(1000, arch.W1, Load).
+		Dim(100, 1, 0).
+		IndirectOuter(TargetOffset, SetSub, 0).
+		MustBuild()
+	src := NewSliceOrigin(map[int][]uint64{0: {10, 20}})
+	got := Addresses(d, src)
+	want := []uint64{1000 + 90, 1000 + 80}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("set-sub: got %v want %v", got, want)
+	}
+}
+
+func TestIndirectBoundToRealDim(t *testing.T) {
+	// Row-indexed gather: for each of the outer dim's iterations an index is
+	// consumed and selects the row: A[idx[i]*Nc + j] (paper Fig 2.C shape).
+	const base, nc, rows = 0x6000, 4, 3
+	idx := []uint64{2, 0, 5}
+	d := New(base, arch.W4, Load).
+		Dim(0, nc, 1).
+		Dim(0, rows, nc).
+		Indirect(TargetOffset, SetValue, 7).
+		MustBuild()
+	src := NewSliceOrigin(map[int][]uint64{7: idx})
+	got := Addresses(d, src)
+	want := scale(base, arch.W4, addrsOf(func(emit func(int64)) {
+		for i := 0; i < rows; i++ {
+			for j := int64(0); j < nc; j++ {
+				emit(int64(idx[i])*nc + j)
+			}
+		}
+	}))
+	// The indirect modifier rewrites D0's offset; D1 still adds ik*Sk with
+	// its own offset 0, so each outer iteration contributes i*nc as well.
+	// Compensate by using stride 0 on the outer dim instead.
+	d2 := New(base, arch.W4, Load).
+		Dim(0, nc, 1).
+		Dim(0, rows, 0).
+		Indirect(TargetOffset, SetValue, 7).
+		MustBuild()
+	src2 := NewSliceOrigin(map[int][]uint64{7: scaleIdx(idx, nc)})
+	got2 := Addresses(d2, src2)
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatalf("indirect rows: got %v want %v", got2, want)
+	}
+	_ = got
+}
+
+func scaleIdx(idx []uint64, m uint64) []uint64 {
+	out := make([]uint64, len(idx))
+	for i, v := range idx {
+		out[i] = v * m
+	}
+	return out
+}
+
+func TestEndFlags(t *testing.T) {
+	// 2x3 matrix: end-of-dim0 after every 3rd element, end-of-stream at last.
+	d := New(0, arch.W4, Load).Dim(0, 3, 1).Dim(0, 2, 3).MustBuild()
+	elems := Sequence(d, nil)
+	if len(elems) != 6 {
+		t.Fatalf("got %d elements, want 6", len(elems))
+	}
+	for i, e := range elems {
+		wantDim0 := i == 2 || i == 5
+		if e.EndsDim(0) != wantDim0 {
+			t.Errorf("elem %d: EndsDim(0)=%v want %v", i, e.EndsDim(0), wantDim0)
+		}
+		wantLast := i == 5
+		if e.Last != wantLast {
+			t.Errorf("elem %d: Last=%v want %v", i, e.Last, wantLast)
+		}
+		if e.EndsDim(1) != wantLast {
+			t.Errorf("elem %d: EndsDim(1)=%v want %v", i, e.EndsDim(1), wantLast)
+		}
+	}
+}
+
+func TestEndFlagsTriangular(t *testing.T) {
+	// Row sizes 1,2,3: flags must reflect the dynamic row ends.
+	d := New(0, arch.W4, Load).
+		Dim(0, 0, 1).
+		Dim(0, 3, 10).
+		Mod(TargetSize, Add, 1, 3).
+		MustBuild()
+	elems := Sequence(d, nil)
+	if len(elems) != 6 {
+		t.Fatalf("got %d elements, want 6", len(elems))
+	}
+	rowEnds := map[int]bool{0: true, 2: true, 5: true}
+	for i, e := range elems {
+		if e.EndsDim(0) != rowEnds[i] {
+			t.Errorf("elem %d: EndsDim(0)=%v want %v", i, e.EndsDim(0), rowEnds[i])
+		}
+	}
+	if !elems[5].Last {
+		t.Errorf("final element not marked Last")
+	}
+}
+
+func TestZeroSizeStream(t *testing.T) {
+	d := New(0, arch.W4, Load).Linear(0, 1).MustBuild()
+	if got := Addresses(d, nil); len(got) != 0 {
+		t.Fatalf("zero-size stream produced %d elements", len(got))
+	}
+	it := NewIterator(d, nil)
+	if _, ok := it.Next(); ok {
+		t.Fatal("Next on empty stream returned ok")
+	}
+	if !it.Done() {
+		t.Fatal("empty stream iterator not Done")
+	}
+}
+
+func TestEmptyInnerRuns(t *testing.T) {
+	// Middle dimension of size 0 on some iterations: triangular starting at
+	// 0 rows where the modifier only fires from iteration 2 onward is not
+	// expressible, but a pattern with an initially-negative size that climbs
+	// through zero exercises empty-run skipping.
+	d := New(0, arch.W4, Load).
+		Dim(0, -1, 1). // sizes seen: 0, 1, 2 after the modifier fires
+		Dim(0, 3, 100).
+		Mod(TargetSize, Add, 1, 3).
+		MustBuild()
+	got := Addresses(d, nil)
+	want := []uint64{400, 800, 804} // row 0 empty, row 1 one elem, row 2 two
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("empty inner runs: got %v want %v", got, want)
+	}
+}
+
+func TestModifierCountCap(t *testing.T) {
+	// The modifier stops after Count applications; later iterations reuse
+	// the final parameter values.
+	d := New(0, arch.W4, Load).
+		Dim(0, 1, 1).
+		Dim(0, 4, 10).
+		Mod(TargetSize, Add, 1, 2).
+		MustBuild()
+	got := Addresses(d, nil)
+	// Row sizes: 2 (after 1st fire), 3 (after 2nd), then capped at 3, 3.
+	want := scale(0, arch.W4, addrsOf(func(emit func(int64)) {
+		sizes := []int64{2, 3, 3, 3}
+		for i := int64(0); i < 4; i++ {
+			for j := int64(0); j < sizes[i]; j++ {
+				emit(i*10 + j)
+			}
+		}
+	}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("count cap: got %v want %v", got, want)
+	}
+}
+
+func TestOffsetModifierScansWindow(t *testing.T) {
+	// Sliding window via offset modifier on dim 0.
+	d := New(0, arch.W4, Load).
+		Dim(0, 3, 1).
+		Dim(0, 4, 0).
+		Mod(TargetOffset, Add, 2, 0).
+		MustBuild()
+	got := Addresses(d, nil)
+	want := scale(0, arch.W4, addrsOf(func(emit func(int64)) {
+		for i := int64(0); i < 4; i++ {
+			for j := int64(0); j < 3; j++ {
+				emit((i+1)*2 + j)
+			}
+		}
+	}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("window: got %v want %v", got, want)
+	}
+}
+
+func TestThreeDimensional(t *testing.T) {
+	const base, n0, n1, n2 = 0x8000, 3, 4, 2
+	d := New(base, arch.W8, Load).
+		Dim(0, n0, 1).
+		Dim(0, n1, n0).
+		Dim(0, n2, n0*n1).
+		MustBuild()
+	got := Addresses(d, nil)
+	want := scale(base, arch.W8, addrsOf(func(emit func(int64)) {
+		for k := int64(0); k < n2; k++ {
+			for i := int64(0); i < n1; i++ {
+				for j := int64(0); j < n0; j++ {
+					emit(k*n0*n1 + i*n0 + j)
+				}
+			}
+		}
+	}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("3-D: got %v want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Descriptor
+		ok   bool
+	}{
+		{"no dims", Descriptor{Width: arch.W4}, false},
+		{"bad width", Descriptor{Width: 3, Dims: []Dim{{Size: 1, Stride: 1}}}, false},
+		{"ok 1d", Descriptor{Width: arch.W4, Dims: []Dim{{Size: 1, Stride: 1}}}, true},
+		{"too many dims", Descriptor{Width: arch.W4, Dims: make([]Dim, MaxDims+1)}, false},
+		{"too many mods", Descriptor{Width: arch.W4,
+			Dims:   []Dim{{Size: 1}, {Size: 1}},
+			Static: make([]StaticMod, MaxMods+1)}, false},
+		{"mod bound 0", Descriptor{Width: arch.W4,
+			Dims:   []Dim{{Size: 1}, {Size: 1}},
+			Static: []StaticMod{{Bound: 0, Behav: Add}}}, false},
+		{"mod bad behavior", Descriptor{Width: arch.W4,
+			Dims:   []Dim{{Size: 1}, {Size: 1}},
+			Static: []StaticMod{{Bound: 1, Behav: SetAdd}}}, false},
+		{"indirect bad behavior", Descriptor{Width: arch.W4,
+			Dims:     []Dim{{Size: 1}, {Size: 1}},
+			Indirect: []IndirectMod{{Bound: 1, Behav: Add}}}, false},
+		{"indirect virtual ok", Descriptor{Width: arch.W4,
+			Dims:     []Dim{{Size: 1}},
+			Indirect: []IndirectMod{{Bound: 1, Behav: SetAdd}}}, true},
+	}
+	for _, c := range cases {
+		err := c.d.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestBuilderRejectsModOnFirstDim(t *testing.T) {
+	if _, err := New(0, arch.W4, Load).Linear(4, 1).Mod(TargetSize, Add, 1, 4).Build(); err == nil {
+		t.Fatal("builder accepted a static modifier on the innermost dimension")
+	}
+}
+
+func TestPerElementGather(t *testing.T) {
+	// A[B[i][j]] (paper Fig 2.C): indirect modifier bound to dimension 0
+	// fires per element and retargets the element offset; the outer dims
+	// mirror the index matrix's shape so row-end flags line up.
+	const base, nr, nc = 0x9100, 3, 4
+	idx := []uint64{5, 1, 0, 7, 2, 2, 9, 4, 8, 6, 3, 0}
+	d := New(base, arch.W4, Load).
+		Dim(0, nc, 0).
+		Indirect(TargetOffset, SetValue, 11).
+		Dim(0, nr, 0).
+		MustBuild()
+	src := NewSliceOrigin(map[int][]uint64{11: idx})
+	elems := Sequence(d, src)
+	if len(elems) != nr*nc {
+		t.Fatalf("gather produced %d elements, want %d", len(elems), nr*nc)
+	}
+	for i, e := range elems {
+		if want := base + idx[i]*4; e.Addr != want {
+			t.Errorf("elem %d: addr %#x want %#x", i, e.Addr, want)
+		}
+		wantRowEnd := i%nc == nc-1
+		if e.EndsDim(0) != wantRowEnd {
+			t.Errorf("elem %d: EndsDim(0)=%v want %v", i, e.EndsDim(0), wantRowEnd)
+		}
+	}
+	if !elems[len(elems)-1].Last {
+		t.Error("final gather element not marked Last")
+	}
+}
+
+func TestStateBytesRange(t *testing.T) {
+	// Paper §IV-A: 32 B for 1-D patterns up to 400 B for 8-D + 7 modifiers.
+	d1 := New(0, arch.W4, Load).Linear(4, 1).MustBuild()
+	if got := d1.StateBytes(); got != 32 {
+		t.Errorf("1-D state = %d B, want 32", got)
+	}
+	b := New(0, arch.W4, Load)
+	for i := 0; i < MaxDims; i++ {
+		b.Dim(0, 2, 1)
+	}
+	for i := 0; i < MaxMods; i++ {
+		b.Mod(TargetOffset, Add, 1, 0)
+	}
+	d8 := b.MustBuild()
+	if got := d8.StateBytes(); got < 300 || got > 400 {
+		t.Errorf("8-D+7-mod state = %d B, want within (300, 400]", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := New(0, arch.W4, Load).Dim(0, 4, 1).Dim(0, 4, 4).Mod(TargetSize, Add, 1, 4).MustBuild()
+	it := NewIterator(d, nil)
+	for i := 0; i < 3; i++ {
+		it.Next()
+	}
+	c := it.Clone()
+	var a, b []uint64
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		a = append(a, e.Addr)
+	}
+	for {
+		e, ok := c.Next()
+		if !ok {
+			break
+		}
+		b = append(b, e.Addr)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("clone diverged: %v vs %v", a, b)
+	}
+	if it.Emitted() != c.Emitted() {
+		t.Fatalf("emitted counts diverged: %d vs %d", it.Emitted(), c.Emitted())
+	}
+}
+
+// TestQuickAffine2D is a property test: random rectangular 2-D descriptors
+// must match the nested-loop oracle exactly.
+func TestQuickAffine2D(t *testing.T) {
+	f := func(nrs, ncs, s0s, s1s uint8) bool {
+		nr, nc := int64(nrs%16), int64(ncs%16)
+		s0, s1 := int64(s0s%8), int64(s1s%64)
+		d := New(0x10000, arch.W4, Load).Dim(0, nc, s0).Dim(0, nr, s1).MustBuild()
+		got := Addresses(d, nil)
+		want := scale(0x10000, arch.W4, addrsOf(func(emit func(int64)) {
+			for i := int64(0); i < nr; i++ {
+				for j := int64(0); j < nc; j++ {
+					emit(i*s1 + j*s0)
+				}
+			}
+		}))
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAffine3DWithOffsets checks the full affine form with per-dim
+// offsets against equation (1) of the paper.
+func TestQuickAffine3DWithOffsets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := make([]Dim, 1+rng.Intn(3))
+		for i := range dims {
+			dims[i] = Dim{
+				Offset: int64(rng.Intn(5)),
+				Size:   int64(1 + rng.Intn(5)),
+				Stride: int64(rng.Intn(9) - 4),
+			}
+		}
+		dims[0].Offset = int64(rng.Intn(4)) // keep addresses manageable
+		d := &Descriptor{Base: 1 << 20, Width: arch.W8, Dims: dims}
+		if err := d.Validate(); err != nil {
+			return true
+		}
+		got := Addresses(d, nil)
+		var want []uint64
+		idx := make([]int64, len(dims))
+		var walk func(k int)
+		walk = func(k int) {
+			if k < 0 {
+				e := dims[0].Offset + idx[0]*dims[0].Stride
+				for j := 1; j < len(dims); j++ {
+					e += (dims[j].Offset + idx[j]) * dims[j].Stride
+				}
+				want = append(want, uint64(int64(d.Base)+e*8))
+				return
+			}
+			for idx[k] = 0; idx[k] < dims[k].Size; idx[k]++ {
+				walk(k - 1)
+			}
+		}
+		walk(len(dims) - 1)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTriangular checks static size modifiers with random geometry.
+func TestQuickTriangular(t *testing.T) {
+	f := func(rowsS, strideS, dispS uint8) bool {
+		rows := int64(1 + rowsS%12)
+		stride := int64(1 + strideS%20)
+		disp := int64(1 + dispS%3)
+		d := New(0, arch.W4, Load).
+			Dim(0, 0, 1).
+			Dim(0, rows, stride).
+			Mod(TargetSize, Add, disp, rows).
+			MustBuild()
+		got := Addresses(d, nil)
+		want := scale(0, arch.W4, addrsOf(func(emit func(int64)) {
+			size := int64(0)
+			for i := int64(0); i < rows; i++ {
+				size += disp
+				for j := int64(0); j < size; j++ {
+					emit(i*stride + j)
+				}
+			}
+		}))
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIndirect checks indirect gathers with random index vectors.
+func TestQuickIndirect(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		idx := make([]uint64, len(raw))
+		for i, v := range raw {
+			idx[i] = uint64(v)
+		}
+		d := New(0x7000, arch.W4, Load).
+			Dim(0, 1, 0).
+			IndirectOuter(TargetOffset, SetAdd, 9).
+			MustBuild()
+		got := Addresses(d, NewSliceOrigin(map[int][]uint64{9: idx}))
+		if len(got) != len(idx) {
+			return false
+		}
+		for i := range idx {
+			if got[i] != 0x7000+idx[i]*4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFlagsPartitionStream verifies that in any multi-dim descriptor the
+// number of end-of-dim0 flags equals the number of dim-0 runs and exactly one
+// element is Last.
+func TestQuickFlagsPartitionStream(t *testing.T) {
+	f := func(n0s, n1s, n2s uint8) bool {
+		n0, n1, n2 := int64(1+n0s%7), int64(1+n1s%5), int64(1+n2s%4)
+		d := New(0, arch.W4, Load).
+			Dim(0, n0, 1).Dim(0, n1, n0).Dim(0, n2, n0*n1).MustBuild()
+		elems := Sequence(d, nil)
+		if int64(len(elems)) != n0*n1*n2 {
+			return false
+		}
+		var rowEnds, lasts int64
+		for _, e := range elems {
+			if e.EndsDim(0) {
+				rowEnds++
+			}
+			if e.Last {
+				lasts++
+			}
+		}
+		return rowEnds == n1*n2 && lasts == 1 && elems[len(elems)-1].Last
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorString(t *testing.T) {
+	d := New(0x1000, arch.W4, Store).
+		Dim(0, 8, 1).
+		Dim(0, 4, 8).
+		Mod(TargetSize, Add, 1, 4).
+		MustBuild()
+	s := d.String()
+	for _, want := range []string{"store", "D0{0,8,1}", "D1{0,4,8}", "M@1{size,add,1,4}"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

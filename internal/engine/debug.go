@@ -1,0 +1,19 @@
+package engine
+
+import "fmt"
+
+// DebugReqTrace, when set, observes each new line request (u, base, line,
+// chunkOpen, pendingAddr).
+var DebugReqTrace func(u int, base, line uint64, open bool, pend uint64)
+
+// DumpStreams prints per-stream state (debugging helper).
+func (e *Engine) DumpStreams() {
+	for _, s := range e.entries {
+		if s == nil || s.released || s.desc == nil && !s.configuring {
+			continue
+		}
+		fmt.Printf("slot=%d u=%d cfg=%v done=%v total=%d(%v) commit=%d spec=%d gen=%d sawEnd=%v pendSt=%d kind=%v\n",
+			s.slot, s.u, s.configuring, s.configDone, s.totalChunks, s.totalKnown,
+			s.commitPos, s.specPos, s.genPos, s.coreSawEnd, s.pendingStoreLines, s.kind)
+	}
+}

@@ -1,0 +1,652 @@
+// Package engine implements the UVE Streaming Engine (paper §IV-B): the
+// Stream Configuration Reorder Buffer (SCROB), the Stream Table with stream
+// renaming, the Stream Scheduler with its lowest-occupancy policy, the
+// Stream Processing Modules (address generation with cache-line coalescing
+// and a one-cycle dimension-switch penalty), per-stream Load/Store FIFOs
+// with speculative and committed pointers (so miss-speculatively consumed
+// data is re-used, never re-loaded — paper A3), the Memory Request Queue and
+// arbiter with TLB translation, and store draining at commit.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Config sizes the Streaming Engine (paper Table I and §VI-C).
+type Config struct {
+	LogStreams  int // architectural stream registers (32)
+	PhysStreams int // physical stream-table entries (renaming headroom)
+	FIFODepth   int // Load/Store FIFO entries (vector chunks) per stream
+	NumModules  int // Stream Processing Modules
+	MRQSize     int // Memory Request Queue entries
+	SCROBSize   int // stream configuration reorder buffer entries
+	VecBytes    int // vector register width in bytes
+	// LoadPorts is how many stream line requests the arbiter issues per
+	// cycle. Stream requests merge with the core's (idle, in streamed
+	// loops) load ports before the cache (paper §IV-A "Cache Access"), so
+	// this defaults to the number of Stream Processing Modules.
+	LoadPorts int
+	// ForceLevel, when non-nil, overrides every stream's configured cache
+	// level (the Fig 11 sensitivity sweep).
+	ForceLevel *arch.CacheLevel
+}
+
+// DefaultConfig matches Table I.
+func DefaultConfig() Config {
+	return Config{
+		LogStreams:  32,
+		PhysStreams: 48,
+		FIFODepth:   8,
+		NumModules:  2,
+		MRQSize:     16,
+		SCROBSize:   16,
+		VecBytes:    arch.MaxVecBytes,
+		LoadPorts:   2,
+	}
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	ConfigsCompleted  uint64
+	ChunksLoaded      uint64
+	ChunksStored      uint64
+	ElementsLoaded    uint64
+	ElementsStored    uint64
+	LineRequests      uint64
+	CoalescedReuses   uint64
+	StoreLines        uint64
+	FIFOFullCycles    uint64
+	OriginStallCycles uint64
+	MRQFullCycles     uint64
+	DimSwitchStalls   uint64
+	PageFaults        uint64
+	StreamsReleased   uint64
+	ConfigSyncStalls  uint64
+}
+
+// ChunkView is what the core receives when a stream register is consumed at
+// rename (loads) or reserved (stores).
+type ChunkView struct {
+	Seq       int64
+	Data      isa.VecVal
+	N         int
+	End       uint16
+	Last      bool
+	Fault     bool
+	FaultAddr uint64
+	// Consumed is false for synthetic end-of-stream reads (wrong-path reads
+	// past the end): they must not be un-consumed or committed.
+	Consumed bool
+	// PrevEnd/PrevLast snapshot the stream's rename-time flags before this
+	// consume, for ROB-walk restoration.
+	PrevEnd  uint16
+	PrevLast bool
+}
+
+// EndsDim0 reports whether the chunk ends an innermost-dimension sweep.
+func (v ChunkView) EndsDim0() bool { return v.End&1 != 0 }
+
+// EndsDim reports whether the chunk completes dimension k.
+func (v ChunkView) EndsDim(k int) bool { return v.End&(1<<uint(k)) != 0 }
+
+type chunk struct {
+	seq        int64
+	startElem  int64
+	addrs      []uint64
+	data       []uint64
+	n          int
+	end        uint16
+	last       bool
+	fault      bool
+	faultAddr  uint64
+	closed     bool // all elements placed (stores: ready to reserve)
+	pendLines  int
+	written    bool
+	stamp      int64   // reservation order stamp (store chunks)
+	originNeed []int64 // per-origin cumulative element debt at close
+}
+
+func (c *chunk) reset(seq, startElem int64) {
+	*c = chunk{seq: seq, startElem: startElem, addrs: c.addrs[:0], data: c.data[:0], originNeed: c.originNeed[:0]}
+}
+
+// loadReady reports whether a load chunk's data can be handed to the core.
+func (c *chunk) loadReady() bool { return c.closed && c.pendLines == 0 }
+
+type lineFetch struct {
+	line    uint64
+	issued  bool
+	slot    int
+	epoch   uint64
+	level   arch.CacheLevel
+	pc      int
+	waiters []laneRef
+}
+
+type laneRef struct {
+	seq  int64
+	lane int
+	addr uint64
+}
+
+type stream struct {
+	slot  int
+	epoch uint64
+	u     int
+	desc  *descriptor.Descriptor
+	kind  descriptor.Kind
+	w     arch.ElemWidth
+	lanes int
+	level arch.CacheLevel
+
+	it     *descriptor.Iterator
+	itPend descriptor.Elem
+	itHas  bool
+	itDone bool
+
+	fifo           []chunk
+	genPos         int64 // chunks whose generation has started
+	genStarted     bool  // building chunk open at genPos
+	specPos        int64 // chunks consumed/reserved speculatively by the core
+	commitPos      int64 // chunks committed (slots freed)
+	totalChunks    int64
+	totalKnown     bool
+	committedElems int64
+
+	lastEnd    uint16 // flags of the most recently consumed chunk
+	lastLast   bool
+	commitEnd  uint16 // flags at the commit point (exception recovery)
+	commitLast bool
+
+	lastLine      uint64
+	lastLineState int8 // 0 none, 1 outstanding, 2 done
+	lastFetch     *lineFetch
+	lastFault     bool
+	dimSwitch     bool
+
+	// Indirection: functional origin values come from shadow iterators over
+	// the origin streams' descriptors; timing is paced by origin FIFO
+	// delivery.
+	shadow     *shadowSource
+	originRefs []*stream // origin stream entries (timing pacing)
+	originUs   []int     // logical registers of origin streams
+	originCum  []int64   // cumulative origin elements consumed functionally
+
+	// Origin-side bookkeeping for streams consumed by the engine itself.
+	engineConsumed bool
+	settledElems   int64
+
+	configuring       bool // SAT-mapped at rename, descriptor not yet final
+	suspended         bool
+	released          bool
+	configDone        bool // End part committed
+	coreSawEnd        bool // a consume of the Last chunk has committed
+	pendingStoreLines int
+	minAddr, maxAddr  uint64 // conservative footprint for store/load overlap checks
+	unbounded         bool   // indirect patterns: footprint unknown
+}
+
+func (s *stream) occupancy() int64 { return s.genPos - s.commitPos }
+
+func (s *stream) originIdx(u int) int {
+	for i, id := range s.originUs {
+		if id == u {
+			return i
+		}
+	}
+	return 0
+}
+
+// shadowSource adapts origin streams' descriptors into a
+// descriptor.OriginSource with eager functional memory reads; every read is
+// recorded as timing debt against the origin's FIFO delivery.
+type shadowSource struct {
+	mem   *mem.Memory
+	its   map[int]*descriptor.Iterator
+	ws    map[int]arch.ElemWidth
+	owner *stream
+}
+
+func (ss *shadowSource) NextOrigin(u int) (uint64, bool) {
+	it, ok := ss.its[u]
+	if !ok {
+		return 0, false
+	}
+	e, ok := it.Next()
+	if !ok {
+		return 0, false
+	}
+	ss.owner.originCum[ss.owner.originIdx(u)]++
+	return ss.mem.Read(e.Addr, ss.ws[u]), true
+}
+
+// ConfigToken identifies one configuration µOp in the SCROB for later
+// commit or squash.
+type ConfigToken = scrobEntry
+
+type scrobEntry struct {
+	part      *isa.StreamCfgPart
+	valid     bool
+	processed bool
+	committed bool
+	slot      int // stream-table entry the part belongs to
+	// Undo state recorded at rename (Start parts) or processing (others).
+	activatedSlot   int // slot allocated by a Start part, -1 otherwise
+	prevSAT         int
+	restoreBuilding []*isa.StreamCfgPart
+}
+
+type flagPair struct {
+	end  uint16
+	last bool
+}
+
+type storeLine struct {
+	line  uint64
+	level arch.CacheLevel
+	slot  int
+	epoch uint64
+}
+
+var debugSCROB = false
+
+// DebugConfigure, when set, observes every finalized stream configuration.
+var DebugConfigure func(u int, desc string)
+
+// Engine is the streaming engine instance attached to one core.
+type Engine struct {
+	cfg  Config
+	hier *mem.Hierarchy
+
+	sat       []int // logical stream register → slot, -1 when unmapped
+	entries   []*stream
+	freeSlots []int
+
+	scrob    []*scrobEntry
+	building map[int][]*isa.StreamCfgPart // slot → parts accumulated in order
+
+	vecBytes     int // effective vector length (ss.setvl), affects new configs
+	mrq          []*lineFetch
+	storeQ       []storeLine
+	rr           int        // scheduler round-robin cursor
+	reserveStamp int64      // monotonically counts store reservations
+	lastFlags    []flagPair // final flags of released streams, by logical reg
+
+	// SyncStoresPending is installed by the core: it reports whether older
+	// scalar stores are still pending, delaying input-stream activation
+	// (paper §III-A3 "Streaming memory model").
+	SyncStoresPending func() bool
+
+	Stats Stats
+}
+
+// New builds a streaming engine over the given memory hierarchy.
+func New(cfg Config, h *mem.Hierarchy) *Engine {
+	e := &Engine{
+		cfg:       cfg,
+		hier:      h,
+		sat:       make([]int, cfg.LogStreams),
+		entries:   make([]*stream, cfg.PhysStreams),
+		building:  make(map[int][]*isa.StreamCfgPart),
+		lastFlags: make([]flagPair, cfg.LogStreams),
+	}
+	for i := range e.sat {
+		e.sat[i] = -1
+	}
+	for i := cfg.PhysStreams - 1; i >= 0; i-- {
+		e.freeSlots = append(e.freeSlots, i)
+	}
+	e.vecBytes = cfg.VecBytes
+	return e
+}
+
+// SetVL narrows (or restores) the effective vector length used to size the
+// chunks of subsequently configured streams (ss.setvl).
+func (e *Engine) SetVL(bytes int) {
+	if bytes <= 0 || bytes > e.cfg.VecBytes {
+		bytes = e.cfg.VecBytes
+	}
+	e.vecBytes = bytes
+}
+
+// StreamFor returns the physical stream slot mapped to logical register u
+// and visible to the pipeline (configured and not suspended).
+func (e *Engine) StreamFor(u int) (int, bool) {
+	if u < 0 || u >= len(e.sat) || e.sat[u] < 0 {
+		return 0, false
+	}
+	slot := e.sat[u]
+	if s := e.entries[slot]; s != nil && !s.suspended && !s.released {
+		return slot, true
+	}
+	return 0, false
+}
+
+// Configuring reports whether the slot is still awaiting its descriptor.
+func (e *Engine) Configuring(slot int) bool {
+	s := e.entries[slot]
+	return s != nil && s.configuring
+}
+
+// IsLoad reports whether the slot holds an input stream.
+func (e *Engine) IsLoad(slot int) bool {
+	s := e.entries[slot]
+	return s != nil && s.kind == descriptor.Load
+}
+
+// --- SCROB: speculative stream configuration (paper §IV-A) ---
+
+// RenameConfigPart registers one configuration µOp at rename. It returns a
+// token for later commit/squash, or ok=false when the SCROB is full or no
+// stream-table entry is free (the rename stage must stall). A Start part
+// allocates the physical stream entry and updates the SAT immediately —
+// younger instructions already see the register as stream-associated and
+// stall on CanConsume until configuration completes, exactly the stream
+// renaming the paper describes (§IV-A "Stream Renaming").
+func (e *Engine) RenameConfigPart(part *isa.StreamCfgPart) (*ConfigToken, bool) {
+	if len(e.scrob) >= e.cfg.SCROBSize {
+		return nil, false
+	}
+	ent := &scrobEntry{part: part, valid: true, activatedSlot: -1, slot: -1}
+	if part.Start {
+		if len(e.freeSlots) == 0 {
+			return nil, false
+		}
+		slot := e.freeSlots[len(e.freeSlots)-1]
+		e.freeSlots = e.freeSlots[:len(e.freeSlots)-1]
+		var epoch uint64
+		if old := e.entries[slot]; old != nil {
+			epoch = old.epoch + 1
+		}
+		e.entries[slot] = &stream{
+			slot: slot, epoch: epoch, u: part.Stream,
+			kind: part.Kind, w: part.Width, level: part.Level,
+			configuring: true,
+		}
+		ent.activatedSlot = slot
+		ent.prevSAT = e.sat[part.Stream]
+		e.sat[part.Stream] = slot
+	}
+	ent.slot = e.sat[part.Stream]
+	e.scrob = append(e.scrob, ent)
+	if debugSCROB {
+		fmt.Printf("scrob: rename part u%d slot=%d start=%v end=%v (queue %d)\n", part.Stream, ent.slot, part.Start, part.End, len(e.scrob))
+	}
+	return ent, true
+}
+
+// SquashConfigPart undoes one configuration µOp during a ROB walk. The core
+// squashes youngest-first, so undo states compose.
+func (e *Engine) SquashConfigPart(tok *ConfigToken) {
+	if tok == nil || !tok.valid {
+		return
+	}
+	tok.valid = false
+	if debugSCROB {
+		fmt.Printf("scrob: squash part u%d start=%v end=%v processed=%v\n", tok.part.Stream, tok.part.Start, tok.part.End, tok.processed)
+	}
+	if !tok.processed {
+		for i := len(e.scrob) - 1; i >= 0; i-- {
+			if e.scrob[i] == tok {
+				e.scrob = append(e.scrob[:i], e.scrob[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	u := tok.part.Stream
+	if tok.part.Start && tok.activatedSlot >= 0 {
+		// Undo the rename-side allocation: release the slot and restore the
+		// previous mapping.
+		delete(e.building, tok.activatedSlot)
+		e.releaseSlot(tok.activatedSlot)
+		e.sat[u] = tok.prevSAT
+		e.dropScrob(tok)
+		return
+	}
+	if tok.processed {
+		if tok.part.End {
+			// The stream had been fully configured and possibly started
+			// generating: put it back into configuring state; the data it
+			// fetched is dropped.
+			e.deconfigure(tok.slot, tok.restoreBuilding)
+		} else {
+			parts := e.building[tok.slot]
+			if len(parts) > 0 && parts[len(parts)-1] == tok.part {
+				e.building[tok.slot] = parts[:len(parts)-1]
+			}
+		}
+	}
+	e.dropScrob(tok)
+}
+
+// deconfigure reverts a stream to its configuring state after the squash of
+// its End part.
+func (e *Engine) deconfigure(slot int, building []*isa.StreamCfgPart) {
+	s := e.entries[slot]
+	if s == nil || s.released {
+		return
+	}
+	e.entries[slot] = &stream{
+		slot: slot, epoch: s.epoch + 1, u: s.u,
+		kind: s.kind, w: s.w, level: s.level,
+		configuring: true,
+	}
+	kept := e.mrq[:0]
+	for _, f := range e.mrq {
+		if f.slot != slot || f.issued {
+			kept = append(kept, f)
+		}
+	}
+	e.mrq = kept
+	e.building[slot] = building
+}
+
+func (e *Engine) dropScrob(tok *scrobEntry) {
+	if !tok.part.Start && tok.part.End {
+		_ = tok // keep symmetric structure; removal below covers all cases
+	}
+	for i := len(e.scrob) - 1; i >= 0; i-- {
+		if e.scrob[i] == tok {
+			e.scrob = append(e.scrob[:i], e.scrob[i+1:]...)
+			return
+		}
+	}
+}
+
+// ConfigProcessed reports whether the SCROB has retired the part; the core
+// holds the configuration µOp's completion (and therefore its commit) until
+// then, which is what serializes configuration at one part per cycle.
+func (e *Engine) ConfigProcessed(tok *ConfigToken) bool {
+	return tok != nil && tok.processed
+}
+
+// CommitConfigPart marks one configuration µOp committed.
+func (e *Engine) CommitConfigPart(tok *ConfigToken) {
+	if tok == nil {
+		return
+	}
+	if !tok.processed {
+		panic("engine: committing unprocessed config part")
+	}
+	tok.committed = true
+	if tok.part.End && tok.slot >= 0 {
+		if s := e.entries[tok.slot]; s != nil && !s.released {
+			s.configDone = true
+		}
+	}
+	for len(e.scrob) > 0 && e.scrob[0].committed {
+		e.scrob = e.scrob[1:]
+	}
+}
+
+// processSCROB retires one configuration part per cycle, in order, and
+// finalizes a stream when its End part is processed — speculatively, before
+// commit (paper §IV-A "Stream Configuration").
+func (e *Engine) processSCROB() {
+	for _, ent := range e.scrob {
+		if !ent.valid {
+			continue
+		}
+		if ent.processed {
+			continue
+		}
+		part := ent.part
+		slot := ent.slot
+		if part.End {
+			parts := append(append([]*isa.StreamCfgPart{}, e.building[slot]...), part)
+			if parts[0].Start && parts[0].Kind == descriptor.Load {
+				// Input streams synchronize with older pending scalar stores
+				// and with still-active output streams before activating
+				// (paper §III-A3: the processor orders input streams after
+				// preceding writes).
+				if (e.SyncStoresPending != nil && e.SyncStoresPending()) || e.storeStreamsBusy() {
+					e.Stats.ConfigSyncStalls++
+					return
+				}
+			}
+			ent.processed = true
+			ent.restoreBuilding = e.building[slot]
+			delete(e.building, slot)
+			d, err := isa.RebuildDescriptor(parts)
+			if err != nil {
+				panic(fmt.Sprintf("engine: bad stream config for u%d: %v", part.Stream, err))
+			}
+			e.configure(slot, d)
+			return
+		}
+		ent.processed = true
+		e.building[slot] = append(e.building[slot], part)
+		if debugSCROB {
+			fmt.Printf("scrob: part u%d slot=%d start=%v end=%v building=%d\n", part.Stream, slot, part.Start, part.End, len(e.building[slot]))
+		}
+		return // one part per cycle
+	}
+}
+
+// configure finalizes the descriptor on a rename-allocated stream entry and
+// starts generation.
+func (e *Engine) configure(slot int, d *descriptor.Descriptor) {
+	if e.cfg.ForceLevel != nil {
+		d = d.Clone()
+		d.Level = *e.cfg.ForceLevel
+	}
+	s := e.entries[slot]
+	if s == nil || s.released || !s.configuring {
+		panic(fmt.Sprintf("engine: configuring slot %d in invalid state", slot))
+	}
+	s.configuring = false
+	s.desc = d
+	s.kind = d.Kind
+	s.w = d.Width
+	s.lanes = arch.LanesFor(e.vecBytes, d.Width)
+	s.level = d.Level
+	s.fifo = make([]chunk, e.cfg.FIFODepth)
+	s.computeFootprint()
+	if d.HasIndirect() {
+		s.shadow = &shadowSource{mem: e.hier.Mem, its: map[int]*descriptor.Iterator{}, ws: map[int]arch.ElemWidth{}, owner: s}
+		for _, ou := range d.Origins() {
+			oslot, ok := e.StreamFor(ou)
+			if !ok || e.entries[oslot].configuring {
+				panic(fmt.Sprintf("engine: stream u%d has unconfigured origin u%d", s.u, ou))
+			}
+			os := e.entries[oslot]
+			os.engineConsumed = true
+			s.originRefs = append(s.originRefs, os)
+			s.originUs = append(s.originUs, ou)
+			s.originCum = append(s.originCum, 0)
+			s.shadow.its[ou] = descriptor.NewIterator(os.desc, nil)
+			s.shadow.ws[ou] = os.w
+		}
+	}
+	s.it = descriptor.NewIterator(d, s.shadow)
+	e.Stats.ConfigsCompleted++
+	if DebugConfigure != nil {
+		DebugConfigure(s.u, d.String())
+	}
+	if debugSCROB {
+		fmt.Printf("scrob: configure u%d slot=%d desc=%s\n", s.u, slot, d)
+	}
+}
+
+// computeFootprint derives a conservative [min,max] byte range the stream
+// can touch, used for scalar-load vs output-stream overlap checks. Indirect
+// patterns are unbounded.
+func (s *stream) computeFootprint() {
+	if s.desc.HasIndirect() {
+		s.unbounded = true
+		return
+	}
+	lo, hi := int64(0), int64(0)
+	for k, d := range s.desc.Dims {
+		size := d.Size
+		// Static modifiers can grow or shift a dimension; widen the bound
+		// by |disp|·count on the affected parameter.
+		for _, m := range s.desc.Static {
+			if m.Bound-1 != k {
+				continue
+			}
+			g := m.Disp
+			if g < 0 {
+				g = -g
+			}
+			c := m.Count
+			if c <= 0 {
+				c = 1 << 20
+			}
+			switch m.Target {
+			case descriptor.TargetSize:
+				size += g * c
+			case descriptor.TargetOffset, descriptor.TargetStride:
+				lo -= g * c
+				hi += g * c
+			}
+		}
+		if size <= 0 {
+			continue
+		}
+		// Element-index contribution range of dimension k (paper eq. (1)):
+		// dim 0 contributes O0 + i·S0; dims k≥1 contribute (Ok+i)·Sk.
+		var a, b int64
+		if k == 0 {
+			a, b = d.Offset, d.Offset+(size-1)*d.Stride
+		} else {
+			a, b = d.Offset*d.Stride, (d.Offset+size-1)*d.Stride
+		}
+		if a > b {
+			a, b = b, a
+		}
+		lo += a
+		hi += b
+	}
+	w := int64(s.w)
+	s.minAddr = uint64(int64(s.desc.Base) + lo*w)
+	s.maxAddr = uint64(int64(s.desc.Base) + hi*w + w - 1)
+}
+
+func (e *Engine) releaseSlot(slot int) {
+	s := e.entries[slot]
+	if s == nil || s.released {
+		return
+	}
+	s.released = true
+	s.epoch++ // invalidate in-flight callbacks
+	// Remove the slot's pending MRQ entries.
+	kept := e.mrq[:0]
+	for _, f := range e.mrq {
+		if f.slot != slot || f.issued {
+			kept = append(kept, f)
+		}
+	}
+	e.mrq = kept
+	e.freeSlots = append(e.freeSlots, slot)
+	e.Stats.StreamsReleased++
+}
+
+// DebugSCROB toggles configuration tracing (tests only).
+func DebugSCROB(on bool) { debugSCROB = on }

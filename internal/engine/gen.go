@@ -1,0 +1,800 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// --- iterator lookahead ---
+
+func (s *stream) peek() (descriptor.Elem, bool) {
+	if !s.itHas && !s.itDone {
+		e, ok := s.it.Next()
+		if ok {
+			s.itPend = e
+			s.itHas = true
+		} else {
+			s.itDone = true
+		}
+	}
+	return s.itPend, s.itHas
+}
+
+func (s *stream) pop() descriptor.Elem {
+	e := s.itPend
+	s.itHas = false
+	return e
+}
+
+// --- generation (Stream Processing Modules, paper Fig 7.B) ---
+
+// wantsGen reports whether the stream has address-generation work.
+func (s *stream) wantsGen() bool {
+	if s.released || s.suspended {
+		return false
+	}
+	if s.itDone && !s.genStarted && !s.itHas {
+		return false
+	}
+	return true
+}
+
+// genStep advances one stream by one SPM step: at most one new cache-line
+// request, elements appended to the building chunk while they share that
+// line, a one-cycle stall on dimension switches.
+func (e *Engine) genStep(s *stream, now int64) {
+	if s.dimSwitch {
+		s.dimSwitch = false
+		e.Stats.DimSwitchStalls++
+		return
+	}
+	if s.genPos-s.commitPos >= int64(len(s.fifo)) {
+		e.Stats.FIFOFullCycles++
+		return
+	}
+	c := &s.fifo[s.genPos%int64(len(s.fifo))]
+	if !s.genStarted {
+		if _, ok := s.peek(); !ok {
+			s.finishGen()
+			return
+		}
+		start := s.elemsGenerated()
+		c.reset(s.genPos, start)
+		s.genStarted = true
+	}
+	var stepLine uint64
+	haveLine := false
+	for {
+		el, ok := s.peek()
+		if !ok {
+			// Only reachable for degenerate empty tails; close what we have.
+			e.closeChunk(s, c, descriptor.Elem{End: ^uint16(0), Last: true})
+			return
+		}
+		line := arch.LineOf(el.Addr)
+		if s.kind == descriptor.Load {
+			if !haveLine {
+				if !e.ensureLine(s, line, now) {
+					return // MRQ full: retry next cycle
+				}
+				stepLine = line
+				haveLine = true
+			} else if line != stepLine {
+				return // next line next cycle; chunk stays open
+			}
+		}
+		s.pop()
+		e.placeElem(s, c, el)
+		if c.n >= s.lanes || el.EndsDim(0) {
+			e.closeChunk(s, c, el)
+			if el.End != 0 && !el.Last {
+				s.dimSwitch = true // switching descriptor dimensions costs +1 cycle
+			}
+			return
+		}
+	}
+}
+
+// elemsGenerated counts elements placed into closed chunks so far.
+func (s *stream) elemsGenerated() int64 {
+	if s.genPos == 0 {
+		return 0
+	}
+	prev := &s.fifo[(s.genPos-1)%int64(len(s.fifo))]
+	return prev.startElem + int64(prev.n)
+}
+
+func (s *stream) finishGen() {
+	if !s.totalKnown {
+		s.totalChunks = s.genPos
+		s.totalKnown = true
+	}
+}
+
+// ensureLine guarantees a fetch exists (or completed) for the line; it
+// returns false when the MRQ has no room for a new request.
+func (e *Engine) ensureLine(s *stream, line uint64, now int64) bool {
+	if s.lastLineState != 0 && s.lastLine == line {
+		e.Stats.CoalescedReuses++
+		return true
+	}
+	if len(e.mrq) >= e.cfg.MRQSize {
+		e.Stats.MRQFullCycles++
+		return false
+	}
+	f := &lineFetch{line: line, slot: s.slot, epoch: s.epoch, level: s.level, pc: -(1000 + s.slot)}
+	// Translation happens at the arbiter (paper Fig 7.A); a page fault
+	// flags the affected elements instead of issuing a request.
+	if _, fault := e.hier.TLB.Translate(line); fault {
+		e.Stats.PageFaults++
+		s.lastLine = line
+		s.lastLineState = 2 // "complete", with fault
+		s.lastFault = true
+		return true
+	}
+	s.lastFault = false
+	e.mrq = append(e.mrq, f)
+	e.Stats.LineRequests++
+	if DebugReqTrace != nil {
+		DebugReqTrace(s.u, s.desc.Base, line, s.genStarted, uint64(s.genPos))
+	}
+	s.lastLine = line
+	s.lastLineState = 1
+	s.lastFetch = f
+	return true
+}
+
+// placeElem appends one element to the building chunk, wiring its data
+// availability to the pending line fetch when needed.
+func (e *Engine) placeElem(s *stream, c *chunk, el descriptor.Elem) {
+	lane := c.n
+	c.addrs = append(c.addrs, el.Addr)
+	c.data = append(c.data, 0)
+	c.n++
+	if s.kind != descriptor.Load {
+		return
+	}
+	switch {
+	case s.lastFault:
+		c.fault = true
+		c.faultAddr = el.Addr
+	case s.lastLineState == 2:
+		c.data[lane] = e.hier.Mem.Read(el.Addr, s.w)
+	default:
+		s.lastFetch.waiters = append(s.lastFetch.waiters, laneRef{seq: c.seq, lane: lane, addr: el.Addr})
+		c.pendLines++
+	}
+}
+
+func (e *Engine) closeChunk(s *stream, c *chunk, el descriptor.Elem) {
+	c.end = el.End
+	c.last = el.Last
+	c.closed = true
+	c.originNeed = append(c.originNeed[:0], s.originCum...)
+	s.genStarted = false
+	s.genPos++
+	if el.Last {
+		s.totalChunks = s.genPos
+		s.totalKnown = true
+	}
+	if s.kind == descriptor.Load {
+		e.Stats.ChunksLoaded++
+		e.Stats.ElementsLoaded += uint64(c.n)
+	} else {
+		e.Stats.ChunksStored++
+		// Store addresses are translated when generated; faults surface
+		// when the chunk is reserved/committed.
+		seen := map[uint64]bool{}
+		for _, a := range c.addrs {
+			l := arch.LineOf(a)
+			if seen[l] {
+				continue
+			}
+			seen[l] = true
+			if _, fault := e.hier.TLB.Translate(l); fault {
+				e.Stats.PageFaults++
+				c.fault = true
+				c.faultAddr = a
+			}
+		}
+		// Settle origin debt for the origins this store stream gathers from.
+	}
+	s.settleOrigins()
+}
+
+// settleOrigins releases origin FIFO elements consumed by this stream's
+// generation up to the last closed chunk.
+func (s *stream) settleOrigins() {
+	for i, os := range s.originRefs {
+		if s.originCum[i] > os.settledElems {
+			os.settledElems = s.originCum[i]
+		}
+	}
+}
+
+// delivered returns how many leading elements of the stream have timing
+// data available (committed plus the ready FIFO prefix).
+func (s *stream) delivered() int64 {
+	n := s.committedElems
+	for seq := s.commitPos; seq < s.genPos; seq++ {
+		c := &s.fifo[seq%int64(len(s.fifo))]
+		if !c.loadReady() {
+			break
+		}
+		n += int64(c.n)
+	}
+	return n
+}
+
+// originsDelivered reports whether all origin values the chunk depends on
+// have arrived in the origin streams' FIFOs (timing pacing of indirection).
+func (e *Engine) originsDelivered(s *stream, c *chunk) bool {
+	for i, os := range s.originRefs {
+		if i >= len(c.originNeed) {
+			break
+		}
+		if os.released {
+			continue // a released origin was fully delivered by definition
+		}
+		if os.delivered() < c.originNeed[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- core-facing speculative consume/produce (paper §IV-A) ---
+
+var syntheticEnd = ChunkView{N: 0, End: ^uint16(0), Last: true, Consumed: false}
+
+// CanConsume reports whether ConsumeChunk would succeed without consuming.
+func (e *Engine) CanConsume(slot int) bool {
+	s := e.entries[slot]
+	if s == nil || s.released {
+		return true
+	}
+	if s.totalKnown && s.specPos >= s.totalChunks {
+		return true
+	}
+	if s.specPos >= s.genPos {
+		return false
+	}
+	c := &s.fifo[s.specPos%int64(len(s.fifo))]
+	return c.loadReady() && e.originsDelivered(s, c)
+}
+
+// CanReserve reports whether ReserveStore would succeed without reserving.
+func (e *Engine) CanReserve(slot int) bool {
+	s := e.entries[slot]
+	if s == nil || s.released {
+		return true
+	}
+	if s.totalKnown && s.specPos >= s.totalChunks {
+		return true
+	}
+	if s.specPos >= s.genPos {
+		return false
+	}
+	c := &s.fifo[s.specPos%int64(len(s.fifo))]
+	return c.closed && e.originsDelivered(s, c)
+}
+
+// ConsumeChunk hands the next load chunk to the rename stage. ok=false
+// means the data has not arrived (rename must stall). Reads past the end of
+// the stream return a synthetic empty chunk with Consumed=false.
+func (e *Engine) ConsumeChunk(slot int) (ChunkView, bool) {
+	s := e.entries[slot]
+	if s == nil || s.released {
+		return syntheticEnd, true
+	}
+	if s.totalKnown && s.specPos >= s.totalChunks {
+		v := syntheticEnd
+		v.PrevEnd, v.PrevLast = s.lastEnd, s.lastLast
+		return v, true
+	}
+	if s.specPos >= s.genPos {
+		return ChunkView{}, false
+	}
+	c := &s.fifo[s.specPos%int64(len(s.fifo))]
+	if !c.loadReady() || !e.originsDelivered(s, c) {
+		return ChunkView{}, false
+	}
+	v := ChunkView{
+		Seq:       c.seq,
+		Data:      isa.VecFrom(s.w, c.data[:c.n]),
+		N:         c.n,
+		End:       c.end,
+		Last:      c.last,
+		Fault:     c.fault,
+		FaultAddr: c.faultAddr,
+		Consumed:  true,
+		PrevEnd:   s.lastEnd,
+		PrevLast:  s.lastLast,
+	}
+	s.lastEnd, s.lastLast = c.end, c.last
+	s.specPos++
+	return v, true
+}
+
+// ReserveStore reserves the next addressed store chunk at rename. ok=false
+// means addresses are not generated yet (rename must stall).
+func (e *Engine) ReserveStore(slot int) (ChunkView, bool) {
+	s := e.entries[slot]
+	if s == nil || s.released {
+		return syntheticEnd, true
+	}
+	if s.totalKnown && s.specPos >= s.totalChunks {
+		v := syntheticEnd
+		v.PrevEnd, v.PrevLast = s.lastEnd, s.lastLast
+		return v, true
+	}
+	if s.specPos >= s.genPos {
+		return ChunkView{}, false
+	}
+	c := &s.fifo[s.specPos%int64(len(s.fifo))]
+	if !c.closed || !e.originsDelivered(s, c) {
+		return ChunkView{}, false
+	}
+	v := ChunkView{
+		Seq: c.seq, N: c.n, End: c.end, Last: c.last,
+		Fault: c.fault, FaultAddr: c.faultAddr,
+		Consumed: true, PrevEnd: s.lastEnd, PrevLast: s.lastLast,
+	}
+	e.reserveStamp++
+	c.stamp = e.reserveStamp
+	s.lastEnd, s.lastLast = c.end, c.last
+	s.specPos++
+	return v, true
+}
+
+// ReserveStamp returns the current reservation counter; a load renamed now
+// is ordered after every reservation with a stamp ≤ this value.
+func (e *Engine) ReserveStamp() int64 { return e.reserveStamp }
+
+// Unconsume rewinds one speculative consume/reserve during a ROB walk; the
+// buffered data stays valid and will be re-used without a new memory load
+// (paper A3).
+func (e *Engine) Unconsume(slot int, prevEnd uint16, prevLast bool) {
+	s := e.entries[slot]
+	if s == nil || s.released {
+		return
+	}
+	if s.specPos > s.commitPos {
+		s.specPos--
+	}
+	s.lastEnd, s.lastLast = prevEnd, prevLast
+}
+
+// WriteStoreData delivers computed lanes for a reserved store chunk (at the
+// producing instruction's writeback).
+func (e *Engine) WriteStoreData(slot int, seq int64, v isa.VecVal) {
+	s := e.entries[slot]
+	if s == nil || s.released || seq < s.commitPos || seq >= s.specPos {
+		return
+	}
+	c := &s.fifo[seq%int64(len(s.fifo))]
+	if c.seq != seq {
+		return
+	}
+	n := c.n
+	if v.N < n {
+		n = v.N
+	}
+	for i := 0; i < n; i++ {
+		c.data[i] = isa.Truncate(s.w, v.L[i])
+	}
+	c.written = true
+}
+
+// CommitConsume retires the oldest speculative consume, freeing its FIFO
+// slot for further run-ahead.
+func (e *Engine) CommitConsume(slot int, seq int64) {
+	s := e.entries[slot]
+	if s == nil || s.released {
+		return
+	}
+	c := &s.fifo[s.commitPos%int64(len(s.fifo))]
+	if c.seq != seq || s.commitPos >= s.specPos {
+		panic(fmt.Sprintf("engine: commit order violation on u%d (seq %d, commit %d, spec %d)", s.u, seq, s.commitPos, s.specPos))
+	}
+	s.committedElems += int64(c.n)
+	s.commitEnd, s.commitLast = c.end, c.last
+	if c.last {
+		s.coreSawEnd = true
+	}
+	s.commitPos++
+}
+
+// CommitStore retires the oldest reserved store chunk: lanes are written to
+// memory functionally and the covered lines are queued for draining through
+// the engine's store port.
+func (e *Engine) CommitStore(slot int, seq int64, now int64) {
+	s := e.entries[slot]
+	if s == nil || s.released {
+		return
+	}
+	c := &s.fifo[s.commitPos%int64(len(s.fifo))]
+	if c.seq != seq || s.commitPos >= s.specPos {
+		panic(fmt.Sprintf("engine: store commit order violation on u%d (seq %d)", s.u, seq))
+	}
+	for i := 0; i < c.n; i++ {
+		e.hier.Mem.Write(c.addrs[i], s.w, c.data[i])
+	}
+	seen := map[uint64]bool{}
+	for _, a := range c.addrs {
+		l := arch.LineOf(a)
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		e.storeQ = append(e.storeQ, storeLine{line: l, level: s.level, slot: s.slot, epoch: s.epoch})
+		s.pendingStoreLines++
+		e.Stats.StoreLines++
+	}
+	e.Stats.ElementsStored += uint64(c.n)
+	s.committedElems += int64(c.n)
+	s.commitEnd, s.commitLast = c.end, c.last
+	if c.last {
+		s.coreSawEnd = true
+	}
+	s.commitPos++
+}
+
+// SpecFlags returns the rename-time stream flags (end-of-dimension mask and
+// end-of-stream) observed after the most recent speculative consume, which
+// is what UVE's stream-conditional branches test.
+func (e *Engine) SpecFlags(slot int) (uint16, bool) {
+	s := e.entries[slot]
+	if s == nil || s.released {
+		return ^uint16(0), true
+	}
+	return s.lastEnd, s.lastLast
+}
+
+// LastFlags returns the final flags of a stream that already terminated and
+// was released (branches may still test it).
+func (e *Engine) LastFlags(u int) (uint16, bool) {
+	if u < 0 || u >= len(e.sat) {
+		return ^uint16(0), true
+	}
+	f := e.lastFlags[u]
+	return f.end, f.last
+}
+
+// --- stream control ---
+//
+// Suspend/resume/stop take effect at RENAME so that younger instructions
+// observe the new stream association in program order (a suspended
+// register immediately reads as a normal vector register); a ROB-walk
+// squash restores the previous state, and the destructive release of
+// ss.stop happens at commit.
+
+// CtlUndo records the state a stream-control µOp replaced.
+type CtlUndo struct {
+	Slot          int
+	PrevSuspended bool
+	Valid         bool
+}
+
+// RenameSuspend pauses the stream mapped to u (speculatively).
+func (e *Engine) RenameSuspend(u int) CtlUndo {
+	if u < 0 || u >= len(e.sat) || e.sat[u] < 0 {
+		return CtlUndo{}
+	}
+	s := e.entries[e.sat[u]]
+	if s == nil || s.released {
+		return CtlUndo{}
+	}
+	undo := CtlUndo{Slot: s.slot, PrevSuspended: s.suspended, Valid: true}
+	s.suspended = true
+	return undo
+}
+
+// RenameResume reactivates a suspended stream (speculatively).
+func (e *Engine) RenameResume(u int) CtlUndo {
+	if u < 0 || u >= len(e.sat) || e.sat[u] < 0 {
+		return CtlUndo{}
+	}
+	s := e.entries[e.sat[u]]
+	if s == nil || s.released {
+		return CtlUndo{}
+	}
+	undo := CtlUndo{Slot: s.slot, PrevSuspended: s.suspended, Valid: true}
+	s.suspended = false
+	return undo
+}
+
+// RenameStop hides the stream from the SAT (speculatively); CommitStop
+// performs the release.
+func (e *Engine) RenameStop(u int) CtlUndo {
+	return e.RenameSuspend(u)
+}
+
+// SquashCtl restores the state a stream-control µOp replaced.
+func (e *Engine) SquashCtl(undo CtlUndo) {
+	if !undo.Valid {
+		return
+	}
+	if s := e.entries[undo.Slot]; s != nil && !s.released {
+		s.suspended = undo.PrevSuspended
+	}
+}
+
+// CommitStop releases a stopped stream's resources.
+func (e *Engine) CommitStop(u int, undo CtlUndo) {
+	if !undo.Valid {
+		return
+	}
+	s := e.entries[undo.Slot]
+	if s == nil || s.released {
+		return
+	}
+	e.lastFlags[u] = flagPair{end: s.lastEnd, last: s.lastLast}
+	e.releaseSlot(undo.Slot)
+	if e.sat[u] == undo.Slot {
+		e.sat[u] = -1
+	}
+}
+
+// Stop releases the stream mapped to u immediately (non-pipelined callers:
+// context switching, tests).
+func (e *Engine) Stop(u int) {
+	e.CommitStop(u, e.RenameStop(u))
+}
+
+// StoreMayOverlap reports whether a reserved-but-uncommitted output-stream
+// chunk covers the given byte range; the LSQ holds conventional loads until
+// the overlapping stream writes commit (paper §IV-A "Memory Coherence":
+// "data written by an output stream can be loaded using a conventional load
+// instruction"). Committed writes are already architecturally visible, and
+// not-yet-reserved pattern elements belong to younger instructions, so only
+// the [commit, spec) window matters.
+func (e *Engine) StoreMayOverlap(addr uint64, size int, beforeStamp int64) bool {
+	end := addr + uint64(size) - 1
+	for _, s := range e.entries {
+		if s == nil || s.released || s.desc == nil || s.kind != descriptor.Store {
+			continue
+		}
+		// Cheap reject on the whole-pattern footprint first.
+		if !s.unbounded && (addr > s.maxAddr || end < s.minAddr) {
+			continue
+		}
+		w := uint64(s.w)
+		for seq := s.commitPos; seq < s.specPos; seq++ {
+			c := &s.fifo[seq%int64(len(s.fifo))]
+			if c.seq != seq || c.stamp > beforeStamp {
+				continue
+			}
+			for _, a := range c.addrs[:c.n] {
+				if a <= end && a+w-1 >= addr {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// storeStreamsBusy reports whether any output stream still has uncommitted
+// chunks. Committed chunks are architecturally visible (the functional
+// write happens at commit), so a newly configured input stream may start
+// while the timing drain of older store lines is still in flight.
+func (e *Engine) storeStreamsBusy() bool {
+	for _, s := range e.entries {
+		if s == nil || s.released || s.desc == nil || s.kind != descriptor.Store {
+			continue
+		}
+		if !s.totalKnown || s.commitPos < s.totalChunks {
+			return true
+		}
+	}
+	return false
+}
+
+// StoresPending reports whether any committed stream store is still
+// draining to memory.
+func (e *Engine) StoresPending() bool {
+	if len(e.storeQ) > 0 {
+		return true
+	}
+	for _, s := range e.entries {
+		if s != nil && !s.released && s.pendingStoreLines > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveStreams counts configured, unreleased streams.
+func (e *Engine) ActiveStreams() int {
+	n := 0
+	for _, s := range e.entries {
+		if s != nil && !s.released && s.desc != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// --- per-cycle operation ---
+
+// Tick advances the engine by one cycle: SCROB retirement, stream
+// scheduling across the processing modules, memory request issue (one load
+// line and one store line per cycle — the engine's ports in Table I), and
+// housekeeping.
+func (e *Engine) Tick(now int64) {
+	e.processSCROB()
+	e.schedule(now)
+	e.issueMRQ(now)
+	e.drainStore(now)
+	e.advanceEngineConsumed()
+	e.autoRelease()
+}
+
+// schedule picks the NumModules streams with the lowest FIFO occupancy
+// (paper: "streams with lower FIFO occupancy take precedence") and runs one
+// generation step on each.
+func (e *Engine) schedule(now int64) {
+	var cand []*stream
+	for _, s := range e.entries {
+		if s != nil && s.desc != nil && s.wantsGen() {
+			cand = append(cand, s)
+		}
+	}
+	if len(cand) == 0 {
+		return
+	}
+	rr := e.rr
+	e.rr++
+	sort.SliceStable(cand, func(i, j int) bool {
+		oi, oj := cand[i].occupancy(), cand[j].occupancy()
+		if oi != oj {
+			return oi < oj
+		}
+		return (cand[i].slot+rr)%len(e.entries) < (cand[j].slot+rr)%len(e.entries)
+	})
+	n := e.cfg.NumModules
+	if n > len(cand) {
+		n = len(cand)
+	}
+	for i := 0; i < n; i++ {
+		e.genStep(cand[i], now)
+	}
+}
+
+// issueMRQ sends pending line requests to the memory hierarchy, up to the
+// engine's per-cycle load-port budget.
+func (e *Engine) issueMRQ(now int64) {
+	budget := e.cfg.LoadPorts
+	if budget <= 0 {
+		budget = 1
+	}
+	for _, f := range e.mrq {
+		if budget == 0 {
+			return
+		}
+		if f.issued {
+			continue
+		}
+		ff := f
+		req := &mem.Req{Line: ff.line, MinLevel: ff.level, PC: ff.pc, Done: func(at int64) { e.lineArrived(ff, at) }}
+		if !e.hier.Access(now, req) {
+			return
+		}
+		ff.issued = true
+		budget--
+	}
+}
+
+func (e *Engine) lineArrived(f *lineFetch, now int64) {
+	for i, q := range e.mrq {
+		if q == f {
+			e.mrq = append(e.mrq[:i], e.mrq[i+1:]...)
+			break
+		}
+	}
+	s := e.entries[f.slot]
+	if s == nil || s.epoch != f.epoch {
+		return // stream was squashed/stopped; drop the data
+	}
+	for _, wr := range f.waiters {
+		c := &s.fifo[wr.seq%int64(len(s.fifo))]
+		if c.seq != wr.seq {
+			continue
+		}
+		c.data[wr.lane] = e.hier.Mem.Read(wr.addr, s.w)
+		c.pendLines--
+	}
+	if s.lastFetch == f {
+		s.lastFetch = nil
+		if s.lastLine == f.line {
+			s.lastLineState = 2
+		}
+	}
+}
+
+// drainStore issues one committed store line per cycle through the engine's
+// store port.
+func (e *Engine) drainStore(now int64) {
+	if len(e.storeQ) == 0 {
+		return
+	}
+	sl := e.storeQ[0]
+	req := &mem.Req{Line: sl.line, Write: true, MinLevel: storeLevel(sl.level)}
+	if !e.hier.Access(now, req) {
+		return
+	}
+	e.storeQ = e.storeQ[1:]
+	if s := e.entries[sl.slot]; s != nil && s.epoch == sl.epoch {
+		s.pendingStoreLines--
+	}
+}
+
+// storeLevel maps a stream's configured level onto the store path. The
+// paper's implementation issues stream stores to the L1; the Fig 11 sweep
+// moves them with the configured level.
+func storeLevel(l arch.CacheLevel) arch.CacheLevel { return l }
+
+// advanceEngineConsumed commits chunks of origin streams as their values
+// are settled by dependent streams' address generation.
+func (e *Engine) advanceEngineConsumed() {
+	for _, s := range e.entries {
+		if s == nil || s.released || !s.engineConsumed {
+			continue
+		}
+		for s.commitPos < s.genPos {
+			c := &s.fifo[s.commitPos%int64(len(s.fifo))]
+			if !c.loadReady() || c.startElem+int64(c.n) > s.settledElems {
+				break
+			}
+			s.committedElems += int64(c.n)
+			if c.last {
+				s.coreSawEnd = true
+			}
+			s.commitPos++
+			if s.specPos < s.commitPos {
+				s.specPos = s.commitPos
+			}
+		}
+	}
+}
+
+// autoRelease frees streams whose pattern has fully committed — the paper's
+// termination "by committing an instruction that signals the completion of
+// the streaming pattern" (§IV-A).
+func (e *Engine) autoRelease() {
+	for _, s := range e.entries {
+		if s == nil || s.released || s.desc == nil {
+			continue
+		}
+		if !s.configDone || !s.totalKnown || s.commitPos != s.totalChunks || s.pendingStoreLines > 0 {
+			continue
+		}
+		if !s.coreSawEnd {
+			continue
+		}
+		if e.sat[s.u] == s.slot {
+			e.lastFlags[s.u] = flagPair{end: s.lastEnd, last: s.lastLast}
+			e.sat[s.u] = -1
+		}
+		e.releaseSlot(s.slot)
+	}
+}
+
+// StorageFootprint returns the engine's storage cost in bytes, reproducing
+// the §VI-C accounting: the Stream Table and SCROB, the Memory Request
+// Queue (10 B entries) and the Load/Store FIFOs (vector chunk + flags per
+// entry).
+func StorageFootprint(cfg Config) (table, mrq, fifos int) {
+	const dimBytes, modBytes, headerBytes = 24, 24, 48
+	table = cfg.LogStreams*(descriptor.MaxDims*dimBytes+descriptor.MaxMods*modBytes+headerBytes) +
+		cfg.SCROBSize*64
+	mrq = cfg.MRQSize * 10
+	fifos = cfg.LogStreams * cfg.FIFODepth * (cfg.VecBytes + 2)
+	return table, mrq, fifos
+}

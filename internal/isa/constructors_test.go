@@ -1,0 +1,121 @@
+package isa
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestConstructorWiring checks that every instruction constructor places
+// its operands in the fields the executor reads — transposed operands here
+// would silently corrupt kernels.
+func TestConstructorWiring(t *testing.T) {
+	w := arch.W4
+	rd, a, b, c := X(1), X(2), X(3), X(4)
+	fd, fa, fb, fc := F(1), F(2), F(3), F(4)
+	vd, va, vb, vc := V(1), V(2), V(3), V(4)
+	p1 := P(1)
+
+	cases := []struct {
+		name string
+		in   Inst
+		want Inst
+	}{
+		{"Mv", Mv(rd, a), Inst{Op: OpMv, Dst: rd, Src1: a}},
+		{"Add", Add(rd, a, b), Inst{Op: OpAdd, Dst: rd, Src1: a, Src2: b}},
+		{"Sub", Sub(rd, a, b), Inst{Op: OpSub, Dst: rd, Src1: a, Src2: b}},
+		{"Mul", Mul(rd, a, b), Inst{Op: OpMul, Dst: rd, Src1: a, Src2: b}},
+		{"Div", Div(rd, a, b), Inst{Op: OpDiv, Dst: rd, Src1: a, Src2: b}},
+		{"AddI", AddI(rd, a, 7), Inst{Op: OpAddI, Dst: rd, Src1: a, Imm: 7}},
+		{"AndI", AndI(rd, a, 7), Inst{Op: OpAndI, Dst: rd, Src1: a, Imm: 7}},
+		{"SllI", SllI(rd, a, 3), Inst{Op: OpSllI, Dst: rd, Src1: a, Imm: 3}},
+		{"SrlI", SrlI(rd, a, 3), Inst{Op: OpSrlI, Dst: rd, Src1: a, Imm: 3}},
+		{"Slt", Slt(rd, a, b), Inst{Op: OpSlt, Dst: rd, Src1: a, Src2: b}},
+		{"Beq", Beq(a, b, "l"), Inst{Op: OpBeq, Src1: a, Src2: b, Label: "l"}},
+		{"Bne", Bne(a, b, "l"), Inst{Op: OpBne, Src1: a, Src2: b, Label: "l"}},
+		{"Blt", Blt(a, b, "l"), Inst{Op: OpBlt, Src1: a, Src2: b, Label: "l"}},
+		{"Bge", Bge(a, b, "l"), Inst{Op: OpBge, Src1: a, Src2: b, Label: "l"}},
+		{"J", J("l"), Inst{Op: OpJ, Label: "l"}},
+		{"Load", Load(w, rd, a, 8), Inst{Op: OpLoad, Dst: rd, Src1: a, Imm: 8, W: w}},
+		{"Store", Store(w, a, 8, c), Inst{Op: OpStore, Src1: a, Src3: c, Imm: 8, W: w}},
+		{"FLoad", FLoad(w, fd, a, 8), Inst{Op: OpFLoad, Dst: fd, Src1: a, Imm: 8, W: w}},
+		{"FStore", FStore(w, a, 8, fc), Inst{Op: OpFStore, Src1: a, Src3: fc, Imm: 8, W: w}},
+		{"FMv", FMv(w, fd, fa), Inst{Op: OpFMv, Dst: fd, Src1: fa, W: w}},
+		{"FAdd", FAdd(w, fd, fa, fb), Inst{Op: OpFAdd, Dst: fd, Src1: fa, Src2: fb, W: w}},
+		{"FSub", FSub(w, fd, fa, fb), Inst{Op: OpFSub, Dst: fd, Src1: fa, Src2: fb, W: w}},
+		{"FMul", FMul(w, fd, fa, fb), Inst{Op: OpFMul, Dst: fd, Src1: fa, Src2: fb, W: w}},
+		{"FDiv", FDiv(w, fd, fa, fb), Inst{Op: OpFDiv, Dst: fd, Src1: fa, Src2: fb, W: w}},
+		{"FSqrt", FSqrt(w, fd, fa), Inst{Op: OpFSqrt, Dst: fd, Src1: fa, W: w}},
+		{"FMadd", FMadd(w, fd, fa, fb, fc), Inst{Op: OpFMadd, Dst: fd, Src1: fa, Src2: fb, Src3: fc, W: w}},
+		{"FMax", FMax(w, fd, fa, fb), Inst{Op: OpFMax, Dst: fd, Src1: fa, Src2: fb, W: w}},
+		{"FMin", FMin(w, fd, fa, fb), Inst{Op: OpFMin, Dst: fd, Src1: fa, Src2: fb, W: w}},
+		{"FLt", FLt(w, rd, fa, fb), Inst{Op: OpFLt, Dst: rd, Src1: fa, Src2: fb, W: w}},
+		{"ItoF", ItoF(w, fd, a), Inst{Op: OpItoF, Dst: fd, Src1: a, W: w}},
+		{"VLoad", VLoad(w, vd, a, b, 2, p1), Inst{Op: OpVLoad, Dst: vd, Src1: a, Src2: b, Imm: 2, W: w, Pred: p1}},
+		{"VStore", VStore(w, a, b, 2, vc, p1), Inst{Op: OpVStore, Src1: a, Src2: b, Src3: vc, Imm: 2, W: w, Pred: p1}},
+		{"VLoadG", VLoadG(w, vd, a, vb, p1), Inst{Op: OpVLoadG, Dst: vd, Src1: a, Src2: vb, W: w, Pred: p1}},
+		{"VDup", VDup(w, vd, fa), Inst{Op: OpVDup, Dst: vd, Src1: fa, W: w}},
+		{"VDupX", VDupX(w, vd, a), Inst{Op: OpVDupX, Dst: vd, Src1: a, W: w}},
+		{"VBcast", VBcast(w, vd, va), Inst{Op: OpVBcast, Dst: vd, Src1: va, W: w}},
+		{"VMove", VMove(w, vd, va), Inst{Op: OpVMove, Dst: vd, Src1: va, W: w}},
+		{"VFAdd", VFAdd(w, vd, va, vb, p1), Inst{Op: OpVFAdd, Dst: vd, Src1: va, Src2: vb, W: w, Pred: p1}},
+		{"VFSub", VFSub(w, vd, va, vb, p1), Inst{Op: OpVFSub, Dst: vd, Src1: va, Src2: vb, W: w, Pred: p1}},
+		{"VFMul", VFMul(w, vd, va, vb, p1), Inst{Op: OpVFMul, Dst: vd, Src1: va, Src2: vb, W: w, Pred: p1}},
+		{"VFDiv", VFDiv(w, vd, va, vb, p1), Inst{Op: OpVFDiv, Dst: vd, Src1: va, Src2: vb, W: w, Pred: p1}},
+		{"VFMax", VFMax(w, vd, va, vb, p1), Inst{Op: OpVFMax, Dst: vd, Src1: va, Src2: vb, W: w, Pred: p1}},
+		{"VFMin", VFMin(w, vd, va, vb, p1), Inst{Op: OpVFMin, Dst: vd, Src1: va, Src2: vb, W: w, Pred: p1}},
+		{"VFSqrt", VFSqrt(w, vd, va), Inst{Op: OpVFSqrt, Dst: vd, Src1: va, W: w}},
+		// VFMla's old destination rides in Src3: the renamed read.
+		{"VFMla", VFMla(w, vd, va, vb, p1), Inst{Op: OpVFMla, Dst: vd, Src1: va, Src2: vb, Src3: vd, W: w, Pred: p1}},
+		{"VFMulAdd", VFMulAdd(w, vd, va, vb, vc), Inst{Op: OpVFMulAdd, Dst: vd, Src1: va, Src2: vb, Src3: vc, W: w}},
+		{"VFAddV", VFAddV(w, vd, va), Inst{Op: OpVFAddV, Dst: vd, Src1: va, W: w}},
+		{"VFMaxV", VFMaxV(w, vd, va), Inst{Op: OpVFMaxV, Dst: vd, Src1: va, W: w}},
+		{"VFMinV", VFMinV(w, vd, va), Inst{Op: OpVFMinV, Dst: vd, Src1: va, W: w}},
+		{"VFAddVF", VFAddVF(w, fd, va), Inst{Op: OpVFAddVF, Dst: fd, Src1: va, W: w}},
+		{"VFMaxVF", VFMaxVF(w, fd, va), Inst{Op: OpVFMaxVF, Dst: fd, Src1: va, W: w}},
+		{"Whilelt", Whilelt(w, p1, a, b), Inst{Op: OpWhilelt, Dst: p1, Src1: a, Src2: b, W: w}},
+		{"BFirst", BFirst(p1, "l"), Inst{Op: OpBFirst, Src1: p1, Label: "l"}},
+		{"IncVL", IncVL(w, rd, a), Inst{Op: OpIncVL, Dst: rd, Src1: a, W: w}},
+		{"GetVL", GetVL(w, rd), Inst{Op: OpGetVL, Dst: rd, W: w}},
+		{"SetVL", SetVL(w, rd, a), Inst{Op: OpSSetVL, Dst: rd, Src1: a, W: w}},
+		{"SSuspend", SSuspend(5), Inst{Op: OpSSuspend, Dst: V(5)}},
+		{"SResume", SResume(5), Inst{Op: OpSResume, Dst: V(5)}},
+		{"SStop", SStop(5), Inst{Op: OpSStop, Dst: V(5)}},
+		{"SBNotEnd", SBNotEnd(5, "l"), Inst{Op: OpSBNotEnd, Src1: V(5), Label: "l"}},
+		{"SBEnd", SBEnd(5, "l"), Inst{Op: OpSBEnd, Src1: V(5), Label: "l"}},
+		{"SBDimNotEnd", SBDimNotEnd(5, 2, "l"), Inst{Op: OpSBDimNotEnd, Src1: V(5), Imm: 2, Label: "l"}},
+		{"SBDimEnd", SBDimEnd(5, 2, "l"), Inst{Op: OpSBDimEnd, Src1: V(5), Imm: 2, Label: "l"}},
+	}
+	for _, tc := range cases {
+		if tc.in != tc.want {
+			t.Errorf("%s: got %+v, want %+v", tc.name, tc.in, tc.want)
+		}
+	}
+}
+
+func TestFLiEncodesByWidth(t *testing.T) {
+	in32 := FLi(arch.W4, F(1), 1.5)
+	if uint32(in32.Imm) != 0x3fc00000 {
+		t.Errorf("FLi W4 bits = %#x", uint32(in32.Imm))
+	}
+	in64 := FLi(arch.W8, F(1), 1.5)
+	if uint64(in64.Imm) != 0x3ff8000000000000 {
+		t.Errorf("FLi W8 bits = %#x", uint64(in64.Imm))
+	}
+}
+
+func TestInstStringForms(t *testing.T) {
+	in1 := Add(X(1), X(2), X(3))
+	if s := in1.String(); s != "add x1,x2,x3" {
+		t.Errorf("Add string = %q", s)
+	}
+	in2 := Blt(X(1), X(2), "top")
+	if s := in2.String(); s != "blt x1,x2,.top" {
+		t.Errorf("Blt string = %q", s)
+	}
+	in3 := VFMla(arch.W4, V(1), V(2), V(3), P(1))
+	s := in3.String()
+	if s == "" || s[:7] != "vfmla.w" {
+		t.Errorf("VFMla string = %q", s)
+	}
+}

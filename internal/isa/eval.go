@@ -1,0 +1,330 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+)
+
+// EvalInt computes a scalar integer ALU result.
+func EvalInt(op Op, a, b uint64, imm int64) uint64 {
+	switch op {
+	case OpNop, OpHalt:
+		return 0
+	case OpLi:
+		return uint64(imm)
+	case OpMv:
+		return a
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return ^uint64(0)
+		}
+		return uint64(int64(a) / int64(b))
+	case OpRem:
+		if b == 0 {
+			return a
+		}
+		return uint64(int64(a) % int64(b))
+	case OpAddI:
+		return a + uint64(imm)
+	case OpSllI:
+		return a << uint(imm&63)
+	case OpSrlI:
+		return a >> uint(imm&63)
+	case OpAndI:
+		return a & uint64(imm)
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpSlt:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case OpSltI:
+		if int64(a) < imm {
+			return 1
+		}
+		return 0
+	}
+	panic(fmt.Sprintf("EvalInt: not an integer op: %s", op.Name()))
+}
+
+// EvalCondBranch decides a scalar conditional branch.
+func EvalCondBranch(op Op, a, b uint64) bool {
+	switch op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return int64(a) < int64(b)
+	case OpBge:
+		return int64(a) >= int64(b)
+	case OpJ:
+		return true
+	}
+	panic(fmt.Sprintf("EvalCondBranch: not a scalar branch: %s", op.Name()))
+}
+
+// EvalFP computes a scalar floating-point result (bits in, bits out; the
+// precision is selected by w).
+func EvalFP(op Op, w arch.ElemWidth, a, b, c uint64, imm int64) uint64 {
+	fa, fb, fc := bitsToFloat(w, a), bitsToFloat(w, b), bitsToFloat(w, c)
+	switch op {
+	case OpFLi:
+		return uint64(imm)
+	case OpFMv:
+		return a
+	case OpFAdd:
+		return floatToBits(w, fa+fb)
+	case OpFSub:
+		return floatToBits(w, fa-fb)
+	case OpFMul:
+		return floatToBits(w, fa*fb)
+	case OpFDiv:
+		return floatToBits(w, fa/fb)
+	case OpFSqrt:
+		return floatToBits(w, math.Sqrt(fa))
+	case OpFMadd:
+		if w == arch.W4 {
+			return floatToBits(w, float64(float32(fa)*float32(fb)+float32(fc)))
+		}
+		return floatToBits(w, fa*fb+fc)
+	case OpFMax:
+		return floatToBits(w, math.Max(fa, fb))
+	case OpFMin:
+		return floatToBits(w, math.Min(fa, fb))
+	case OpFAbs:
+		return floatToBits(w, math.Abs(fa))
+	case OpFNeg:
+		return floatToBits(w, -fa)
+	case OpFLt:
+		if fa < fb {
+			return 1
+		}
+		return 0
+	case OpFLe:
+		if fa <= fb {
+			return 1
+		}
+		return 0
+	case OpItoF:
+		return floatToBits(w, float64(int64(a)))
+	case OpFtoI:
+		return uint64(int64(fa))
+	}
+	panic(fmt.Sprintf("EvalFP: not an FP op: %s", op.Name()))
+}
+
+// VecArgs carries the operand values of a vector ALU operation.
+type VecArgs struct {
+	A, B, C VecVal
+	Scalar  uint64 // FP or integer scalar operand bits (dup)
+	Pred    PredVal
+	Lanes   int // architected lane count for the operating width
+	W       arch.ElemWidth
+	// Merge, when non-nil, supplies the old destination value for
+	// destructive operations: result lanes beyond the active count keep its
+	// lanes (predicate-merging semantics; this is what makes UVE's
+	// automatic out-of-bounds lane disabling act as an identity in
+	// accumulator patterns like vectormax u5,u5,u0 — paper F5).
+	Merge *VecVal
+}
+
+// laneCount determines the number of result lanes: the predicate limit
+// intersected with every vector operand's valid lane count.
+func (a *VecArgs) laneCount(ops ...VecVal) int {
+	n := a.Pred.Limit(a.Lanes)
+	for _, v := range ops {
+		if v.L != nil && v.N < n {
+			n = v.N
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// EvalVecALU computes a vector ALU result. Lanes beyond the computed count
+// are absent (zeroing predication; the baselines' predicated stores use the
+// same predicate so trimmed lanes are never observable, and UVE chunks carry
+// their own lane counts).
+func EvalVecALU(op Op, args VecArgs) VecVal {
+	w := args.W
+	switch op {
+	case OpVDup, OpVDupX:
+		out := NewVec(w, args.Pred.Limit(args.Lanes))
+		for i := range out.L {
+			out.L[i] = args.Scalar
+		}
+		return out
+	case OpVMove:
+		out := args.A.Clone()
+		if n := args.Pred.Limit(args.Lanes); out.N > n {
+			out.N, out.L = n, out.L[:n]
+		}
+		return out
+	case OpVExtract:
+		return VecFrom(w, []uint64{args.A.Lane(int(args.Scalar))})
+	case OpVBcast:
+		out := NewVec(w, args.Pred.Limit(args.Lanes))
+		for i := range out.L {
+			out.L[i] = args.A.Lane(0)
+		}
+		return out
+	}
+
+	// frame prepares the output vector: active lanes are computed, lanes
+	// beyond them merge the old destination when one is supplied.
+	frame := func(n int) VecVal {
+		if args.Merge == nil || args.Merge.N <= n {
+			return NewVec(w, n)
+		}
+		out := args.Merge.Clone()
+		return out
+	}
+	fbin := func(f func(x, y float64) float64, a, b VecVal) VecVal {
+		n := args.laneCount(a, b)
+		out := frame(n)
+		for i := 0; i < n; i++ {
+			out.L[i] = floatToBits(w, f(a.F(i), b.F(i)))
+		}
+		return out
+	}
+	ibin := func(f func(x, y int64) int64, a, b VecVal) VecVal {
+		n := args.laneCount(a, b)
+		out := frame(n)
+		for i := 0; i < n; i++ {
+			out.L[i] = Truncate(w, uint64(f(SignExtend(w, a.Lane(i)), SignExtend(w, b.Lane(i)))))
+		}
+		return out
+	}
+
+	switch op {
+	case OpVFAdd:
+		return fbin(func(x, y float64) float64 { return x + y }, args.A, args.B)
+	case OpVFSub:
+		return fbin(func(x, y float64) float64 { return x - y }, args.A, args.B)
+	case OpVFMul:
+		return fbin(func(x, y float64) float64 { return x * y }, args.A, args.B)
+	case OpVFDiv:
+		return fbin(func(x, y float64) float64 { return x / y }, args.A, args.B)
+	case OpVFMax:
+		return fbin(math.Max, args.A, args.B)
+	case OpVFMin:
+		return fbin(math.Min, args.A, args.B)
+	case OpVFSqrt:
+		n := args.laneCount(args.A)
+		out := frame(n)
+		for i := 0; i < n; i++ {
+			out.L[i] = floatToBits(w, math.Sqrt(args.A.F(i)))
+		}
+		return out
+	case OpVFMla, OpVFMulAdd:
+		// OpVFMla: dst = C + A·B (C is the old dst); OpVFMulAdd: dst = A·B + C.
+		n := args.laneCount(args.A, args.B, args.C)
+		out := frame(n)
+		for i := 0; i < n; i++ {
+			if w == arch.W4 {
+				out.L[i] = floatToBits(w, float64(float32(args.A.F(i))*float32(args.B.F(i))+float32(args.C.F(i))))
+			} else {
+				out.L[i] = floatToBits(w, args.A.F(i)*args.B.F(i)+args.C.F(i))
+			}
+		}
+		return out
+	case OpVAdd:
+		return ibin(func(x, y int64) int64 { return x + y }, args.A, args.B)
+	case OpVSub:
+		return ibin(func(x, y int64) int64 { return x - y }, args.A, args.B)
+	case OpVMul:
+		return ibin(func(x, y int64) int64 { return x * y }, args.A, args.B)
+	case OpVMax:
+		return ibin(func(x, y int64) int64 {
+			if x > y {
+				return x
+			}
+			return y
+		}, args.A, args.B)
+	case OpVMin:
+		return ibin(func(x, y int64) int64 {
+			if x < y {
+				return x
+			}
+			return y
+		}, args.A, args.B)
+	case OpVAnd:
+		return ibin(func(x, y int64) int64 { return x & y }, args.A, args.B)
+	case OpVOr:
+		return ibin(func(x, y int64) int64 { return x | y }, args.A, args.B)
+	case OpVXor:
+		return ibin(func(x, y int64) int64 { return x ^ y }, args.A, args.B)
+	}
+	panic(fmt.Sprintf("EvalVecALU: not a vector ALU op: %s", op.Name()))
+}
+
+// EvalVecHoriz reduces a vector's valid lanes to a single value (raw bits).
+// Reducing zero lanes yields the operation's identity (0 for add, and the
+// first-lane default of 0 for max/min, matching hardware's behavior on an
+// all-false predicate).
+func EvalVecHoriz(op Op, w arch.ElemWidth, v VecVal) uint64 {
+	switch op {
+	case OpVFAddV, OpVFAddVF:
+		acc := 0.0
+		if w == arch.W4 {
+			acc32 := float32(0)
+			for i := 0; i < v.N; i++ {
+				acc32 += float32(v.F(i))
+			}
+			return floatToBits(w, float64(acc32))
+		}
+		for i := 0; i < v.N; i++ {
+			acc += v.F(i)
+		}
+		return floatToBits(w, acc)
+	case OpVFMaxV, OpVFMaxVF:
+		if v.N == 0 {
+			return 0
+		}
+		acc := v.F(0)
+		for i := 1; i < v.N; i++ {
+			acc = math.Max(acc, v.F(i))
+		}
+		return floatToBits(w, acc)
+	case OpVFMinV, OpVFMinVF:
+		if v.N == 0 {
+			return 0
+		}
+		acc := v.F(0)
+		for i := 1; i < v.N; i++ {
+			acc = math.Min(acc, v.F(i))
+		}
+		return floatToBits(w, acc)
+	}
+	panic(fmt.Sprintf("EvalVecHoriz: not a horizontal op: %s", op.Name()))
+}
+
+// EvalWhilelt computes the whilelt predicate: active lanes l where
+// idx + l < n, clamped to the architected lane count.
+func EvalWhilelt(idx, n uint64, lanes int) PredVal {
+	remaining := int64(n) - int64(idx)
+	switch {
+	case remaining <= 0:
+		return PredVal{Active: 0}
+	case remaining >= int64(lanes):
+		return PredVal{Active: lanes}
+	default:
+		return PredVal{Active: int(remaining)}
+	}
+}

@@ -1,0 +1,332 @@
+package isa
+
+import "fmt"
+
+// Op is an operation code. The set covers the scalar base ISA, the generic
+// SIMD subset used for the SVE/NEON baselines, and the UVE streaming
+// extension.
+type Op uint16
+
+const (
+	OpInvalid Op = iota
+
+	// --- scalar integer ---
+	OpNop
+	OpHalt // terminate the simulated program
+	OpLi   // dst ← imm
+	OpMv   // dst ← src1
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAddI
+	OpSllI
+	OpSrlI
+	OpAndI
+	OpAnd
+	OpOr
+	OpXor
+	OpSlt  // dst ← (src1 < src2) signed
+	OpSltI // dst ← (src1 < imm) signed
+
+	// --- scalar control flow ---
+	OpJ   // unconditional jump
+	OpBeq // branch if src1 == src2
+	OpBne
+	OpBlt // signed
+	OpBge // signed
+
+	// --- scalar memory (width via Inst.W) ---
+	OpLoad   // dst ← mem[src1 + imm]
+	OpStore  // mem[src1 + imm] ← src3
+	OpFLoad  // FP dst ← mem[src1 + imm]
+	OpFStore // mem[src1 + imm] ← FP src3
+
+	// --- scalar floating point (precision via Inst.W: W4 or W8) ---
+	OpFLi // dst ← float imm (bits in Inst.Imm)
+	OpFMv
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFSqrt
+	OpFMadd // dst ← src1*src2 + src3
+	OpFMax
+	OpFMin
+	OpFAbs
+	OpFNeg
+	OpFLt  // int dst ← (src1 < src2)
+	OpFLe  // int dst ← (src1 <= src2)
+	OpItoF // FP dst ← float(int src1)
+	OpFtoI // int dst ← int(FP src1), truncating
+
+	// --- vector (shared by SVE/NEON baselines and UVE compute) ---
+	OpVLoad   // dst ← mem[src1 + (src2+imm)·W ...], predicated, unit stride
+	OpVStore  // mem[src1 + (src2+imm)·W ...] ← src3, predicated
+	OpVLoadG  // gather: dst[l] ← mem[src1 + src2[l]·W], predicated
+	OpVStoreG // scatter: mem[src1 + src2[l]·W] ← src3[l], predicated
+	OpVDup    // dst lanes ← FP scalar src1
+	OpVDupX   // dst lanes ← int scalar src1
+	OpVMove   // dst ← src1 (consumes/produces streams under UVE)
+	OpVFAdd
+	OpVFSub
+	OpVFMul
+	OpVFDiv
+	OpVFSqrt
+	OpVFMax
+	OpVFMin
+	OpVFMla    // dst ← dst + src1*src2 (destructive, SVE style)
+	OpVFMulAdd // dst ← src1*src2 + src3 (4-operand, UVE vectormad)
+	OpVAdd     // integer lanes
+	OpVSub
+	OpVMul
+	OpVMax // signed integer max
+	OpVMin
+	OpVAnd
+	OpVOr
+	OpVXor
+	OpVFAddV   // horizontal FP add → vector dst with a single valid lane
+	OpVFMaxV   // horizontal FP max → vector dst with a single valid lane
+	OpVFMinV   // horizontal FP min → vector dst with a single valid lane
+	OpVFAddVF  // horizontal FP add → scalar FP dst
+	OpVFMaxVF  // horizontal FP max → scalar FP dst
+	OpVFMinVF  // horizontal FP min → scalar FP dst
+	OpVExtract // FP dst ← lane Imm of src1
+	OpVBcast   // dst lanes ← lane 0 of src1 (scalar-stream broadcast)
+
+	// --- predication (SVE-style) ---
+	OpWhilelt // pred dst ← lanes l where src1 + l < src2
+	OpPTrue   // pred dst ← all lanes active
+	OpPNot    // pred dst ← ¬src1 (within lane count)
+	OpBFirst  // branch if lane 0 of pred src1 is active
+	OpBNone   // branch if no lane of pred src1 is active
+	OpIncVL   // dst ← src1 + vector lane count for width W
+	OpGetVL   // dst ← vector lane count for width W
+
+	// --- UVE stream configuration and control (paper §III-B) ---
+	OpSCfg     // one configuration µOp (ss.ld/ss.st/.sta/.app/.end[.mod|.ind])
+	OpSSetVL   // int dst ← granted lanes for width W, requested in src1 (serializing)
+	OpSSuspend // suspend stream Dst
+	OpSResume  // resume stream Dst
+	OpSStop    // stop stream Dst and release its resources
+	OpSForce   // force one element load/store on suspended stream Dst
+
+	// --- UVE stream-conditional branches (paper §III-B "Loop control") ---
+	OpSBNotEnd    // branch while stream Src1 has not ended
+	OpSBEnd       // branch when stream Src1 has ended
+	OpSBDimNotEnd // branch while dimension Imm of stream Src1 has not completed
+	OpSBDimEnd    // branch when dimension Imm of stream Src1 has completed
+
+	opMax
+)
+
+// Kind groups opcodes by the pipeline resources they use.
+type Kind uint8
+
+const (
+	KindNop Kind = iota
+	KindIntALU
+	KindFPALU  // scalar FP unit (shared with vector FUs in the A76 model)
+	KindVecALU // vector/FP functional unit
+	KindLoad   // scalar load port
+	KindStore  // scalar store port
+	KindBranch
+	KindStreamCfg // streaming engine configuration
+	KindStreamCtl // stream suspend/resume/stop
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNop:
+		return "nop"
+	case KindIntALU:
+		return "int"
+	case KindFPALU:
+		return "fp"
+	case KindVecALU:
+		return "vec"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindBranch:
+		return "branch"
+	case KindStreamCfg:
+		return "scfg"
+	case KindStreamCtl:
+		return "sctl"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// opInfo is static metadata for one opcode.
+type opInfo struct {
+	name    string
+	kind    Kind
+	latency int // execution latency in cycles (without memory time)
+}
+
+var opTable = [opMax]opInfo{
+	OpInvalid: {"invalid", KindNop, 1},
+	OpNop:     {"nop", KindNop, 1},
+	OpHalt:    {"halt", KindNop, 1},
+	OpLi:      {"li", KindIntALU, 1},
+	OpMv:      {"mv", KindIntALU, 1},
+	OpAdd:     {"add", KindIntALU, 1},
+	OpSub:     {"sub", KindIntALU, 1},
+	OpMul:     {"mul", KindIntALU, 3},
+	OpDiv:     {"div", KindIntALU, 12},
+	OpRem:     {"rem", KindIntALU, 12},
+	OpAddI:    {"addi", KindIntALU, 1},
+	OpSllI:    {"slli", KindIntALU, 1},
+	OpSrlI:    {"srli", KindIntALU, 1},
+	OpAndI:    {"andi", KindIntALU, 1},
+	OpAnd:     {"and", KindIntALU, 1},
+	OpOr:      {"or", KindIntALU, 1},
+	OpXor:     {"xor", KindIntALU, 1},
+	OpSlt:     {"slt", KindIntALU, 1},
+	OpSltI:    {"slti", KindIntALU, 1},
+
+	OpJ:   {"j", KindBranch, 1},
+	OpBeq: {"beq", KindBranch, 1},
+	OpBne: {"bne", KindBranch, 1},
+	OpBlt: {"blt", KindBranch, 1},
+	OpBge: {"bge", KindBranch, 1},
+
+	OpLoad:   {"load", KindLoad, 1},
+	OpStore:  {"store", KindStore, 1},
+	OpFLoad:  {"fload", KindLoad, 1},
+	OpFStore: {"fstore", KindStore, 1},
+
+	OpFLi:   {"fli", KindFPALU, 1},
+	OpFMv:   {"fmv", KindFPALU, 1},
+	OpFAdd:  {"fadd", KindFPALU, 2},
+	OpFSub:  {"fsub", KindFPALU, 2},
+	OpFMul:  {"fmul", KindFPALU, 3},
+	OpFDiv:  {"fdiv", KindFPALU, 11},
+	OpFSqrt: {"fsqrt", KindFPALU, 12},
+	OpFMadd: {"fmadd", KindFPALU, 4},
+	OpFMax:  {"fmax", KindFPALU, 2},
+	OpFMin:  {"fmin", KindFPALU, 2},
+	OpFAbs:  {"fabs", KindFPALU, 1},
+	OpFNeg:  {"fneg", KindFPALU, 1},
+	OpFLt:   {"flt", KindFPALU, 2},
+	OpFLe:   {"fle", KindFPALU, 2},
+	OpItoF:  {"itof", KindFPALU, 2},
+	OpFtoI:  {"ftoi", KindFPALU, 2},
+
+	OpVLoad:    {"vload", KindLoad, 1},
+	OpVStore:   {"vstore", KindStore, 1},
+	OpVLoadG:   {"vloadg", KindLoad, 2},
+	OpVStoreG:  {"vstoreg", KindStore, 2},
+	OpVDup:     {"vdup", KindVecALU, 1},
+	OpVDupX:    {"vdupx", KindVecALU, 1},
+	OpVMove:    {"vmove", KindVecALU, 1},
+	OpVFAdd:    {"vfadd", KindVecALU, 2},
+	OpVFSub:    {"vfsub", KindVecALU, 2},
+	OpVFMul:    {"vfmul", KindVecALU, 3},
+	OpVFDiv:    {"vfdiv", KindVecALU, 11},
+	OpVFSqrt:   {"vfsqrt", KindVecALU, 12},
+	OpVFMax:    {"vfmax", KindVecALU, 2},
+	OpVFMin:    {"vfmin", KindVecALU, 2},
+	OpVFMla:    {"vfmla", KindVecALU, 4},
+	OpVFMulAdd: {"vfmuladd", KindVecALU, 4},
+	OpVAdd:     {"vadd", KindVecALU, 1},
+	OpVSub:     {"vsub", KindVecALU, 1},
+	OpVMul:     {"vmul", KindVecALU, 3},
+	OpVMax:     {"vmax", KindVecALU, 1},
+	OpVMin:     {"vmin", KindVecALU, 1},
+	OpVAnd:     {"vand", KindVecALU, 1},
+	OpVOr:      {"vor", KindVecALU, 1},
+	OpVXor:     {"vxor", KindVecALU, 1},
+	OpVFAddV:   {"vfaddv", KindVecALU, 4},
+	OpVFMaxV:   {"vfmaxv", KindVecALU, 3},
+	OpVFMinV:   {"vfminv", KindVecALU, 3},
+	OpVFAddVF:  {"vfaddvf", KindVecALU, 4},
+	OpVFMaxVF:  {"vfmaxvf", KindVecALU, 3},
+	OpVFMinVF:  {"vfminvf", KindVecALU, 3},
+	OpVExtract: {"vextract", KindVecALU, 2},
+	OpVBcast:   {"vbcast", KindVecALU, 1},
+
+	OpWhilelt: {"whilelt", KindVecALU, 1},
+	OpPTrue:   {"ptrue", KindVecALU, 1},
+	OpPNot:    {"pnot", KindVecALU, 1},
+	OpBFirst:  {"b.first", KindBranch, 1},
+	OpBNone:   {"b.none", KindBranch, 1},
+	OpIncVL:   {"incvl", KindIntALU, 1},
+	OpGetVL:   {"getvl", KindIntALU, 1},
+
+	OpSCfg:     {"ss.cfg", KindStreamCfg, 1},
+	OpSSetVL:   {"ss.setvl", KindIntALU, 1},
+	OpSSuspend: {"ss.suspend", KindStreamCtl, 1},
+	OpSResume:  {"ss.resume", KindStreamCtl, 1},
+	OpSStop:    {"ss.stop", KindStreamCtl, 1},
+	OpSForce:   {"ss.force", KindStreamCtl, 1},
+
+	OpSBNotEnd:    {"so.b.nend", KindBranch, 1},
+	OpSBEnd:       {"so.b.end", KindBranch, 1},
+	OpSBDimNotEnd: {"so.b.ndc", KindBranch, 1},
+	OpSBDimEnd:    {"so.b.dc", KindBranch, 1},
+}
+
+// Name returns the assembly mnemonic of the opcode.
+func (o Op) Name() string {
+	if int(o) < len(opTable) && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op%d", uint16(o))
+}
+
+// Kind returns the pipeline resource class of the opcode.
+func (o Op) Kind() Kind {
+	if int(o) < len(opTable) {
+		return opTable[o].kind
+	}
+	return KindNop
+}
+
+// Latency returns the execution latency in cycles, excluding memory time.
+func (o Op) Latency() int {
+	if int(o) < len(opTable) && opTable[o].latency > 0 {
+		return opTable[o].latency
+	}
+	return 1
+}
+
+// IsBranch reports whether the opcode redirects control flow.
+func (o Op) IsBranch() bool { return o.Kind() == KindBranch }
+
+// IsConditionalBranch reports whether the branch outcome depends on state.
+func (o Op) IsConditionalBranch() bool { return o.IsBranch() && o != OpJ }
+
+// IsMem reports whether the opcode accesses memory through the LSQ.
+func (o Op) IsMem() bool {
+	k := o.Kind()
+	return k == KindLoad || k == KindStore
+}
+
+// IsStore reports whether the opcode is a store-side memory operation.
+func (o Op) IsStore() bool { return o.Kind() == KindStore }
+
+// IsStreamBranch reports whether the branch outcome depends on stream state.
+func (o Op) IsStreamBranch() bool {
+	switch o {
+	case OpSBNotEnd, OpSBEnd, OpSBDimNotEnd, OpSBDimEnd:
+		return true
+	}
+	return false
+}
+
+// IsVector reports whether the opcode produces or consumes vector registers.
+func (o Op) IsVector() bool {
+	switch o.Kind() {
+	case KindVecALU:
+		return true
+	}
+	switch o {
+	case OpVLoad, OpVStore, OpVLoadG, OpVStoreG:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+// Package isa defines the instruction set simulated by this reproduction:
+// a RISC-V-like scalar base, a generic vector-length-agnostic SIMD subset
+// used to model the ARM SVE and NEON baselines, and the UVE streaming
+// extension (stream configuration, control and stream-conditional branches,
+// paper §III). Instruction semantics are pure value functions so the
+// out-of-order core can evaluate them on renamed physical registers.
+package isa
+
+import "fmt"
+
+// RegClass identifies an architectural register file.
+type RegClass uint8
+
+const (
+	// ClassNone marks an unused operand slot.
+	ClassNone RegClass = iota
+	// ClassInt is the scalar integer register file (x0..x31, x0 ≡ 0).
+	ClassInt
+	// ClassFP is the scalar floating-point register file (f0..f31).
+	ClassFP
+	// ClassVec is the vector register file (u0..u31); UVE associates
+	// streams with these registers.
+	ClassVec
+	// ClassPred is the predicate register file (p0..p15, p0 hardwired to
+	// all-true as in the paper §III-A1).
+	ClassPred
+)
+
+func (c RegClass) String() string {
+	switch c {
+	case ClassNone:
+		return "-"
+	case ClassInt:
+		return "x"
+	case ClassFP:
+		return "f"
+	case ClassVec:
+		return "u"
+	case ClassPred:
+		return "p"
+	}
+	return fmt.Sprintf("RegClass(%d)", uint8(c))
+}
+
+// Counts of architectural registers per class.
+const (
+	NumIntRegs  = 32
+	NumFPRegs   = 32
+	NumVecRegs  = 32
+	NumPredRegs = 16
+)
+
+// Reg names one architectural register.
+type Reg struct {
+	Class RegClass
+	N     uint8
+}
+
+// None is the absent-operand register.
+var None = Reg{}
+
+// X returns integer register n.
+func X(n int) Reg { return Reg{Class: ClassInt, N: uint8(n)} }
+
+// F returns floating-point register n.
+func F(n int) Reg { return Reg{Class: ClassFP, N: uint8(n)} }
+
+// V returns vector register n (written "u" in UVE assembly).
+func V(n int) Reg { return Reg{Class: ClassVec, N: uint8(n)} }
+
+// P returns predicate register n.
+func P(n int) Reg { return Reg{Class: ClassPred, N: uint8(n)} }
+
+// Valid reports whether the register exists in its class.
+func (r Reg) Valid() bool {
+	switch r.Class {
+	case ClassInt:
+		return r.N < NumIntRegs
+	case ClassFP:
+		return r.N < NumFPRegs
+	case ClassVec:
+		return r.N < NumVecRegs
+	case ClassPred:
+		return r.N < NumPredRegs
+	}
+	return false
+}
+
+// IsZero reports whether the register reads as constant zero (x0).
+func (r Reg) IsZero() bool { return r.Class == ClassInt && r.N == 0 }
+
+func (r Reg) String() string {
+	if r.Class == ClassNone {
+		return "-"
+	}
+	return fmt.Sprintf("%s%d", r.Class, r.N)
+}

@@ -1,0 +1,185 @@
+// Package kernels implements the paper's 19 evaluation benchmarks (Fig 8
+// left table) three times each: UVE (hand-coded streams, as the authors
+// did), SVE-like (predicated vector-length-agnostic code, Fig 1.B shape)
+// and NEON-like (fixed 128-bit vectors with scalar tails). Kernels the ARM
+// SVE compiler failed to vectorize in the paper (Seidel-2D, the MAMR
+// variants, Covariance, Floyd-Warshall) fall back to scalar code in both
+// baselines, as the paper reports.
+//
+// Every kernel also carries a pure-Go reference; Instance.Check validates
+// the simulated memory image against it after a run.
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// Variant selects the ISA implementation of a kernel.
+type Variant int
+
+const (
+	UVE Variant = iota
+	SVE
+	NEON
+)
+
+func (v Variant) String() string {
+	switch v {
+	case UVE:
+		return "UVE"
+	case SVE:
+		return "SVE"
+	case NEON:
+		return "NEON"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// VecBytes returns the vector register width the variant runs with: 512-bit
+// for UVE and SVE (the paper's configuration), 128-bit for NEON.
+func (v Variant) VecBytes() int {
+	if v == NEON {
+		return 16
+	}
+	return arch.MaxVecBytes
+}
+
+// FPArg is one floating-point kernel argument.
+type FPArg struct {
+	W arch.ElemWidth
+	V float64
+}
+
+// Instance is a built, runnable kernel: program, initialized memory (inside
+// the hierarchy it was built against), argument registers and a validator.
+type Instance struct {
+	Prog      *program.Program
+	IntArgs   map[int]uint64
+	FPArgs    map[int]FPArg
+	Check     func() error
+	DataBytes int64
+}
+
+// Kernel describes one benchmark.
+type Kernel struct {
+	ID      string // Fig 8 row letter
+	Name    string
+	Domain  string
+	Streams int    // concurrent UVE streams (Fig 8 table)
+	Loops   int    // #kernels (disjoint loop nests)
+	Pattern string // Fig 8 "memory access pattern" column
+	// SVEVectorized is false for kernels the paper's ARM compiler did not
+	// vectorize; their SVE and NEON baselines run scalar code.
+	SVEVectorized bool
+	// DefaultSize is the problem-size parameter used by the figure harness.
+	DefaultSize int
+	// Build constructs the kernel against h for the given variant and
+	// problem size.
+	Build func(h *mem.Hierarchy, v Variant, size int) *Instance
+}
+
+// All lists the benchmarks in Fig 8 order (A..S).
+var All []*Kernel
+
+func init() {
+	// Registration order follows source-file order; present Fig 8 order.
+	sort.Slice(All, func(i, j int) bool { return All[i].ID < All[j].ID })
+}
+
+func register(k *Kernel) *Kernel {
+	All = append(All, k)
+	return k
+}
+
+// ByID returns the kernel with the given Fig 8 letter.
+func ByID(id string) *Kernel {
+	for _, k := range All {
+		if k.ID == id {
+			return k
+		}
+	}
+	return nil
+}
+
+// --- shared data helpers ---
+
+// lcg is a small deterministic generator for input data.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*2654435761 + 1} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 16
+}
+
+// f32 returns a deterministic float in (-range, +range).
+func (l *lcg) f32(rng float64) float64 {
+	v := float64(l.next()%20011)/20011*2 - 1
+	return float64(float32(v * rng))
+}
+
+// allocF32 allocates and fills a float32 array, returning its base and a Go
+// mirror of the initial contents.
+func allocF32(h *mem.Hierarchy, n int, fill func(i int) float64) (uint64, []float64) {
+	base := h.Mem.Alloc(4*n, arch.LineSize)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := float64(float32(fill(i)))
+		vals[i] = v
+		h.Mem.WriteFloat(base+uint64(4*i), arch.W4, v)
+	}
+	return base, vals
+}
+
+// allocU64 allocates and fills a uint64 array (index vectors).
+func allocU64(h *mem.Hierarchy, n int, fill func(i int) uint64) (uint64, []uint64) {
+	base := h.Mem.Alloc(8*n, arch.LineSize)
+	vals := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = fill(i)
+		h.Mem.Write(base+uint64(8*i), arch.W8, vals[i])
+	}
+	return base, vals
+}
+
+// checkF32 compares a float32 array in simulated memory against want with a
+// relative tolerance (reduction orders differ across vector widths).
+func checkF32(h *mem.Hierarchy, name string, base uint64, want []float64, tol float64) error {
+	for i, w := range want {
+		got := h.Mem.ReadFloat(base+uint64(4*i), arch.W4)
+		if !closeEnough(got, w, tol) {
+			return fmt.Errorf("%s[%d] = %v, want %v", name, i, got, w)
+		}
+	}
+	return nil
+}
+
+func closeEnough(got, want, tol float64) bool {
+	if got == want {
+		return true
+	}
+	d := math.Abs(got - want)
+	m := math.Max(math.Abs(got), math.Abs(want))
+	return d <= tol*math.Max(m, 1)
+}
+
+// instance assembles the common Instance fields.
+func instance(p *program.Program, bytes int64, check func() error) *Instance {
+	return &Instance{
+		Prog:      p,
+		IntArgs:   map[int]uint64{},
+		FPArgs:    map[int]FPArg{},
+		Check:     check,
+		DataBytes: bytes,
+	}
+}
+
+// lanesFor returns the vector lane count of a variant for width w.
+func lanesFor(v Variant, w arch.ElemWidth) int { return arch.LanesFor(v.VecBytes(), w) }

@@ -1,0 +1,133 @@
+package kernels
+
+import (
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// map1DSpec describes a streaming element-wise kernel over 1-D arrays:
+// out[i] = f(in0[i], in1[i], ...). This family covers Memcpy, the STREAM
+// sub-kernels, SAXPY and Jacobi-1D (whose "shifted" inputs are just offset
+// base addresses).
+type map1DSpec struct {
+	name string
+	w    arch.ElemWidth
+	ins  []uint64 // input base addresses
+	out  uint64
+	n    int
+	// setup emits once-per-kernel preamble (e.g. broadcasting an FP
+	// argument from f1 into v9).
+	setup func(b *program.Builder, w arch.ElemWidth)
+	// emit computes the output vector from input vector registers. pred is
+	// None for UVE/NEON bodies and the loop predicate for SVE.
+	emit func(b *program.Builder, w arch.ElemWidth, pred isa.Reg, in []isa.Reg, out isa.Reg)
+	// emitScalar is the scalar body for NEON tails and uses FP registers.
+	emitScalar func(b *program.Builder, w arch.ElemWidth, in []isa.Reg, out isa.Reg)
+}
+
+// buildMap1D lowers the spec for one ISA variant.
+//
+// Register convention: x1 = n, x9 = element index, x10 = main-loop bound;
+// inputs stream through u0..u(k-1) (UVE) or v10.. (baselines); the result
+// is u(k) (UVE) or v20.
+func buildMap1D(v Variant, spec *map1DSpec) *program.Program {
+	w := spec.w
+	k := len(spec.ins)
+	b := program.NewBuilder(spec.name + "-" + v.String())
+	switch v {
+	case UVE:
+		for i, base := range spec.ins {
+			d := descriptor.New(base, w, descriptor.Load).Linear(int64(spec.n), 1).MustBuild()
+			b.ConfigStream(i, d)
+		}
+		dout := descriptor.New(spec.out, w, descriptor.Store).Linear(int64(spec.n), 1).MustBuild()
+		b.ConfigStream(k, dout)
+		if spec.setup != nil {
+			spec.setup(b, w)
+		}
+		in := make([]isa.Reg, k)
+		for i := range in {
+			in[i] = isa.V(i)
+		}
+		b.Label("loop")
+		spec.emit(b, w, isa.None, in, isa.V(k))
+		b.I(isa.SBNotEnd(0, "loop"))
+		b.I(isa.Halt())
+
+	case SVE:
+		// Fig 1.B shape: whilelt-predicated loop, incvl stepping.
+		if spec.setup != nil {
+			spec.setup(b, w)
+		}
+		b.I(isa.Li(isa.X(9), 0))
+		b.I(isa.Whilelt(w, isa.P(1), isa.X(9), isa.X(1)))
+		in := make([]isa.Reg, k)
+		b.Label("loop")
+		for i := range spec.ins {
+			in[i] = isa.V(10 + i)
+			b.I(isa.VLoad(w, in[i], isa.X(2+i), isa.X(9), 0, isa.P(1)))
+		}
+		spec.emit(b, w, isa.P(1), in, isa.V(20))
+		b.I(isa.VStore(w, isa.X(2+k), isa.X(9), 0, isa.V(20), isa.P(1)))
+		b.I(isa.IncVL(w, isa.X(9), isa.X(9)))
+		b.I(isa.Whilelt(w, isa.P(1), isa.X(9), isa.X(1)))
+		b.I(isa.BFirst(isa.P(1), "loop"))
+		b.I(isa.Halt())
+
+	case NEON:
+		// Fixed-width main loop plus scalar tail.
+		lanes := lanesFor(NEON, w)
+		if spec.setup != nil {
+			spec.setup(b, w)
+		}
+		b.I(isa.Li(isa.X(9), 0))
+		b.I(isa.Li(isa.X(10), int64(spec.n/lanes*lanes)))
+		in := make([]isa.Reg, k)
+		b.I(isa.Beq(isa.X(10), isa.X(0), "tail"))
+		b.Label("loop")
+		for i := range spec.ins {
+			in[i] = isa.V(10 + i)
+			b.I(isa.VLoad(w, in[i], isa.X(2+i), isa.X(9), 0, isa.None))
+		}
+		spec.emit(b, w, isa.None, in, isa.V(20))
+		b.I(isa.VStore(w, isa.X(2+k), isa.X(9), 0, isa.V(20), isa.None))
+		b.I(isa.AddI(isa.X(9), isa.X(9), int64(lanes)))
+		b.I(isa.Blt(isa.X(9), isa.X(10), "loop"))
+		b.Label("tail")
+		b.I(isa.Bge(isa.X(9), isa.X(1), "done"))
+		b.I(isa.Li(isa.X(11), int64(w)))
+		b.I(isa.Mul(isa.X(12), isa.X(9), isa.X(11))) // byte offset
+		b.Label("tloop")
+		fin := make([]isa.Reg, k)
+		for i := range spec.ins {
+			fin[i] = isa.F(10 + i)
+			b.I(isa.Add(isa.X(13), isa.X(2+i), isa.X(12)))
+			b.I(isa.FLoad(w, fin[i], isa.X(13), 0))
+		}
+		spec.emitScalar(b, w, fin, isa.F(20))
+		b.I(isa.Add(isa.X(13), isa.X(2+k), isa.X(12)))
+		b.I(isa.FStore(w, isa.X(13), 0, isa.F(20)))
+		b.I(isa.Add(isa.X(12), isa.X(12), isa.X(11)))
+		b.I(isa.AddI(isa.X(9), isa.X(9), 1))
+		b.I(isa.Blt(isa.X(9), isa.X(1), "tloop")).
+			Label("done").
+			I(isa.Halt())
+	}
+	return b.MustBuild()
+}
+
+// instanceMap1D builds the Instance with argument registers for a map1D
+// program.
+func instanceMap1D(v Variant, spec *map1DSpec, bytes int64, check func() error) *Instance {
+	inst := instance(buildMap1D(v, spec), bytes, check)
+	if v != UVE {
+		inst.IntArgs[1] = uint64(spec.n)
+		for i, base := range spec.ins {
+			inst.IntArgs[2+i] = base
+		}
+		inst.IntArgs[2+len(spec.ins)] = spec.out
+	}
+	return inst
+}

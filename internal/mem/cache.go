@@ -1,0 +1,434 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// LineState is a MOESI coherence state (paper: snoop-based MOESI between
+// cache levels, Table I).
+type LineState uint8
+
+const (
+	Invalid LineState = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Owned:
+		return "O"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Dirty reports whether the state holds data newer than the level below.
+func (s LineState) Dirty() bool { return s == Modified || s == Owned }
+
+// Prefetcher reacts to demand accesses and proposes lines to prefetch.
+type Prefetcher interface {
+	// OnAccess observes a demand access and returns line addresses to
+	// prefetch into the observing cache.
+	OnAccess(now int64, line uint64, pc int, hit bool) []uint64
+}
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	Name            string
+	Level           arch.CacheLevel
+	SizeBytes       int
+	Ways            int
+	HitLatency      int
+	MSHRs           int
+	AcceptsPerCycle int
+	PrefetchQueue   int
+}
+
+// CacheStats counts cache-level events.
+type CacheStats struct {
+	Hits, Misses       uint64
+	BypassReqs         uint64
+	Evictions          uint64
+	Writebacks         uint64
+	Rejects            uint64
+	PrefetchIssued     uint64
+	PrefetchFills      uint64
+	PrefetchUsefulHits uint64
+	Invalidations      uint64
+}
+
+type wayEntry struct {
+	tag        uint64
+	state      LineState
+	lastUsed   int64
+	prefetched bool
+}
+
+type mshr struct {
+	line   uint64
+	write  bool
+	dones  []func(int64)
+	issued bool
+	demand bool
+}
+
+type timedDone struct {
+	at int64
+	fn func(int64)
+}
+
+// Cache is one set-associative write-back, write-allocate cache level.
+type Cache struct {
+	cfg   CacheConfig
+	lower Port
+	upper *Cache // next level toward the core, for back-invalidation
+	pf    Prefetcher
+
+	sets     [][]wayEntry
+	numSets  uint64
+	mshrs    map[uint64]*mshr
+	wbQueue  []*Req
+	pfQueue  []uint64
+	pending  []timedDone
+	accepted int
+	lastTick int64
+
+	Stats CacheStats
+}
+
+// NewCache builds a cache level over the given lower port.
+func NewCache(cfg CacheConfig, lower Port) *Cache {
+	numSets := cfg.SizeBytes / (arch.LineSize * cfg.Ways)
+	if numSets < 1 {
+		numSets = 1
+	}
+	sets := make([][]wayEntry, numSets)
+	for i := range sets {
+		sets[i] = make([]wayEntry, cfg.Ways)
+	}
+	if cfg.PrefetchQueue == 0 {
+		cfg.PrefetchQueue = 16
+	}
+	return &Cache{
+		cfg:     cfg,
+		lower:   lower,
+		sets:    sets,
+		numSets: uint64(numSets),
+		mshrs:   make(map[uint64]*mshr),
+	}
+}
+
+// SetUpper links the cache level closer to the core (for back-invalidation
+// when this level evicts a line the upper one holds).
+func (c *Cache) SetUpper(u *Cache) { c.upper = u }
+
+// SetPrefetcher attaches a hardware prefetcher to this level.
+func (c *Cache) SetPrefetcher(p Prefetcher) { c.pf = p }
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) setOf(line uint64) []wayEntry {
+	return c.sets[(line/arch.LineSize)%c.numSets]
+}
+
+func (c *Cache) lookup(line uint64) *wayEntry {
+	set := c.setOf(line)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Contains reports whether the line is present (any valid state).
+func (c *Cache) Contains(line uint64) bool { return c.lookup(line) != nil }
+
+// StateOf returns the MOESI state of the line.
+func (c *Cache) StateOf(line uint64) LineState {
+	if e := c.lookup(line); e != nil {
+		return e.state
+	}
+	return Invalid
+}
+
+// Access implements Port.
+func (c *Cache) Access(now int64, r *Req) bool {
+	if now != c.lastTick {
+		// Defensive: budget is normally reset in Tick; handle out-of-order
+		// first use within a cycle.
+		c.accepted = 0
+		c.lastTick = now
+	}
+	if c.accepted >= c.cfg.AcceptsPerCycle {
+		c.Stats.Rejects++
+		return false
+	}
+
+	// Non-cacheable at this level: forward to the level below (the paper's
+	// stream cache-level bypass issues the request as non-cacheable on all
+	// levels above the configured one, §IV-A).
+	if r.MinLevel > c.cfg.Level {
+		if !c.lower.Access(now, r) {
+			c.Stats.Rejects++
+			return false
+		}
+		c.accepted++
+		c.Stats.BypassReqs++
+		return true
+	}
+
+	line := r.Line & arch.LineMask
+	if e := c.lookup(line); e != nil {
+		c.accepted++
+		c.Stats.Hits++
+		e.lastUsed = now
+		if e.prefetched {
+			e.prefetched = false
+			c.Stats.PrefetchUsefulHits++
+		}
+		if r.Write && e.state != Modified {
+			e.state = Modified
+		}
+		if r.Done != nil {
+			c.schedule(now+int64(c.cfg.HitLatency), r.Done)
+		}
+		c.observe(now, line, r.PC, true)
+		return true
+	}
+
+	// Miss: merge into an existing MSHR if one is outstanding.
+	if ms, ok := c.mshrs[line]; ok {
+		c.accepted++
+		c.Stats.Hits++ // secondary miss, already in flight
+		if r.Write {
+			ms.write = true
+		}
+		if !r.Prefetch {
+			ms.demand = true
+		}
+		if r.Done != nil {
+			ms.dones = append(ms.dones, r.Done)
+		}
+		c.observe(now, line, r.PC, false)
+		return true
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.Stats.Rejects++
+		return false
+	}
+	c.accepted++
+	c.Stats.Misses++
+	ms := &mshr{line: line, write: r.Write, demand: !r.Prefetch}
+	if r.Done != nil {
+		ms.dones = append(ms.dones, r.Done)
+	}
+	c.mshrs[line] = ms
+	c.issueFill(now, ms)
+	c.observe(now, line, r.PC, false)
+	return true
+}
+
+func (c *Cache) observe(now int64, line uint64, pc int, hit bool) {
+	if c.pf == nil {
+		return
+	}
+	for _, l := range c.pf.OnAccess(now, line, pc, hit) {
+		if len(c.pfQueue) >= c.cfg.PrefetchQueue {
+			break
+		}
+		l &= arch.LineMask
+		if c.lookup(l) != nil {
+			continue
+		}
+		if _, inflight := c.mshrs[l]; inflight {
+			continue
+		}
+		c.pfQueue = append(c.pfQueue, l)
+	}
+}
+
+func (c *Cache) issueFill(now int64, ms *mshr) {
+	if ms.issued {
+		return
+	}
+	fill := &Req{Line: ms.line, Done: func(done int64) { c.fill(done, ms.line) }}
+	if c.lower.Access(now, fill) {
+		ms.issued = true
+	}
+}
+
+// fill installs a line when the lower level responds.
+func (c *Cache) fill(now int64, line uint64) {
+	ms, ok := c.mshrs[line]
+	if !ok {
+		return
+	}
+	delete(c.mshrs, line)
+	set := c.setOf(line)
+	victim := &set[0]
+	for i := range set {
+		if set[i].state == Invalid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lastUsed < victim.lastUsed {
+			victim = &set[i]
+		}
+	}
+	if victim.state != Invalid {
+		c.evict(now, victim)
+	}
+	victim.tag = line
+	victim.lastUsed = now
+	victim.prefetched = !ms.demand
+	if !ms.demand {
+		c.Stats.PrefetchFills++
+	}
+	if ms.write {
+		victim.state = Modified
+	} else {
+		victim.state = Exclusive
+	}
+	for _, done := range ms.dones {
+		c.schedule(now+int64(c.cfg.HitLatency), done)
+	}
+}
+
+func (c *Cache) evict(now int64, e *wayEntry) {
+	c.Stats.Evictions++
+	if e.state.Dirty() {
+		c.Stats.Writebacks++
+		wb := &Req{Line: e.tag, Write: true}
+		if !c.lower.Access(now, wb) {
+			c.wbQueue = append(c.wbQueue, wb)
+		}
+	}
+	if c.upper != nil {
+		c.upper.Invalidate(now, e.tag)
+	}
+	e.state = Invalid
+	e.prefetched = false
+}
+
+// Invalidate removes the line (back-invalidation from the level below or a
+// write snoop). A dirty copy is written back directly to memory, bypassing
+// the level that initiated the invalidation.
+func (c *Cache) Invalidate(now int64, line uint64) {
+	e := c.lookup(line)
+	if e == nil {
+		return
+	}
+	c.Stats.Invalidations++
+	if e.state.Dirty() {
+		c.Stats.Writebacks++
+		wb := &Req{Line: e.tag, Write: true, MinLevel: arch.LevelMem}
+		if !c.lower.Access(now, wb) {
+			c.wbQueue = append(c.wbQueue, wb)
+		}
+	}
+	if c.upper != nil {
+		c.upper.Invalidate(now, line)
+	}
+	e.state = Invalid
+	e.prefetched = false
+}
+
+// Snoop applies a MOESI bus snoop to the line: a read snoop demotes
+// Exclusive→Shared and Modified→Owned (this cache supplies the data); a
+// write snoop invalidates. It returns the state after the snoop.
+func (c *Cache) Snoop(now int64, line uint64, write bool) LineState {
+	e := c.lookup(line)
+	if e == nil {
+		return Invalid
+	}
+	if write {
+		c.Invalidate(now, line)
+		return Invalid
+	}
+	switch e.state {
+	case Exclusive:
+		e.state = Shared
+	case Modified:
+		e.state = Owned
+	}
+	return e.state
+}
+
+func (c *Cache) schedule(at int64, fn func(int64)) {
+	c.pending = append(c.pending, timedDone{at: at, fn: fn})
+}
+
+// Tick implements Port.
+func (c *Cache) Tick(now int64) {
+	c.accepted = 0
+	c.lastTick = now
+
+	// Retry unissued fills and queued writebacks.
+	for _, ms := range c.mshrs {
+		if !ms.issued {
+			c.issueFill(now, ms)
+		}
+	}
+	for len(c.wbQueue) > 0 {
+		if !c.lower.Access(now, c.wbQueue[0]) {
+			break
+		}
+		c.wbQueue = c.wbQueue[1:]
+	}
+	// Issue queued prefetches with leftover capacity.
+	for len(c.pfQueue) > 0 && c.accepted < c.cfg.AcceptsPerCycle && len(c.mshrs) < c.cfg.MSHRs {
+		line := c.pfQueue[0]
+		if c.lookup(line) != nil {
+			c.pfQueue = c.pfQueue[1:]
+			continue
+		}
+		if _, inflight := c.mshrs[line]; inflight {
+			c.pfQueue = c.pfQueue[1:]
+			continue
+		}
+		ms := &mshr{line: line}
+		c.mshrs[line] = ms
+		c.issueFill(now, ms)
+		if !ms.issued {
+			delete(c.mshrs, line)
+			break
+		}
+		c.Stats.PrefetchIssued++
+		c.accepted++
+		c.pfQueue = c.pfQueue[1:]
+	}
+	// Fire matured completions.
+	kept := c.pending[:0]
+	for _, p := range c.pending {
+		if p.at <= now {
+			p.fn(now)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	c.pending = kept
+}
+
+// PendingOps reports outstanding internal work (for drain detection).
+func (c *Cache) PendingOps() int {
+	return len(c.mshrs) + len(c.wbQueue) + len(c.pending)
+}
+
+func (c *Cache) String() string {
+	return fmt.Sprintf("%s{%dKB %d-way, hits=%d misses=%d}",
+		c.cfg.Name, c.cfg.SizeBytes/1024, c.cfg.Ways, c.Stats.Hits, c.Stats.Misses)
+}

@@ -1,0 +1,8 @@
+package mem
+
+import "math"
+
+func f32Bits(f float32) uint32     { return math.Float32bits(f) }
+func f32FromBits(b uint32) float32 { return math.Float32frombits(b) }
+func f64Bits(f float64) uint64     { return math.Float64bits(f) }
+func f64FromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,115 @@
+// Package program represents decoded instruction sequences and provides an
+// assembler-style builder with labels, matching how the paper's benchmark
+// kernels were hand-written in extended-GNU-assembler syntax (§V).
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+)
+
+// Program is a fully resolved instruction sequence. Instruction indices act
+// as program counters; branch targets are indices.
+type Program struct {
+	Name   string
+	Insts  []isa.Inst
+	Labels map[string]int
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// At returns the instruction at pc. Out-of-range PCs (wrong-path fetch past
+// the end) return a halt so speculation dies out naturally.
+func (p *Program) At(pc int) isa.Inst {
+	if pc < 0 || pc >= len(p.Insts) {
+		return isa.Halt()
+	}
+	return p.Insts[pc]
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s (%d insts)\n", p.Name, len(p.Insts))
+	back := make(map[int][]string)
+	for l, i := range p.Labels {
+		back[i] = append(back[i], l)
+	}
+	for i, in := range p.Insts {
+		for _, l := range back[i] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "  %3d  %s\n", i, in.String())
+	}
+	return b.String()
+}
+
+// Builder assembles a Program.
+type Builder struct {
+	name   string
+	insts  []isa.Inst
+	labels map[string]int
+	errs   []error
+}
+
+// NewBuilder starts a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+// Label binds a name to the next emitted instruction's index.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+// I emits instructions.
+func (b *Builder) I(insts ...isa.Inst) *Builder {
+	b.insts = append(b.insts, insts...)
+	return b
+}
+
+// ConfigStream emits the configuration µOp sequence for a stream: one
+// instruction per dimension and modifier, as UVE assembly does.
+func (b *Builder) ConfigStream(u int, d *descriptor.Descriptor) *Builder {
+	return b.I(isa.SCfgParts(u, d)...)
+}
+
+// Build resolves labels and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	insts := append([]isa.Inst(nil), b.insts...)
+	for i := range insts {
+		in := &insts[i]
+		if !in.Op.IsBranch() {
+			continue
+		}
+		if in.Label == "" {
+			return nil, fmt.Errorf("inst %d (%s): branch without label", i, in.Op.Name())
+		}
+		t, ok := b.labels[in.Label]
+		if !ok {
+			return nil, fmt.Errorf("inst %d (%s): undefined label %q", i, in.Op.Name(), in.Label)
+		}
+		in.Target = t
+	}
+	return &Program{Name: b.name, Insts: insts, Labels: b.labels}, nil
+}
+
+// MustBuild is Build that panics on error, for statically known kernels.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,88 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+)
+
+func TestBuilderResolvesLabels(t *testing.T) {
+	p := NewBuilder("t").
+		I(isa.Li(isa.X(1), 0)).
+		Label("loop").
+		I(isa.AddI(isa.X(1), isa.X(1), 1)).
+		I(isa.Blt(isa.X(1), isa.X(2), "loop")).
+		I(isa.Halt()).
+		MustBuild()
+	if p.Insts[2].Target != 1 {
+		t.Fatalf("branch target = %d, want 1", p.Insts[2].Target)
+	}
+}
+
+func TestBuilderForwardLabel(t *testing.T) {
+	p := NewBuilder("t").
+		I(isa.Beq(isa.X(1), isa.X(0), "done")).
+		I(isa.Nop()).
+		Label("done").
+		I(isa.Halt()).
+		MustBuild()
+	if p.Insts[0].Target != 2 {
+		t.Fatalf("forward target = %d, want 2", p.Insts[0].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	_, err := NewBuilder("t").I(isa.J("nowhere")).Build()
+	if err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("err = %v, want undefined label", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	_, err := NewBuilder("t").Label("a").I(isa.Nop()).Label("a").Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v, want duplicate label", err)
+	}
+}
+
+func TestAtOutOfRangeHalts(t *testing.T) {
+	p := NewBuilder("t").I(isa.Nop()).MustBuild()
+	if p.At(5).Op != isa.OpHalt || p.At(-1).Op != isa.OpHalt {
+		t.Fatal("out-of-range fetch must return halt")
+	}
+	if p.At(0).Op != isa.OpNop {
+		t.Fatal("in-range fetch wrong")
+	}
+}
+
+func TestConfigStreamEmitsPartSequence(t *testing.T) {
+	d := descriptor.New(0x100, arch.W4, descriptor.Load).
+		Dim(0, 8, 1).Dim(0, 4, 8).MustBuild()
+	p := NewBuilder("t").ConfigStream(3, d).I(isa.Halt()).MustBuild()
+	if p.Len() != 3 {
+		t.Fatalf("program length %d, want 3 (2 config + halt)", p.Len())
+	}
+	if p.Insts[0].Op != isa.OpSCfg || !p.Insts[0].Cfg.Start {
+		t.Fatal("first µOp must be the start part")
+	}
+	if !p.Insts[1].Cfg.End {
+		t.Fatal("last config µOp must be the end part")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := NewBuilder("demo").
+		Label("top").
+		I(isa.AddI(isa.X(1), isa.X(1), 1)).
+		I(isa.J("top")).
+		MustBuild()
+	s := p.String()
+	for _, want := range []string{"demo", "top:", "addi", "j"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in %q", want, s)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package sim assembles complete machines (core + memory hierarchy, plus
+// the Streaming Engine for UVE) and runs kernel instances on them,
+// collecting the statistics the paper's evaluation reports.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/engine"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+// Options overrides pieces of the Table I machine for sensitivity sweeps.
+type Options struct {
+	Core cpu.Config
+	Eng  engine.Config
+	Hier mem.HierarchyConfig
+	// SkipCheck skips output validation (benchmark loops that re-run the
+	// same instance's timing many times).
+	SkipCheck bool
+}
+
+// DefaultOptions returns the Table I machine for the given variant.
+func DefaultOptions(v kernels.Variant) Options {
+	o := Options{
+		Core: cpu.DefaultConfig(),
+		Eng:  engine.DefaultConfig(),
+		Hier: mem.DefaultHierarchyConfig(),
+	}
+	o.Core.VecBytes = v.VecBytes()
+	o.Eng.VecBytes = v.VecBytes()
+	return o
+}
+
+// Result carries the measurements used by the §VI figures.
+type Result struct {
+	Variant   kernels.Variant
+	Kernel    string
+	Size      int
+	Cycles    int64
+	Committed uint64
+	Core      cpu.Stats
+	Eng       engine.Stats
+	DRAM      mem.DRAMStats
+	L1        mem.CacheStats
+	L2        mem.CacheStats
+	// BusUtil is (ReadBW+WriteBW)/PeakBW — the Fig 8.D metric.
+	BusUtil float64
+}
+
+// IPC returns committed instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// Run builds the kernel at the given size for the variant and executes it
+// to completion, validating the output against the kernel's reference.
+func Run(k *kernels.Kernel, v kernels.Variant, size int, opts *Options) (*Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	} else {
+		o = DefaultOptions(v)
+	}
+	if size <= 0 {
+		size = k.DefaultSize
+	}
+	h := mem.NewHierarchy(o.Hier)
+	inst := k.Build(h, v, size)
+
+	var eng *engine.Engine
+	if v == kernels.UVE {
+		eng = engine.New(o.Eng, h)
+	}
+	core := cpu.New(o.Core, inst.Prog, h, eng)
+	for r, val := range inst.IntArgs {
+		core.SetIntReg(r, val)
+	}
+	for r, a := range inst.FPArgs {
+		core.SetFPReg(r, a.W, a.V)
+	}
+	cycles := core.Run()
+
+	res := &Result{
+		Variant:   v,
+		Kernel:    k.ID,
+		Size:      size,
+		Cycles:    cycles,
+		Committed: core.Stats.Committed,
+		Core:      core.Stats,
+		DRAM:      h.DRAM.Stats,
+		L1:        h.L1D.Stats,
+		L2:        h.L2.Stats,
+		BusUtil:   h.DRAM.Utilization(cycles),
+	}
+	if eng != nil {
+		res.Eng = eng.Stats
+	}
+	if !o.SkipCheck && inst.Check != nil {
+		if err := inst.Check(); err != nil {
+			return res, fmt.Errorf("%s/%s n=%d: output mismatch: %w", k.Name, v, size, err)
+		}
+	}
+	return res, nil
+}
+
+// MustRun is Run that fails the calling benchmark/test via panic on error.
+func MustRun(k *kernels.Kernel, v kernels.Variant, size int, opts *Options) *Result {
+	r, err := Run(k, v, size, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

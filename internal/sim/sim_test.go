@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func TestDefaultOptionsVectorWidths(t *testing.T) {
+	if o := DefaultOptions(kernels.UVE); o.Core.VecBytes != 64 || o.Eng.VecBytes != 64 {
+		t.Fatalf("UVE widths: %d/%d", o.Core.VecBytes, o.Eng.VecBytes)
+	}
+	if o := DefaultOptions(kernels.NEON); o.Core.VecBytes != 16 {
+		t.Fatalf("NEON width: %d", o.Core.VecBytes)
+	}
+}
+
+func TestRunValidatesAndMeasures(t *testing.T) {
+	res, err := Run(kernels.ByID("C"), kernels.UVE, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Committed == 0 || res.IPC() <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.Kernel != "C" || res.Variant != kernels.UVE || res.Size != 500 {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+	if res.Eng.ConfigsCompleted != 3 {
+		t.Fatalf("saxpy configured %d streams, want 3", res.Eng.ConfigsCompleted)
+	}
+}
+
+func TestRunDefaultSize(t *testing.T) {
+	res, err := Run(kernels.ByID("A"), kernels.NEON, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != kernels.ByID("A").DefaultSize {
+		t.Fatalf("size %d, want kernel default", res.Size)
+	}
+}
+
+func TestRunSkipCheck(t *testing.T) {
+	o := DefaultOptions(kernels.SVE)
+	o.SkipCheck = true
+	if _, err := Run(kernels.ByID("C"), kernels.SVE, 100, &o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustRunPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic for a non-lane-multiple GEMM size")
+		}
+	}()
+	// GEMM requires N to be a multiple of the lane count; 17 is not.
+	MustRun(kernels.ByID("D"), kernels.UVE, 17, nil)
+}

@@ -1,0 +1,73 @@
+package uve
+
+import (
+	"repro/internal/descriptor"
+)
+
+// Stream descriptor surface (paper §II): hierarchical {Offset, Size, Stride}
+// dimensions with static and indirect modifiers.
+
+// Descriptor is a fully configured stream pattern.
+type Descriptor = descriptor.Descriptor
+
+// StreamBuilder assembles descriptors dimension by dimension, mirroring the
+// ss.ld.sta / ss.app / ss.end configuration instruction sequence.
+type StreamBuilder = descriptor.Builder
+
+// Stream element access sequence helpers.
+type (
+	// Elem is one generated stream element with end-of-dimension flags.
+	Elem = descriptor.Elem
+	// OriginSource supplies values for indirect modifiers when iterating a
+	// descriptor standalone.
+	OriginSource = descriptor.OriginSource
+)
+
+// Target selects which parameter of a dimension a modifier rewrites.
+type Target = descriptor.Target
+
+// Behavior is a modifier's operation (add/sub for static modifiers,
+// set-add/set-sub/set-value for indirect ones).
+type Behavior = descriptor.Behavior
+
+// Modifier targets and behaviors (paper §II-B2, §II-B3).
+const (
+	TargetOffset = descriptor.TargetOffset
+	TargetSize   = descriptor.TargetSize
+	TargetStride = descriptor.TargetStride
+
+	ModAdd      = descriptor.Add
+	ModSub      = descriptor.Sub
+	ModSetAdd   = descriptor.SetAdd
+	ModSetSub   = descriptor.SetSub
+	ModSetValue = descriptor.SetValue
+)
+
+// NewLoadStream starts an input-stream descriptor over elements of width w
+// based at byte address base.
+func NewLoadStream(base uint64, w ElemWidth) *StreamBuilder {
+	return descriptor.New(base, w, descriptor.Load)
+}
+
+// NewStoreStream starts an output-stream descriptor.
+func NewStoreStream(base uint64, w ElemWidth) *StreamBuilder {
+	return descriptor.New(base, w, descriptor.Store)
+}
+
+// Addresses materializes the full byte-address sequence of a descriptor —
+// useful for inspecting patterns without running a machine. src may be nil
+// for purely affine patterns.
+func Addresses(d *Descriptor, src OriginSource) []uint64 {
+	return descriptor.Addresses(d, src)
+}
+
+// Elements materializes the element sequence with end-of-dimension flags.
+func Elements(d *Descriptor, src OriginSource) []Elem {
+	return descriptor.Sequence(d, src)
+}
+
+// SliceOrigin adapts in-memory value slices (keyed by origin stream number)
+// into an OriginSource for standalone descriptor iteration.
+func SliceOrigin(values map[int][]uint64) OriginSource {
+	return descriptor.NewSliceOrigin(values)
+}

@@ -1,0 +1,260 @@
+// Package uve is a library-level reproduction of "Unlimited Vector
+// Extension with Data Streaming Support" (Domingos, Neves, Roma, Tomás —
+// ISCA 2021): a vector-length-agnostic SIMD ISA whose memory accesses are
+// described once, at the loop preamble, as hierarchical stream descriptors
+// and then executed autonomously by a Streaming Engine embedded in an
+// out-of-order core.
+//
+// The package exposes three layers:
+//
+//   - Stream descriptors (NewLoadStream/NewStoreStream): the §II pattern
+//     model — n-dimensional affine sequences with static and indirect
+//     modifiers — usable standalone for address-sequence generation.
+//   - Programs (NewProgram plus the assembler constructors in asm.go): the
+//     UVE instruction set, the SVE-like and NEON-like baseline subsets, and
+//     the scalar base ISA.
+//   - Machines (NewMachine): cycle-level models of the paper's Table I
+//     out-of-order core, two-level MOESI cache hierarchy with baseline
+//     prefetchers, DDR3-class DRAM, and the Streaming Engine.
+//
+// See examples/ for runnable end-to-end programs and cmd/uvebench for the
+// harness regenerating the paper's evaluation figures.
+package uve
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// Element widths (bytes) of stream and vector elements.
+const (
+	W1 = arch.W1
+	W2 = arch.W2
+	W4 = arch.W4
+	W8 = arch.W8
+)
+
+// Memory levels a stream can be configured to operate over (so.cfg.memx).
+const (
+	LevelL1  = arch.LevelL1
+	LevelL2  = arch.LevelL2
+	LevelMem = arch.LevelMem
+)
+
+// ElemWidth is the element width in bytes.
+type ElemWidth = arch.ElemWidth
+
+// CacheLevel selects the memory level a stream operates over.
+type CacheLevel = arch.CacheLevel
+
+// Program is a resolved instruction sequence.
+type Program = program.Program
+
+// ProgramBuilder assembles programs with labels (see NewProgram).
+type ProgramBuilder = program.Builder
+
+// NewProgram starts an assembler-style program builder.
+func NewProgram(name string) *ProgramBuilder { return program.NewBuilder(name) }
+
+// Config selects the machine configuration. The zero value is not valid;
+// start from DefaultConfig (the paper's Table I machine) or NEONConfig.
+type Config struct {
+	Core   cpu.Config
+	Engine engine.Config
+	Memory mem.HierarchyConfig
+	// Streaming enables the Streaming Engine (the UVE machine). Baseline
+	// machines leave it false and rely on the hardware prefetchers.
+	Streaming bool
+}
+
+// DefaultConfig is the paper's Table I configuration with streaming enabled:
+// a Cortex-A76-class out-of-order core with 512-bit vectors and the
+// Streaming Engine.
+func DefaultConfig() Config {
+	return Config{
+		Core:      cpu.DefaultConfig(),
+		Engine:    engine.DefaultConfig(),
+		Memory:    mem.DefaultHierarchyConfig(),
+		Streaming: true,
+	}
+}
+
+// SVEConfig is the baseline machine the paper compares against: the same
+// core and memory system (including the stride and AMPM prefetchers), 512-bit
+// vectors, no Streaming Engine.
+func SVEConfig() Config {
+	c := DefaultConfig()
+	c.Streaming = false
+	return c
+}
+
+// NEONConfig is the fixed-width 128-bit baseline.
+func NEONConfig() Config {
+	c := SVEConfig()
+	c.Core.VecBytes = 16
+	return c
+}
+
+// Result carries the measurements of one run.
+type Result struct {
+	// Cycles to commit the program's halt (the paper's performance metric).
+	Cycles int64
+	// Committed architectural instructions.
+	Committed uint64
+	// Core, Engine, DRAM, L1 and L2 statistics.
+	Core   cpu.Stats
+	Engine engine.Stats
+	DRAM   mem.DRAMStats
+	L1     mem.CacheStats
+	L2     mem.CacheStats
+	// BusUtil is (read+write bandwidth)/peak DRAM bandwidth over the run.
+	BusUtil float64
+}
+
+// IPC returns committed instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles)
+}
+
+// Machine is one simulated system: memory + caches + optional Streaming
+// Engine. Allocate data with Alloc/Float32s/Uint64s, then Run programs.
+type Machine struct {
+	cfg  Config
+	hier *mem.Hierarchy
+}
+
+// NewMachine builds a machine.
+func NewMachine(cfg Config) *Machine {
+	cfg.Engine.VecBytes = cfg.Core.VecBytes
+	return &Machine{cfg: cfg, hier: mem.NewHierarchy(cfg.Memory)}
+}
+
+// VecBytes returns the machine's vector register width in bytes.
+func (m *Machine) VecBytes() int { return m.cfg.Core.VecBytes }
+
+// Lanes returns the vector lane count for elements of width w.
+func (m *Machine) Lanes(w ElemWidth) int { return arch.LanesFor(m.cfg.Core.VecBytes, w) }
+
+// Alloc reserves size bytes of simulated memory, cache-line aligned.
+func (m *Machine) Alloc(size int) uint64 { return m.hier.Mem.Alloc(size, arch.LineSize) }
+
+// Float32s allocates a float32 array in simulated memory.
+func (m *Machine) Float32s(n int) *F32Array {
+	return &F32Array{m: m.hier.Mem, Base: m.Alloc(4 * n), N: n}
+}
+
+// Uint64s allocates a uint64 array in simulated memory (index vectors).
+func (m *Machine) Uint64s(n int) *U64Array {
+	return &U64Array{m: m.hier.Mem, Base: m.Alloc(8 * n), N: n}
+}
+
+// Run executes a program to completion and returns its measurements.
+// args preset architectural registers before the run (kernel arguments).
+func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
+	var eng *engine.Engine
+	if m.cfg.Streaming {
+		eng = engine.New(m.cfg.Engine, m.hier)
+	}
+	core := cpu.New(m.cfg.Core, p, m.hier, eng)
+	for _, a := range args {
+		a.apply(core)
+	}
+	var cycles int64
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("uve: simulation aborted: %v", r)
+			}
+		}()
+		cycles = core.Run()
+	}()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Cycles:    cycles,
+		Committed: core.Stats.Committed,
+		Core:      core.Stats,
+		DRAM:      m.hier.DRAM.Stats,
+		L1:        m.hier.L1D.Stats,
+		L2:        m.hier.L2.Stats,
+		BusUtil:   m.hier.DRAM.Utilization(cycles),
+	}
+	if eng != nil {
+		res.Engine = eng.Stats
+	}
+	return res, nil
+}
+
+// Arg presets an architectural register before a run.
+type Arg struct {
+	apply func(c *cpu.Core)
+}
+
+// IntArg places v in integer register xN.
+func IntArg(n int, v uint64) Arg {
+	return Arg{apply: func(c *cpu.Core) { c.SetIntReg(n, v) }}
+}
+
+// FloatArg places v (width w) in FP register fN.
+func FloatArg(n int, w ElemWidth, v float64) Arg {
+	return Arg{apply: func(c *cpu.Core) { c.SetFPReg(n, w, v) }}
+}
+
+// F32Array is a float32 array in simulated memory.
+type F32Array struct {
+	m    *mem.Memory
+	Base uint64
+	N    int
+}
+
+// Set writes element i.
+func (a *F32Array) Set(i int, v float64) { a.m.WriteFloat(a.Base+uint64(4*i), arch.W4, v) }
+
+// At reads element i.
+func (a *F32Array) At(i int) float64 { return a.m.ReadFloat(a.Base+uint64(4*i), arch.W4) }
+
+// Fill sets every element from f.
+func (a *F32Array) Fill(f func(i int) float64) {
+	for i := 0; i < a.N; i++ {
+		a.Set(i, f(i))
+	}
+}
+
+// Slice copies the array out of simulated memory.
+func (a *F32Array) Slice() []float64 {
+	out := make([]float64, a.N)
+	for i := range out {
+		out[i] = a.At(i)
+	}
+	return out
+}
+
+// U64Array is a uint64 array in simulated memory.
+type U64Array struct {
+	m    *mem.Memory
+	Base uint64
+	N    int
+}
+
+// Set writes element i.
+func (a *U64Array) Set(i int, v uint64) { a.m.Write(a.Base+uint64(8*i), arch.W8, v) }
+
+// At reads element i.
+func (a *U64Array) At(i int) uint64 { return a.m.Read(a.Base+uint64(8*i), arch.W8) }
+
+// Fill sets every element from f.
+func (a *U64Array) Fill(f func(i int) uint64) {
+	for i := 0; i < a.N; i++ {
+		a.Set(i, f(i))
+	}
+}
