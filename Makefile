@@ -1,0 +1,34 @@
+# Development targets. `make check` is the PR gate: it vets, builds,
+# runs the full test suite under the race detector (which exercises the
+# parallel experiment runner), and smoke-runs the Fig 8 benchmark once.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench experiments
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One Fig 8 regeneration through the benchmark harness — cheap proof that
+# the full kernel × machine matrix still assembles, runs and validates.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^BenchmarkFig8$$' -benchtime 1x .
+
+# Full custom-metric benchmark sweep (§VI figures as benchmark units).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Paper-scale regeneration of every figure and table.
+experiments:
+	$(GO) run ./cmd/uvebench -exp all

@@ -13,7 +13,9 @@ import (
 // evaluation (§VI). Each reports the paper's metrics as custom benchmark
 // units, so `go test -bench=. -benchmem` produces the full evaluation.
 // Problem sizes are scaled down (bench.Options{Scale: 4}) to keep a full
-// sweep quick; run cmd/uvebench for paper-scale numbers.
+// sweep quick; run cmd/uvebench for paper-scale numbers. The harness fans
+// simulations out over all cores; fresh Options per iteration keep the
+// memo table from short-circuiting repeated measurement iterations.
 
 func benchOpts() *bench.Options { return &bench.Options{Scale: 4} }
 
@@ -37,6 +39,16 @@ func BenchmarkFig8(b *testing.B) {
 	b.ReportMetric(100*bench.MeanInstReduction(rows, kernels.SVE, true), "%inst-red-vs-SVE")
 	b.ReportMetric(100*bench.MeanInstReduction(rows, kernels.NEON, false), "%inst-red-vs-NEON")
 	b.ReportMetric(100*bench.MeanRenameReduction(rows, kernels.SVE, true), "%rename-red-vs-SVE")
+}
+
+// BenchmarkFig8Sequential is BenchmarkFig8 pinned to one worker — the
+// baseline for measuring the parallel runner's scaling on this machine.
+func BenchmarkFig8Sequential(b *testing.B) {
+	var rows []bench.Fig8Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig8(&bench.Options{Scale: 4, Workers: 1})
+	}
+	b.ReportMetric(bench.GeoMeanSpeedup(rows, kernels.SVE, true), "speedup-vs-SVE")
 }
 
 // Per-kernel benchmarks: BenchmarkKernel/<ID>-<name>/<variant> measures one

@@ -15,10 +15,15 @@
 //	uvebench -exp table1        # machine configuration
 //	uvebench -exp all           # everything
 //
-// -scale N divides problem sizes by N for quick runs.
+// -scale N divides problem sizes by N for quick runs. -j N sizes the
+// worker pool that fans the independent simulations out across cores
+// (default all cores; -j 1 is fully sequential — the output is
+// byte-identical either way). -json emits machine-readable results for
+// BENCH_*.json trajectory tracking instead of the text tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,41 +35,87 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig8, fig8table, fig8e, fig9, fig10, fig11, spm, hw, table1, all)")
 	scale := flag.Int("scale", 1, "divide problem sizes by this factor")
 	verbose := flag.Bool("v", false, "print each run")
+	workers := flag.Int("j", 0, "simulation worker pool size (0 = all cores, 1 = sequential)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results")
 	flag.Parse()
 
-	o := &bench.Options{Scale: *scale, Verbose: *verbose}
-	run := func(id string) {
+	o := &bench.Options{Scale: *scale, Verbose: *verbose && !*jsonOut, Workers: *workers}
+
+	// Every experiment produces both a text rendering and a Report; one
+	// shared Options means the runner's memo table spans the whole
+	// invocation, so e.g. the Fig 9 48-PR reference reuses the Fig 8 run.
+	run := func(id string) (string, bench.Report) {
 		switch id {
 		case "table1":
-			fmt.Println(bench.FormatTable1())
+			t := bench.FormatTable1()
+			return t, bench.Report{Experiment: id, Text: t}
 		case "fig8table":
-			fmt.Println(bench.FormatFig8Table())
+			t := bench.FormatFig8Table()
+			return t, bench.Report{Experiment: id, Text: t}
 		case "fig8":
-			fmt.Println(bench.FormatFig8(bench.Fig8(o)))
+			rows := bench.Fig8(o)
+			return bench.FormatFig8(rows), bench.Report{Experiment: id, Fig8: rows, Summary: bench.Fig8Summary(rows)}
 		case "fig8e":
-			fmt.Println(bench.FormatSweep("Fig 8.E — UVE GEMM loop unrolling (speedup vs no unrolling)", bench.Fig8E(o)))
+			pts := bench.Fig8E(o)
+			return bench.FormatSweep("Fig 8.E — UVE GEMM loop unrolling (speedup vs no unrolling)", pts),
+				bench.Report{Experiment: id, Sweep: pts}
 		case "fig9":
-			fmt.Println(bench.FormatSweep("Fig 9 — sensitivity to vector physical registers (speedup vs 48 PRs)", bench.Fig9(o)))
+			pts := bench.Fig9(o)
+			return bench.FormatSweep("Fig 9 — sensitivity to vector physical registers (speedup vs 48 PRs)", pts),
+				bench.Report{Experiment: id, Sweep: pts}
 		case "fig10":
-			fmt.Println(bench.FormatSweep("Fig 10 — sensitivity to FIFO depth (speedup vs depth 8)", bench.Fig10(o)))
+			pts := bench.Fig10(o)
+			return bench.FormatSweep("Fig 10 — sensitivity to FIFO depth (speedup vs depth 8)", pts),
+				bench.Report{Experiment: id, Sweep: pts}
 		case "fig11":
-			fmt.Println(bench.FormatSweep("Fig 11 — sensitivity to streaming cache level (speedup vs L2)", bench.Fig11(o)))
+			pts := bench.Fig11(o)
+			return bench.FormatSweep("Fig 11 — sensitivity to streaming cache level (speedup vs L2)", pts),
+				bench.Report{Experiment: id, Sweep: pts}
 		case "spm":
-			fmt.Println(bench.FormatSweep("§VI-B — stream processing modules (speedup vs 2 modules)", bench.SPMSweep(o)))
+			pts := bench.SPMSweep(o)
+			return bench.FormatSweep("§VI-B — stream processing modules (speedup vs 2 modules)", pts),
+				bench.Report{Experiment: id, Sweep: pts}
 		case "hw":
-			fmt.Println(bench.FormatHW())
+			t := bench.FormatHW()
+			return t, bench.Report{Experiment: id, Text: t}
 		case "ablate":
-			fmt.Println(bench.FormatSweep("Ablations — baseline prefetchers off; engine restricted to 1 load port (speedup vs default)", bench.Ablations(o)))
+			pts := bench.Ablations(o)
+			return bench.FormatSweep("Ablations — baseline prefetchers off; engine restricted to 1 load port (speedup vs default)", pts),
+				bench.Report{Experiment: id, Sweep: pts}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 			os.Exit(2)
+			return "", bench.Report{}
 		}
 	}
+
+	ids := []string{*exp}
 	if *exp == "all" {
-		for _, id := range []string{"table1", "fig8table", "hw", "fig8", "fig8e", "fig9", "fig10", "fig11", "spm", "ablate"} {
-			run(id)
-		}
-		return
+		ids = []string{"table1", "fig8table", "hw", "fig8", "fig8e", "fig9", "fig10", "fig11", "spm", "ablate"}
 	}
-	run(*exp)
+
+	var reports []bench.Report
+	for _, id := range ids {
+		text, rep := run(id)
+		if *jsonOut {
+			reports = append(reports, rep)
+		} else {
+			fmt.Println(text)
+		}
+	}
+
+	if *jsonOut {
+		doc := struct {
+			Scale       int               `json:"scale"`
+			Workers     int               `json:"workers"`
+			Runner      bench.RunnerStats `json:"runner"`
+			Experiments []bench.Report    `json:"experiments"`
+		}{*scale, o.Runner().Workers(), o.Runner().Stats(), reports}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/cpu"
@@ -24,6 +25,28 @@ import (
 type Options struct {
 	Scale   int  // 1 = paper-scale defaults
 	Verbose bool // print each run as it completes
+	// Workers sizes the parallel runner's worker pool: 0 = GOMAXPROCS,
+	// 1 = fully sequential.
+	Workers int
+
+	mu sync.Mutex
+	r  *Runner
+}
+
+// Runner returns the options' shared parallel runner, creating it on first
+// use. Sharing one runner across every experiment of an invocation is what
+// lets the memo table simulate the common default-configuration baseline
+// exactly once for `uvebench -exp all`.
+func (o *Options) Runner() *Runner {
+	if o == nil {
+		return NewRunner(0)
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.r == nil {
+		o.r = NewRunner(o.Workers)
+	}
+	return o.r
 }
 
 func (o *Options) scale(size int) int {
@@ -31,6 +54,12 @@ func (o *Options) scale(size int) int {
 		return size
 	}
 	s := size / o.Scale
+	if s < 1 {
+		// Scales beyond DefaultSize must not zero (or, with negative
+		// sizes upstream, invert) the intermediate size before SizeFor's
+		// per-kernel structural clamps apply.
+		s = 1
+	}
 	return s
 }
 
@@ -84,10 +113,25 @@ func (r *Fig8Row) InstReductionVs(v kernels.Variant) float64 {
 	return 1 - float64(r.Inst[kernels.UVE])/float64(r.Inst[v])
 }
 
+// fig8Variants are the three Table I machines, in Fig 8 column order.
+var fig8Variants = []kernels.Variant{kernels.UVE, kernels.SVE, kernels.NEON}
+
 // Fig8 runs all benchmarks on all three machines with the Table I
-// configuration and collects the Fig 8 A–D metrics.
+// configuration and collects the Fig 8 A–D metrics. The 19×3 matrix fans
+// out over the options' runner; rows come back in Fig 8 order regardless
+// of which worker finished first.
 func Fig8(o *Options) []Fig8Row {
+	var jobs []Job
+	for _, k := range kernels.All {
+		size := SizeFor(k, o)
+		for _, v := range fig8Variants {
+			jobs = append(jobs, Job{Kernel: k, Variant: v, Size: size})
+		}
+	}
+	results := mustAll(o.Runner().RunAll(jobs))
+
 	var rows []Fig8Row
+	i := 0
 	for _, k := range kernels.All {
 		size := SizeFor(k, o)
 		row := Fig8Row{
@@ -97,8 +141,9 @@ func Fig8(o *Options) []Fig8Row {
 			Rename: map[kernels.Variant]float64{},
 			BusU:   map[kernels.Variant]float64{},
 		}
-		for _, v := range []kernels.Variant{kernels.UVE, kernels.SVE, kernels.NEON} {
-			res := sim.MustRun(k, v, size, nil)
+		for _, v := range fig8Variants {
+			res := results[i]
+			i++
 			row.Cycles[v] = res.Cycles
 			row.Inst[v] = res.Committed
 			row.Rename[v] = res.Core.RenameBlocksPerCycle()
@@ -212,20 +257,37 @@ type SweepPoint struct {
 // sensitivityKernels is the Fig 9–11 subset.
 var sensitivityKernels = []string{"D", "J", "B", "O"}
 
+// fig9Variants are the two machines Fig 9 compares.
+var fig9Variants = []kernels.Variant{kernels.UVE, kernels.SVE}
+
 // Fig9 sweeps the number of vector physical registers {48, 64, 96} for UVE
-// and SVE (paper Fig 9: UVE flat, SVE rising).
+// and SVE (paper Fig 9: UVE flat, SVE rising). The 48-PR point is the
+// Table I default, so it memo-shares with the Fig 8 baseline run.
 func Fig9(o *Options) []SweepPoint {
 	prs := []int{48, 64, 96}
-	var out []SweepPoint
+	var jobs []Job
 	for _, id := range sensitivityKernels {
 		k := kernels.ByID(id)
 		size := SizeFor(k, o)
-		for _, v := range []kernels.Variant{kernels.UVE, kernels.SVE} {
-			ref := int64(0)
+		for _, v := range fig9Variants {
 			for _, pr := range prs {
 				opts := sim.DefaultOptions(v)
 				opts.Core.VecPRF = pr
-				res := sim.MustRun(k, v, size, &opts)
+				jobs = append(jobs, Job{Kernel: k, Variant: v, Size: size, Opts: &opts})
+			}
+		}
+	}
+	results := mustAll(o.Runner().RunAll(jobs))
+
+	var out []SweepPoint
+	i := 0
+	for _, id := range sensitivityKernels {
+		k := kernels.ByID(id)
+		for _, v := range fig9Variants {
+			ref := int64(0)
+			for _, pr := range prs {
+				res := results[i]
+				i++
 				if pr == 48 {
 					ref = res.Cycles
 				}
@@ -245,16 +307,26 @@ func Fig9(o *Options) []SweepPoint {
 func Fig10(o *Options) []SweepPoint {
 	depths := []int{2, 4, 8, 12}
 	ks := append([]string{"E"}, sensitivityKernels...)
-	var out []SweepPoint
+	var jobs []Job
 	for _, id := range ks {
 		k := kernels.ByID(id)
 		size := SizeFor(k, o)
-		cycles := map[int]int64{}
 		for _, d := range depths {
 			opts := sim.DefaultOptions(kernels.UVE)
 			opts.Eng.FIFODepth = d
-			res := sim.MustRun(k, kernels.UVE, size, &opts)
-			cycles[d] = res.Cycles
+			jobs = append(jobs, Job{Kernel: k, Variant: kernels.UVE, Size: size, Opts: &opts})
+		}
+	}
+	results := mustAll(o.Runner().RunAll(jobs))
+
+	var out []SweepPoint
+	i := 0
+	for _, id := range ks {
+		k := kernels.ByID(id)
+		cycles := map[int]int64{}
+		for _, d := range depths {
+			cycles[d] = results[i].Cycles
+			i++
 		}
 		for _, d := range depths {
 			out = append(out, SweepPoint{
@@ -270,17 +342,27 @@ func Fig10(o *Options) []SweepPoint {
 // (paper Fig 11: L2 generally best). Normalized to L2.
 func Fig11(o *Options) []SweepPoint {
 	levels := []arch.CacheLevel{arch.LevelL1, arch.LevelL2, arch.LevelMem}
-	var out []SweepPoint
+	var jobs []Job
 	for _, id := range sensitivityKernels {
 		k := kernels.ByID(id)
 		size := SizeFor(k, o)
-		cycles := map[arch.CacheLevel]int64{}
 		for _, lvl := range levels {
 			lvl := lvl
 			opts := sim.DefaultOptions(kernels.UVE)
 			opts.Eng.ForceLevel = &lvl
-			res := sim.MustRun(k, kernels.UVE, size, &opts)
-			cycles[lvl] = res.Cycles
+			jobs = append(jobs, Job{Kernel: k, Variant: kernels.UVE, Size: size, Opts: &opts})
+		}
+	}
+	results := mustAll(o.Runner().RunAll(jobs))
+
+	var out []SweepPoint
+	i := 0
+	for _, id := range sensitivityKernels {
+		k := kernels.ByID(id)
+		cycles := map[arch.CacheLevel]int64{}
+		for _, lvl := range levels {
+			cycles[lvl] = results[i].Cycles
+			i++
 		}
 		for _, lvl := range levels {
 			out = append(out, SweepPoint{
@@ -296,16 +378,26 @@ func Fig11(o *Options) []SweepPoint {
 // (paper §VI-B: less than 0.1% variation). Normalized to 2 modules.
 func SPMSweep(o *Options) []SweepPoint {
 	mods := []int{2, 4, 8}
-	var out []SweepPoint
+	var jobs []Job
 	for _, id := range sensitivityKernels {
 		k := kernels.ByID(id)
 		size := SizeFor(k, o)
-		cycles := map[int]int64{}
 		for _, m := range mods {
 			opts := sim.DefaultOptions(kernels.UVE)
 			opts.Eng.NumModules = m
-			res := sim.MustRun(k, kernels.UVE, size, &opts)
-			cycles[m] = res.Cycles
+			jobs = append(jobs, Job{Kernel: k, Variant: kernels.UVE, Size: size, Opts: &opts})
+		}
+	}
+	results := mustAll(o.Runner().RunAll(jobs))
+
+	var out []SweepPoint
+	i := 0
+	for _, id := range sensitivityKernels {
+		k := kernels.ByID(id)
+		cycles := map[int]int64{}
+		for _, m := range mods {
+			cycles[m] = results[i].Cycles
+			i++
 		}
 		for _, m := range mods {
 			out = append(out, SweepPoint{
@@ -323,18 +415,22 @@ func Fig8E(o *Options) []SweepPoint {
 	factors := []int{1, 2, 4, 8}
 	k := kernels.ByID("D")
 	size := SizeFor(k, o)
-	cycles := map[int]int64{}
+	var jobs []Job
 	for _, f := range factors {
-		hc := mem.DefaultHierarchyConfig()
-		h := mem.NewHierarchy(hc)
-		inst := kernels.UnrolledGemmUVE(h, size, f)
-		eng := engine.New(engine.DefaultConfig(), h)
-		core := cpu.New(cpu.DefaultConfig(), inst.Prog, h, eng)
-		cyc := core.Run()
-		if err := inst.Check(); err != nil {
-			panic(fmt.Sprintf("fig8e unroll=%d: %v", f, err))
-		}
-		cycles[f] = cyc
+		f := f
+		jobs = append(jobs, Job{
+			Variant: kernels.UVE, Size: size,
+			Key: fmt.Sprintf("fig8e-gemm-unroll%d", f),
+			Build: func(h *mem.Hierarchy) *kernels.Instance {
+				return kernels.UnrolledGemmUVE(h, size, f)
+			},
+		})
+	}
+	results := mustAll(o.Runner().RunAll(jobs))
+
+	cycles := map[int]int64{}
+	for i, f := range factors {
+		cycles[f] = results[i].Cycles
 	}
 	var out []SweepPoint
 	for _, f := range factors {
@@ -430,27 +526,37 @@ func FormatHW() string {
 // paper's own sweeps: the baseline without its hardware prefetchers, and
 // the engine restricted to a single load port.
 func Ablations(o *Options) []SweepPoint {
-	var out []SweepPoint
-	for _, id := range []string{"C", "D", "B", "F"} {
+	ids := []string{"C", "D", "B", "F"}
+	var jobs []Job
+	for _, id := range ids {
 		k := kernels.ByID(id)
 		size := SizeFor(k, o)
-		// Baseline prefetchers on/off.
-		ref := sim.MustRun(k, kernels.SVE, size, nil).Cycles
+		// Baseline prefetchers on/off. The default-config reference runs
+		// memo-share with Fig 8 under `-exp all`.
 		noPf := sim.DefaultOptions(kernels.SVE)
 		noPf.Hier.Prefetchers = false
-		cyc := sim.MustRun(k, kernels.SVE, size, &noPf).Cycles
-		out = append(out, SweepPoint{
-			Kernel: k.Name, Variant: kernels.SVE, Param: "no-prefetch",
-			Cycles: cyc, Speedup: float64(ref) / float64(cyc),
-		})
 		// Engine load ports 2 → 1.
-		uveRef := sim.MustRun(k, kernels.UVE, size, nil).Cycles
 		onePort := sim.DefaultOptions(kernels.UVE)
 		onePort.Eng.LoadPorts = 1
-		cyc = sim.MustRun(k, kernels.UVE, size, &onePort).Cycles
+		jobs = append(jobs,
+			Job{Kernel: k, Variant: kernels.SVE, Size: size},
+			Job{Kernel: k, Variant: kernels.SVE, Size: size, Opts: &noPf},
+			Job{Kernel: k, Variant: kernels.UVE, Size: size},
+			Job{Kernel: k, Variant: kernels.UVE, Size: size, Opts: &onePort},
+		)
+	}
+	results := mustAll(o.Runner().RunAll(jobs))
+
+	var out []SweepPoint
+	for i, id := range ids {
+		k := kernels.ByID(id)
+		ref, noPf, uveRef, onePort := results[4*i], results[4*i+1], results[4*i+2], results[4*i+3]
 		out = append(out, SweepPoint{
+			Kernel: k.Name, Variant: kernels.SVE, Param: "no-prefetch",
+			Cycles: noPf.Cycles, Speedup: float64(ref.Cycles) / float64(noPf.Cycles),
+		}, SweepPoint{
 			Kernel: k.Name, Variant: kernels.UVE, Param: "1-load-port",
-			Cycles: cyc, Speedup: float64(uveRef) / float64(cyc),
+			Cycles: onePort.Cycles, Speedup: float64(uveRef.Cycles) / float64(onePort.Cycles),
 		})
 	}
 	return out

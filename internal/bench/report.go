@@ -1,0 +1,26 @@
+package bench
+
+import "repro/internal/kernels"
+
+// Report is the machine-readable form of one experiment's output
+// (`uvebench -json`), consumed by BENCH_*.json trajectory tracking.
+// Exactly one of Fig8 / Sweep / Text is populated, per experiment kind.
+type Report struct {
+	Experiment string             `json:"experiment"`
+	Fig8       []Fig8Row          `json:"fig8,omitempty"`
+	Sweep      []SweepPoint       `json:"sweep,omitempty"`
+	Summary    map[string]float64 `json:"summary,omitempty"`
+	Text       string             `json:"text,omitempty"`
+}
+
+// Fig8Summary computes the headline aggregates the paper reports alongside
+// Fig 8 (geomean speedups and mean reductions).
+func Fig8Summary(rows []Fig8Row) map[string]float64 {
+	return map[string]float64{
+		"geomean_speedup_vs_sve_vectorized": GeoMeanSpeedup(rows, kernels.SVE, true),
+		"geomean_speedup_vs_neon":           GeoMeanSpeedup(rows, kernels.NEON, false),
+		"mean_inst_reduction_vs_sve":        MeanInstReduction(rows, kernels.SVE, true),
+		"mean_inst_reduction_vs_neon":       MeanInstReduction(rows, kernels.NEON, false),
+		"mean_rename_reduction_vs_sve":      MeanRenameReduction(rows, kernels.SVE, true),
+	}
+}

@@ -57,7 +57,7 @@ func (c *Core) commit() {
 
 		c.rob = c.rob[1:]
 		c.Stats.Committed++
-		c.Stats.CommittedByKind[in.Op.Kind().String()]++
+		c.Stats.CommittedByKind[in.Op.Kind()]++
 		c.lastCommit = c.cycle
 		if in.Op == isa.OpHalt {
 			c.halted = true

@@ -10,6 +10,7 @@ package cpu
 
 import (
 	"repro/internal/arch"
+	"repro/internal/isa"
 )
 
 // Config sizes the core (defaults per Table I, modeled on the Cortex-A76).
@@ -131,9 +132,12 @@ func (b BlockCause) String() string {
 
 // Stats aggregates core activity for the evaluation figures.
 type Stats struct {
-	Cycles          int64
-	Committed       uint64
-	CommittedByKind map[string]uint64
+	Cycles    int64
+	Committed uint64
+	// CommittedByKind counts retired instructions per isa.Kind. A dense
+	// array rather than a map: commit is the hottest loop in the simulator
+	// and the per-retire map-assign showed up as the top allocation site.
+	CommittedByKind [isa.KindCount]uint64
 	// RenameBlocked counts cycles the rename stage stalled on structural
 	// resources (ROB, IQ, schedulers, PRFs, LSQ, SCROB) — the Fig 8.C
 	// metric. Waiting for stream data is tracked separately in StreamWait:
@@ -153,6 +157,18 @@ type Stats struct {
 	FetchRedirects   uint64
 	FetchStallCycles int64
 	ROBOccupancySum  int64
+}
+
+// KindBreakdown returns the per-kind retirement counts keyed by the kind
+// names (for reports and JSON output).
+func (s *Stats) KindBreakdown() map[string]uint64 {
+	m := make(map[string]uint64)
+	for k, n := range s.CommittedByKind {
+		if n != 0 {
+			m[isa.Kind(k).String()] = n
+		}
+	}
+	return m
 }
 
 // RenameBlocksPerCycle is the Fig 8.C metric.

@@ -144,8 +144,9 @@ type Core struct {
 	ifetchBusy      bool
 
 	// Branch predictor: 2-bit counters, lazily initialized
-	// backward-taken/forward-not-taken.
-	bp map[int]uint8
+	// backward-taken/forward-not-taken. Dense per-PC table (PCs are
+	// instruction indices); bpUnset marks never-predicted slots.
+	bp []uint8
 
 	ratInt  [isa.NumIntRegs]int
 	ratFP   [isa.NumFPRegs]int
@@ -189,8 +190,10 @@ type Core struct {
 // New builds a core executing prog over the given memory hierarchy. eng may
 // be nil (baseline cores without streaming support).
 func New(cfg Config, prog *program.Program, h *mem.Hierarchy, eng *engine.Engine) *Core {
-	c := &Core{cfg: cfg, prog: prog, hier: h, eng: eng, bp: make(map[int]uint8)}
-	c.Stats.CommittedByKind = make(map[string]uint64)
+	c := &Core{cfg: cfg, prog: prog, hier: h, eng: eng, bp: make([]uint8, prog.Len())}
+	for i := range c.bp {
+		c.bp[i] = bpUnset
+	}
 	c.effVecBytes = cfg.VecBytes
 
 	alloc := func(n, archN int) (free []int) {

@@ -8,14 +8,22 @@ import (
 
 // --- fetch with branch prediction ---
 
+// bpUnset marks a branch-predictor slot that has never been consulted
+// (2-bit counters only reach 0..3, so 0xFF is free as a sentinel).
+const bpUnset = 0xFF
+
 // predict returns the taken/not-taken prediction for a branch at pc, using
 // 2-bit counters initialized backward-taken / forward-not-taken.
 func (c *Core) predict(pc int, in isa.Inst) bool {
 	if in.Op == isa.OpJ {
 		return true
 	}
-	ctr, ok := c.bp[pc]
-	if !ok {
+	if pc < 0 || pc >= len(c.bp) {
+		// Wrong-path fetch outside the program: static prediction only.
+		return in.Target <= pc
+	}
+	ctr := c.bp[pc]
+	if ctr == bpUnset {
 		if in.Target <= pc {
 			ctr = 2 // backward: loop branch, weakly taken
 		} else {
@@ -27,7 +35,13 @@ func (c *Core) predict(pc int, in isa.Inst) bool {
 }
 
 func (c *Core) trainPredictor(pc int, taken bool) {
+	if pc < 0 || pc >= len(c.bp) {
+		return
+	}
 	ctr := c.bp[pc]
+	if ctr == bpUnset {
+		ctr = 0
+	}
 	if taken {
 		if ctr < 3 {
 			ctr++

@@ -202,19 +202,29 @@ func (s *stream) originIdx(u int) int {
 	return 0
 }
 
+// maxStreamRegs is the architectural stream-register count (u0..u31, the
+// Stream Table geometry of Table I). shadowSource keys its per-origin state
+// by this, so it can use fixed arrays instead of per-configure maps.
+const maxStreamRegs = 32
+
 // shadowSource adapts origin streams' descriptors into a
 // descriptor.OriginSource with eager functional memory reads; every read is
-// recorded as timing debt against the origin's FIFO delivery.
+// recorded as timing debt against the origin's FIFO delivery. Origin state
+// lives in fixed 32-slot arrays indexed by the architectural stream number —
+// configuring an indirect stream allocates nothing beyond the struct itself.
 type shadowSource struct {
 	mem   *mem.Memory
-	its   map[int]*descriptor.Iterator
-	ws    map[int]arch.ElemWidth
+	its   [maxStreamRegs]*descriptor.Iterator
+	ws    [maxStreamRegs]arch.ElemWidth
 	owner *stream
 }
 
 func (ss *shadowSource) NextOrigin(u int) (uint64, bool) {
-	it, ok := ss.its[u]
-	if !ok {
+	if u < 0 || u >= maxStreamRegs {
+		return 0, false
+	}
+	it := ss.its[u]
+	if it == nil {
 		return 0, false
 	}
 	e, ok := it.Next()
@@ -287,6 +297,9 @@ type Engine struct {
 
 // New builds a streaming engine over the given memory hierarchy.
 func New(cfg Config, h *mem.Hierarchy) *Engine {
+	if cfg.LogStreams > maxStreamRegs {
+		panic(fmt.Sprintf("engine: LogStreams %d exceeds the %d-entry Stream Table geometry", cfg.LogStreams, maxStreamRegs))
+	}
 	e := &Engine{
 		cfg:       cfg,
 		hier:      h,
@@ -549,7 +562,7 @@ func (e *Engine) configure(slot int, d *descriptor.Descriptor) {
 	s.fifo = make([]chunk, e.cfg.FIFODepth)
 	s.computeFootprint()
 	if d.HasIndirect() {
-		s.shadow = &shadowSource{mem: e.hier.Mem, its: map[int]*descriptor.Iterator{}, ws: map[int]arch.ElemWidth{}, owner: s}
+		s.shadow = &shadowSource{mem: e.hier.Mem, owner: s}
 		for _, ou := range d.Origins() {
 			oslot, ok := e.StreamFor(ou)
 			if !ok || e.entries[oslot].configuring {

@@ -134,6 +134,10 @@ const (
 	KindBranch
 	KindStreamCfg // streaming engine configuration
 	KindStreamCtl // stream suspend/resume/stop
+
+	// KindCount is the number of instruction kinds, for dense per-kind
+	// tables (e.g. cpu.Stats.CommittedByKind).
+	KindCount
 )
 
 func (k Kind) String() string {

@@ -41,6 +41,25 @@ func (v Variant) String() string {
 	return fmt.Sprintf("Variant(%d)", int(v))
 }
 
+// MarshalText renders the variant by name, so variant-keyed maps and
+// fields serialize readably in the -json experiment reports.
+func (v Variant) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText parses a variant name (the inverse of MarshalText).
+func (v *Variant) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "UVE":
+		*v = UVE
+	case "SVE":
+		*v = SVE
+	case "NEON":
+		*v = NEON
+	default:
+		return fmt.Errorf("unknown variant %q", b)
+	}
+	return nil
+}
+
 // VecBytes returns the vector register width the variant runs with: 512-bit
 // for UVE and SVE (the paper's configuration), 128-bit for NEON.
 func (v Variant) VecBytes() int {

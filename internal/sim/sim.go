@@ -60,18 +60,41 @@ func (r *Result) IPC() float64 {
 
 // Run builds the kernel at the given size for the variant and executes it
 // to completion, validating the output against the kernel's reference.
+// size == 0 runs the kernel's DefaultSize; negative sizes are an error.
 func Run(k *kernels.Kernel, v kernels.Variant, size int, opts *Options) (*Result, error) {
+	if k == nil {
+		return nil, fmt.Errorf("sim: nil kernel")
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("sim: %s/%s: invalid size %d", k.Name, v, size)
+	}
+	if size == 0 {
+		size = k.DefaultSize
+	}
+	res, err := RunBuilt(k.ID, v, size, opts, func(h *mem.Hierarchy) *kernels.Instance {
+		return k.Build(h, v, size)
+	})
+	if err != nil {
+		return res, fmt.Errorf("%s/%s n=%d: %w", k.Name, v, size, err)
+	}
+	return res, nil
+}
+
+// RunBuilt assembles the Table I machine for the variant (core + memory
+// hierarchy, plus the Streaming Engine for UVE), runs the instance the
+// build callback constructs against that hierarchy, and validates its
+// output. It is the single execution path shared by Run and by custom
+// instances such as the Fig 8.E unrolled GEMMs; id labels the Result.
+// Validation errors are returned raw so callers can add kernel context.
+func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(h *mem.Hierarchy) *kernels.Instance) (*Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
 	} else {
 		o = DefaultOptions(v)
 	}
-	if size <= 0 {
-		size = k.DefaultSize
-	}
 	h := mem.NewHierarchy(o.Hier)
-	inst := k.Build(h, v, size)
+	inst := build(h)
 
 	var eng *engine.Engine
 	if v == kernels.UVE {
@@ -88,7 +111,7 @@ func Run(k *kernels.Kernel, v kernels.Variant, size int, opts *Options) (*Result
 
 	res := &Result{
 		Variant:   v,
-		Kernel:    k.ID,
+		Kernel:    id,
 		Size:      size,
 		Cycles:    cycles,
 		Committed: core.Stats.Committed,
@@ -103,7 +126,7 @@ func Run(k *kernels.Kernel, v kernels.Variant, size int, opts *Options) (*Result
 	}
 	if !o.SkipCheck && inst.Check != nil {
 		if err := inst.Check(); err != nil {
-			return res, fmt.Errorf("%s/%s n=%d: output mismatch: %w", k.Name, v, size, err)
+			return res, fmt.Errorf("output mismatch: %w", err)
 		}
 	}
 	return res, nil

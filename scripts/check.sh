@@ -1,0 +1,10 @@
+#!/bin/sh
+# PR gate without make: vet, build, race-detected tests (exercising the
+# parallel experiment runner), and a one-shot Fig 8 benchmark smoke.
+set -eux
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run '^$' -bench '^BenchmarkFig8$' -benchtime 1x .
