@@ -1,15 +1,23 @@
-# Development targets. `make check` is the PR gate: it vets, builds,
-# runs the full test suite under the race detector (which exercises the
-# parallel experiment runner), and smoke-runs the Fig 8 benchmark once.
+# Development targets. `make check` is the PR gate: it checks formatting,
+# vets, builds, statically verifies every kernel program (uvelint), runs the
+# full test suite under the race detector (which exercises the parallel
+# experiment runner), and smoke-runs the Fig 8 benchmark once.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench experiments
+.PHONY: check fmt vet lint build test race bench-smoke bench experiments
 
-check: vet build race bench-smoke
+check: fmt vet build lint race bench-smoke
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on: $$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# Static stream/program verification of all 19 kernels × 3 ISA variants.
+lint:
+	$(GO) run ./cmd/uvelint -all
 
 build:
 	$(GO) build ./...

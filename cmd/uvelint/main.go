@@ -1,0 +1,122 @@
+// Command uvelint statically verifies the evaluation kernels: it builds each
+// requested kernel/variant pair against a fresh memory hierarchy and runs the
+// internal/lint checker over the assembled program — stream lifecycle,
+// descriptor footprint vs allocated buffers, register dataflow and CFG
+// sanity — without simulating a single cycle.
+//
+// Usage:
+//
+//	uvelint -kernel C                 # lint SAXPY, all variants
+//	uvelint -kernel C -variant uve    # one variant
+//	uvelint -all                      # lint every kernel/variant pair
+//
+// Exit status: 0 when every linted program is clean (warnings allowed),
+// 1 when any program has lint errors, 2 on usage or build failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/kernels"
+	"repro/internal/lint"
+	"repro/internal/mem"
+)
+
+func main() {
+	kid := flag.String("kernel", "", "kernel ID or name (see uvesim -list)")
+	variant := flag.String("variant", "all", "variant: uve, sve, neon or all")
+	size := flag.Int("size", 0, "problem size (0 = kernel default)")
+	all := flag.Bool("all", false, "lint every kernel")
+	verbose := flag.Bool("v", false, "print a line for clean programs too")
+	flag.Parse()
+
+	var variants []kernels.Variant
+	switch *variant {
+	case "all":
+		variants = []kernels.Variant{kernels.UVE, kernels.SVE, kernels.NEON}
+	default:
+		var v kernels.Variant
+		if err := v.UnmarshalText([]byte(normalizeVariant(*variant))); err != nil {
+			fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+			os.Exit(2)
+		}
+		variants = []kernels.Variant{v}
+	}
+
+	var targets []*kernels.Kernel
+	if *all {
+		targets = kernels.All
+	} else if *kid != "" {
+		k := lookup(*kid)
+		if k == nil {
+			fmt.Fprintf(os.Stderr, "unknown kernel %q (try uvesim -list)\n", *kid)
+			os.Exit(2)
+		}
+		targets = []*kernels.Kernel{k}
+	} else {
+		fmt.Fprintln(os.Stderr, "usage: uvelint -kernel <ID|name> [-variant uve|sve|neon|all] [-size N], or uvelint -all")
+		os.Exit(2)
+	}
+
+	status := 0
+	for _, k := range targets {
+		n := *size
+		if n <= 0 {
+			n = k.DefaultSize
+		}
+		for _, v := range variants {
+			h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+			inst := k.Build(h, v, n)
+			name := fmt.Sprintf("%s-%s/%s n=%d", k.ID, k.Name, v, n)
+			if inst.Err != nil && len(inst.Diags) == 0 {
+				// Assembly failed before verification could run.
+				fmt.Fprintf(os.Stderr, "%s: build failed: %v\n", name, inst.Err)
+				status = max(status, 2)
+				continue
+			}
+			for _, d := range inst.Diags {
+				fmt.Printf("%s:%s\n", name, d)
+			}
+			if lint.HasErrors(inst.Diags) {
+				status = max(status, 1)
+			} else if *verbose {
+				fmt.Printf("%s: ok (%d insts, %d warnings)\n", name, inst.Prog.Len(), len(inst.Diags))
+			}
+		}
+	}
+	os.Exit(status)
+}
+
+// lookup resolves a kernel by Fig 8 letter or by name.
+func lookup(id string) *kernels.Kernel {
+	if k := kernels.ByID(id); k != nil {
+		return k
+	}
+	for _, k := range kernels.All {
+		if k.Name == id {
+			return k
+		}
+	}
+	return nil
+}
+
+func normalizeVariant(s string) string {
+	switch s {
+	case "uve":
+		return "UVE"
+	case "sve":
+		return "SVE"
+	case "neon":
+		return "NEON"
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -62,7 +62,7 @@ func buildCovariance(h *mem.Hierarchy, v Variant, n int) *Instance {
 	b := program.NewBuilder("covariance-" + v.String())
 	if v == UVE {
 		if n%lanes != 0 {
-			panic("covariance: N must be a multiple of the UVE lane count")
+			b.Errorf("covariance: N=%d must be a multiple of the UVE lane count %d", n, lanes)
 		}
 		nb := n / lanes
 		// Kernel 1: column means, accumulated block-wise over rows.
@@ -204,7 +204,7 @@ func buildCovariance(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 	b.I(isa.Halt())
 
-	inst := instance(b.MustBuild(), int64(4*(2*n*n+n)), func() error {
+	inst := instance(b, int64(4*(2*n*n+n)), func() error {
 		if err := checkF32(h, "mean", meanB, mean, 1e-3); err != nil {
 			return err
 		}
@@ -222,5 +222,5 @@ func buildCovariance(h *mem.Hierarchy, v Variant, n int) *Instance {
 	inst.IntArgs[22] = covB
 	inst.FPArgs[1] = FPArg{W: w, V: 1.0 / float64(n)}
 	inst.FPArgs[2] = FPArg{W: w, V: 1.0 / float64(n-1)}
-	return inst
+	return finalize(h, inst)
 }

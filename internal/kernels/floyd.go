@@ -104,10 +104,10 @@ func buildFloyd(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 	b.I(isa.Halt())
 
-	inst := instance(b.MustBuild(), int64(4*n*n), func() error {
+	inst := instance(b, int64(4*n*n), func() error {
 		return checkF32(h, "D", dB, want, 1e-4)
 	})
 	inst.IntArgs[1] = uint64(n)
 	inst.IntArgs[20] = dB
-	return inst
+	return finalize(h, inst)
 }

@@ -47,7 +47,7 @@ func emitGemmUVE(b *program.Builder, tag string, u0 int, aB, bB, cB uint64, n in
 	lanes := arch.LanesFor(arch.MaxVecBytes, w)
 	nb := n / lanes
 	if nb*lanes != n {
-		panic("gemm: N must be a multiple of the vector lane count")
+		b.Errorf("gemm: N=%d must be a multiple of the vector lane count %d", n, lanes)
 	}
 	n64, l64, nb64 := int64(n), int64(lanes), int64(nb)
 	dB := descriptor.New(bB, w, descriptor.Load).
@@ -155,7 +155,7 @@ func buildGemm(h *mem.Hierarchy, v Variant, n int) *Instance {
 		emitGemmBaseline(b, v, "g", 20, 21, 22)
 	}
 	b.I(isa.Halt())
-	inst := instance(b.MustBuild(), int64(12*n*n), func() error {
+	inst := instance(b, int64(12*n*n), func() error {
 		return checkF32(h, "C", cB, want, 1e-4)
 	})
 	if v != UVE {
@@ -164,7 +164,7 @@ func buildGemm(h *mem.Hierarchy, v Variant, n int) *Instance {
 		inst.IntArgs[21] = bB
 		inst.IntArgs[22] = cB
 	}
-	return inst
+	return finalize(h, inst)
 }
 
 // --- E. 3MM ---
@@ -202,7 +202,7 @@ func build3mm(h *mem.Hierarchy, v Variant, n int) *Instance {
 		emitGemmBaseline(b, v, "p3", 24, 25, 26)
 	}
 	b.I(isa.Halt())
-	inst := instance(b.MustBuild(), int64(28*n*n), func() error {
+	inst := instance(b, int64(28*n*n), func() error {
 		if err := checkF32(h, "E", eB, ev, 1e-4); err != nil {
 			return err
 		}
@@ -221,7 +221,7 @@ func build3mm(h *mem.Hierarchy, v Variant, n int) *Instance {
 		inst.IntArgs[25] = fB
 		inst.IntArgs[26] = gB
 	}
-	return inst
+	return finalize(h, inst)
 }
 
 // UnrolledGemmUVE builds the Fig 8.E ablation: the UVE GEMM with the inner
@@ -232,12 +232,12 @@ func UnrolledGemmUVE(h *mem.Hierarchy, n, unroll int) *Instance {
 	bB, bv := allocMatF32(h, n, n, func(i, j int) float64 { return rng.f32(1) })
 	cB := h.Mem.Alloc(4*n*n, arch.LineSize)
 	want := refGemm(av, bv, n)
-	if n%unroll != 0 {
-		panic("unrolled gemm: N must be divisible by the unroll factor")
-	}
 
 	const w = arch.W4
 	b := program.NewBuilder("gemm-uve-unroll")
+	if unroll <= 0 || n%unroll != 0 {
+		b.Errorf("unrolled gemm: N=%d must be divisible by the unroll factor %d", n, unroll)
+	}
 	lanes := arch.LanesFor(arch.MaxVecBytes, w)
 	nb := n / lanes
 	n64, l64, nb64 := int64(n), int64(lanes), int64(nb)
@@ -272,7 +272,7 @@ func UnrolledGemmUVE(h *mem.Hierarchy, n, unroll int) *Instance {
 	b.I(isa.SBNotEnd(0, "jb"))
 	b.I(isa.Halt())
 
-	return instance(b.MustBuild(), int64(12*n*n), func() error {
+	return finalize(h, instance(b, int64(12*n*n), func() error {
 		return checkF32(h, "C", cB, want, 1e-3)
-	})
+	}))
 }

@@ -152,7 +152,7 @@ func buildHaccmk(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 	b.I(isa.Halt())
 
-	inst := instance(b.MustBuild(), int64(24*n), func() error {
+	inst := instance(b, int64(24*n), func() error {
 		if err := checkF32(h, "fx", fxB, wantFx, 2e-3); err != nil {
 			return err
 		}
@@ -170,7 +170,7 @@ func buildHaccmk(h *mem.Hierarchy, v Variant, n int) *Instance {
 	inst.IntArgs[25] = fzB
 	inst.FPArgs[1] = FPArg{W: w, V: eps}
 	inst.FPArgs[2] = FPArg{W: w, V: 1}
-	return inst
+	return finalize(h, inst)
 }
 
 // --- M. KNN ---
@@ -275,7 +275,7 @@ func buildKnn(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 	b.I(isa.Halt())
 
-	inst := instance(b.MustBuild(), int64(4*npoints*dims+8*n), func() error {
+	inst := instance(b, int64(4*npoints*dims+8*n), func() error {
 		return checkF32(h, "dist", distB, want, 1e-3)
 	})
 	inst.IntArgs[1] = uint64(n)
@@ -283,5 +283,5 @@ func buildKnn(h *mem.Hierarchy, v Variant, n int) *Instance {
 	inst.IntArgs[21] = idxB
 	inst.IntArgs[22] = qB
 	inst.IntArgs[23] = distB
-	return inst
+	return finalize(h, inst)
 }

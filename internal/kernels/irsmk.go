@@ -169,7 +169,7 @@ func buildIrsmk(h *mem.Hierarchy, v Variant, m int) *Instance {
 	}
 	b.I(isa.Halt())
 
-	inst := instance(b.MustBuild(), int64(4*grid*(terms+2)), func() error {
+	inst := instance(b, int64(4*grid*(terms+2)), func() error {
 		// Validate the interior only; the halo stays zero.
 		for z := 1; z < m-1; z++ {
 			for y := 1; y < m-1; y++ {
@@ -187,5 +187,5 @@ func buildIrsmk(h *mem.Hierarchy, v Variant, m int) *Instance {
 	inst.IntArgs[20] = aB[0] // coefficient arrays are contiguous allocations
 	inst.IntArgs[21] = xB
 	inst.IntArgs[22] = bB
-	return inst
+	return finalize(h, inst)
 }

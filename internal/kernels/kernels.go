@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/arch"
+	"repro/internal/lint"
 	"repro/internal/mem"
 	"repro/internal/program"
 )
@@ -77,12 +78,22 @@ type FPArg struct {
 
 // Instance is a built, runnable kernel: program, initialized memory (inside
 // the hierarchy it was built against), argument registers and a validator.
+// Build never panics on a bad instance: assembly or verification failures
+// land in Err (with the full diagnostic list in Diags) and Prog is nil.
 type Instance struct {
 	Prog      *program.Program
 	IntArgs   map[int]uint64
 	FPArgs    map[int]FPArg
 	Check     func() error
 	DataBytes int64
+
+	// Err is the combined build/verify failure, nil for a clean instance.
+	Err error
+	// Diags holds the static verifier's findings, including warnings that
+	// did not fail the build.
+	Diags []lint.Diagnostic
+
+	builder *program.Builder
 }
 
 // Kernel describes one benchmark.
@@ -189,15 +200,41 @@ func closeEnough(got, want, tol float64) bool {
 	return d <= tol*math.Max(m, 1)
 }
 
-// instance assembles the common Instance fields.
-func instance(p *program.Program, bytes int64, check func() error) *Instance {
+// instance assembles the common Instance fields around a still-unresolved
+// builder. Kernel Build functions fill IntArgs/FPArgs afterwards and pass
+// the result through finalize, which assembles and verifies the program.
+func instance(b *program.Builder, bytes int64, check func() error) *Instance {
 	return &Instance{
-		Prog:      p,
 		IntArgs:   map[int]uint64{},
 		FPArgs:    map[int]FPArg{},
 		Check:     check,
 		DataBytes: bytes,
+		builder:   b,
 	}
+}
+
+// finalize assembles the instance's program and runs the static verifier
+// over it, with the argument registers as the entry-defined set and the
+// hierarchy's allocations as the legal buffer extents. It runs last in every
+// kernel Build — after IntArgs/FPArgs are known — and never panics: failures
+// are reported through Err/Diags.
+func finalize(h *mem.Hierarchy, inst *Instance) *Instance {
+	opts := &lint.Options{}
+	for r := range inst.IntArgs {
+		opts.EntryInt = append(opts.EntryInt, r)
+	}
+	for r := range inst.FPArgs {
+		opts.EntryFP = append(opts.EntryFP, r)
+	}
+	for _, e := range h.Mem.Extents() {
+		opts.Extents = append(opts.Extents, lint.Extent{Base: e.Base, Size: e.Size})
+	}
+	p, err := inst.builder.BuildVerified(func(p *program.Program) error {
+		inst.Diags = lint.Check(p, opts)
+		return lint.ToError(inst.Diags)
+	})
+	inst.Prog, inst.Err = p, err
+	return inst
 }
 
 // lanesFor returns the vector lane count of a variant for width w.

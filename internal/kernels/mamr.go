@@ -143,14 +143,14 @@ func buildMamr(shape mamrShape) func(h *mem.Hierarchy, v Variant, n int) *Instan
 		}
 		b.I(isa.Halt())
 
-		inst := instance(b.MustBuild(), int64(4*n*n), func() error {
+		inst := instance(b, int64(4*n*n), func() error {
 			return checkF32(h, "C", cB, want, 0)
 		})
 		inst.IntArgs[1] = uint64(n)
 		inst.IntArgs[20] = aB
 		inst.IntArgs[21] = idxB
 		inst.IntArgs[22] = cB
-		return inst
+		return finalize(h, inst)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/descriptor"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/program"
 )
 
@@ -32,7 +33,7 @@ type map1DSpec struct {
 // Register convention: x1 = n, x9 = element index, x10 = main-loop bound;
 // inputs stream through u0..u(k-1) (UVE) or v10.. (baselines); the result
 // is u(k) (UVE) or v20.
-func buildMap1D(v Variant, spec *map1DSpec) *program.Program {
+func buildMap1D(v Variant, spec *map1DSpec) *program.Builder {
 	w := spec.w
 	k := len(spec.ins)
 	b := program.NewBuilder(spec.name + "-" + v.String())
@@ -115,12 +116,12 @@ func buildMap1D(v Variant, spec *map1DSpec) *program.Program {
 			Label("done").
 			I(isa.Halt())
 	}
-	return b.MustBuild()
+	return b
 }
 
 // instanceMap1D builds the Instance with argument registers for a map1D
 // program.
-func instanceMap1D(v Variant, spec *map1DSpec, bytes int64, check func() error) *Instance {
+func instanceMap1D(h *mem.Hierarchy, v Variant, spec *map1DSpec, bytes int64, check func() error) *Instance {
 	inst := instance(buildMap1D(v, spec), bytes, check)
 	if v != UVE {
 		inst.IntArgs[1] = uint64(spec.n)
@@ -129,5 +130,5 @@ func instanceMap1D(v Variant, spec *map1DSpec, bytes int64, check func() error) 
 		}
 		inst.IntArgs[2+len(spec.ins)] = spec.out
 	}
-	return inst
+	return finalize(h, inst)
 }

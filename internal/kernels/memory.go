@@ -55,7 +55,7 @@ func buildMemcpy(h *mem.Hierarchy, v Variant, n int) *Instance {
 		}
 		return nil
 	}
-	return instanceMap1D(v, spec, int64(16*n), check)
+	return instanceMap1D(h, v, spec, int64(16*n), check)
 }
 
 // --- C. SAXPY (paper Figs 1 and 4) ---
@@ -80,7 +80,7 @@ func buildSaxpy(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 
 	w := arch.W4
-	var p *program.Program
+	var bld *program.Builder
 	if v == UVE {
 		// Fig 4: three streams, a broadcast, and mul+add per chunk (the FMA
 		// cannot be used because a stream register cannot be read and
@@ -95,7 +95,7 @@ func buildSaxpy(h *mem.Hierarchy, v Variant, n int) *Instance {
 		b.I(isa.VFAdd(w, isa.V(2), isa.V(4), isa.V(1), isa.None))
 		b.I(isa.SBNotEnd(0, "loop"))
 		b.I(isa.Halt())
-		p = b.MustBuild()
+		bld = b
 	} else {
 		spec := &map1DSpec{
 			name: "saxpy", w: w, ins: []uint64{xb, yb}, out: yb, n: n,
@@ -110,9 +110,9 @@ func buildSaxpy(h *mem.Hierarchy, v Variant, n int) *Instance {
 				b.I(isa.FMadd(w, out, isa.F(1), in[0], in[1]))
 			},
 		}
-		p = buildMap1D(v, spec)
+		bld = buildMap1D(v, spec)
 	}
-	inst := instance(p, int64(12*n), func() error { return checkF32(h, "y", yb, want, 1e-5) })
+	inst := instance(bld, int64(12*n), func() error { return checkF32(h, "y", yb, want, 1e-5) })
 	if v != UVE {
 		inst.IntArgs[1] = uint64(n)
 		inst.IntArgs[2] = xb
@@ -120,7 +120,7 @@ func buildSaxpy(h *mem.Hierarchy, v Variant, n int) *Instance {
 		inst.IntArgs[4] = yb
 	}
 	inst.FPArgs[1] = FPArg{W: w, V: a}
-	return inst
+	return finalize(h, inst)
 }
 
 // --- B. STREAM (Scale, Add, Triad — McCalpin) ---
@@ -152,7 +152,7 @@ func buildStream(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 
 	w := arch.W4
-	var p *program.Program
+	var bld *program.Builder
 	if v == UVE {
 		b := program.NewBuilder("stream-UVE")
 		b.I(isa.VDup(w, isa.V(9), isa.F(1)))
@@ -177,7 +177,7 @@ func buildStream(h *mem.Hierarchy, v Variant, n int) *Instance {
 		b.I(isa.VFMulAdd(w, isa.V(7), isa.V(9), isa.V(6), isa.V(5)))
 		b.I(isa.SBNotEnd(5, "triad"))
 		b.I(isa.Halt())
-		p = b.MustBuild()
+		bld = b
 	} else {
 		// Baselines: three sequential vector loops sharing the map-1D shape.
 		b := program.NewBuilder("stream-" + v.String())
@@ -203,10 +203,10 @@ func buildStream(h *mem.Hierarchy, v Variant, n int) *Instance {
 			pb.I(isa.FMadd(w, o, isa.F(1), in[1], in[0]))
 		})
 		b.I(isa.Halt())
-		p = b.MustBuild()
+		bld = b
 	}
 
-	inst := instance(p, int64(12*n), func() error {
+	inst := instance(bld, int64(12*n), func() error {
 		if err := checkF32(h, "b", bb, wantB, 1e-5); err != nil {
 			return err
 		}
@@ -222,7 +222,7 @@ func buildStream(h *mem.Hierarchy, v Variant, n int) *Instance {
 		inst.IntArgs[4] = cb
 	}
 	inst.FPArgs[1] = FPArg{W: w, V: s}
-	return inst
+	return finalize(h, inst)
 }
 
 // emitVecLoop appends one whilelt-style (SVE) or fixed-width+tail (NEON)

@@ -93,7 +93,7 @@ func colUpdateStreamsUVE(b *program.Builder, uMat, uVec, uIn, uOut int,
 	const w = arch.W4
 	lanes := arch.LanesFor(arch.MaxVecBytes, w)
 	if n%lanes != 0 {
-		panic("colUpdate: N must be a multiple of the UVE lane count")
+		b.Errorf("colUpdate: N=%d must be a multiple of the UVE lane count %d", n, lanes)
 	}
 	nb := int64(n / lanes)
 	n64, l64 := int64(n), int64(lanes)
@@ -267,7 +267,7 @@ func buildMvt(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 	b.I(isa.Halt())
 
-	inst := instance(b.MustBuild(), int64(4*(n*n+4*n)), func() error {
+	inst := instance(b, int64(4*(n*n+4*n)), func() error {
 		if err := checkF32(h, "x1", x1B, want1, 1e-3); err != nil {
 			return err
 		}
@@ -281,7 +281,7 @@ func buildMvt(h *mem.Hierarchy, v Variant, n int) *Instance {
 		inst.IntArgs[23] = x1B
 		inst.IntArgs[24] = x2B
 	}
-	return inst
+	return finalize(h, inst)
 }
 
 // --- G. GEMVER ---
@@ -420,7 +420,7 @@ func buildGemver(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 	b.I(isa.Halt())
 
-	inst := instance(b.MustBuild(), int64(4*(n*n+7*n)), func() error {
+	inst := instance(b, int64(4*(n*n+7*n)), func() error {
 		if err := checkF32(h, "A", aB, wantA, 1e-4); err != nil {
 			return err
 		}
@@ -443,7 +443,7 @@ func buildGemver(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 	inst.FPArgs[1] = FPArg{W: w, V: alpha}
 	inst.FPArgs[2] = FPArg{W: w, V: beta}
-	return inst
+	return finalize(h, inst)
 }
 
 // copyVec emits x{dst}[i] = x{src}[i] over n=x1 elements.

@@ -47,7 +47,7 @@ func buildJacobi1D(h *mem.Hierarchy, v Variant, n int) *Instance {
 		b.I(isa.FAdd(ww, isa.F(22), isa.F(21), in[2]))
 		b.I(isa.FMul(ww, out, isa.F(22), isa.F(1)))
 	}
-	var p *program.Program
+	var bld *program.Builder
 	if v == UVE {
 		b := program.NewBuilder("jacobi1d-UVE")
 		b.I(isa.VDup(w, isa.V(9), isa.F(1)))
@@ -66,7 +66,7 @@ func buildJacobi1D(h *mem.Hierarchy, v Variant, n int) *Instance {
 		emit(b, w, isa.None, []isa.Reg{isa.V(4), isa.V(5), isa.V(6)}, isa.V(7))
 		b.I(isa.SBNotEnd(4, "s2"))
 		b.I(isa.Halt())
-		p = b.MustBuild()
+		bld = b
 	} else {
 		b := program.NewBuilder("jacobi1d-" + v.String())
 		b.I(isa.VDup(w, isa.V(9), isa.F(1)))
@@ -78,9 +78,9 @@ func buildJacobi1D(h *mem.Hierarchy, v Variant, n int) *Instance {
 			func(pb *program.Builder, pred isa.Reg, in []isa.Reg, o isa.Reg) { emit(pb, w, pred, in, o) },
 			func(pb *program.Builder, in []isa.Reg, o isa.Reg) { emitScalar(pb, w, in, o) })
 		b.I(isa.Halt())
-		p = b.MustBuild()
+		bld = b
 	}
-	inst := instance(p, int64(8*n), func() error {
+	inst := instance(bld, int64(8*n), func() error {
 		if err := checkF32(h, "B", bB, wantB, 1e-5); err != nil {
 			return err
 		}
@@ -98,7 +98,7 @@ func buildJacobi1D(h *mem.Hierarchy, v Variant, n int) *Instance {
 		inst.IntArgs[27] = aB + 4
 	}
 	inst.FPArgs[1] = FPArg{W: w, V: third}
-	return inst
+	return finalize(h, inst)
 }
 
 // --- J. Jacobi-2D ---
@@ -243,7 +243,7 @@ func buildJacobi2D(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 	b.I(isa.Halt())
 
-	inst := instance(b.MustBuild(), int64(8*n*n), func() error {
+	inst := instance(b, int64(8*n*n), func() error {
 		if err := checkF32(h, "B", bB, wantB, 1e-4); err != nil {
 			return err
 		}
@@ -257,7 +257,7 @@ func buildJacobi2D(h *mem.Hierarchy, v Variant, n int) *Instance {
 		inst.IntArgs[21] = bB
 	}
 	inst.FPArgs[1] = FPArg{W: w, V: c5}
-	return inst
+	return finalize(h, inst)
 }
 
 // reference computation for Seidel: EXACTLY the evaluation order the
@@ -395,12 +395,12 @@ func buildSeidel(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 	b.I(isa.Halt())
 
-	inst := instance(b.MustBuild(), int64(4*n*n), func() error {
+	inst := instance(b, int64(4*n*n), func() error {
 		return checkF32(h, "A", aB, want, 1e-4)
 	})
 	inst.IntArgs[1] = uint64(n)
 	inst.IntArgs[2] = uint64(n - 1)
 	inst.IntArgs[20] = aB
 	inst.FPArgs[1] = FPArg{W: w, V: float64(float32(1.0 / 9.0))}
-	return inst
+	return finalize(h, inst)
 }

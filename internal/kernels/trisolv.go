@@ -159,7 +159,7 @@ func buildTrisolv(h *mem.Hierarchy, v Variant, n int) *Instance {
 	}
 	b.I(isa.Halt())
 
-	inst := instance(b.MustBuild(), int64(4*(n*n+2*n)), func() error {
+	inst := instance(b, int64(4*(n*n+2*n)), func() error {
 		return checkF32(h, "x", xB, want, 1e-3)
 	})
 	if v != UVE {
@@ -168,5 +168,5 @@ func buildTrisolv(h *mem.Hierarchy, v Variant, n int) *Instance {
 		inst.IntArgs[21] = bB
 		inst.IntArgs[22] = xB
 	}
-	return inst
+	return finalize(h, inst)
 }

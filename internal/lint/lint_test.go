@@ -1,0 +1,340 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+	"repro/internal/lint"
+	"repro/internal/program"
+)
+
+// findDiag returns the first diagnostic whose message contains want.
+func findDiag(diags []lint.Diagnostic, want string) *lint.Diagnostic {
+	for i := range diags {
+		if strings.Contains(diags[i].Message, want) {
+			return &diags[i]
+		}
+	}
+	return nil
+}
+
+func mustBuild(t *testing.T, b *program.Builder) *program.Program {
+	t.Helper()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func ld(base uint64, n int) *descriptor.Descriptor {
+	return descriptor.New(base, arch.W4, descriptor.Load).Linear(int64(n), 1).MustBuild()
+}
+
+func st(base uint64, n int) *descriptor.Descriptor {
+	return descriptor.New(base, arch.W4, descriptor.Store).Linear(int64(n), 1).MustBuild()
+}
+
+const w = arch.W4
+
+// TestNegativeCorpus runs small broken programs through the checker and
+// asserts each one's exact diagnostic (by severity and message substring).
+func TestNegativeCorpus(t *testing.T) {
+	buf := lint.Extent{Base: 0x10000, Size: 4 * 64}
+	cases := []struct {
+		name  string
+		build func() *program.Program
+		opts  *lint.Options
+		sev   lint.Severity
+		want  string
+	}{
+		{
+			name: "read unconfigured stream",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.Label("loop")
+				b.I(isa.VFAdd(w, isa.V(5), isa.V(0), isa.V(0), isa.None))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "u0 may be used before it is defined",
+		},
+		{
+			name: "restart before end part",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				d2 := descriptor.New(buf.Base, arch.W4, descriptor.Load).
+					Dim(0, 8, 1).Dim(0, 8, 8).MustBuild()
+				parts := isa.SCfgParts(0, d2)
+				// Drop the end part, then start over: the first configuration
+				// is structurally unterminated.
+				b.I(parts[:len(parts)-1]...)
+				b.I(isa.SCfgParts(0, ld(buf.Base, 64))...)
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "configuration of u0 restarted before its ss.end part",
+		},
+		{
+			name: "descriptor walks out of its buffer",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.ConfigStream(0, ld(buf.Base, 65)) // buffer holds 64 elems
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			opts: &lint.Options{Extents: []lint.Extent{buf}},
+			sev:  lint.Error,
+			want: "outside any allocated buffer",
+		},
+		{
+			name: "undefined scalar",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Add(isa.X(3), isa.X(1), isa.X(2)))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "x1 may be used before it is defined",
+		},
+		{
+			name: "infinite loop",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(1), 1))
+				b.Label("loop")
+				b.I(isa.Add(isa.X(1), isa.X(1), isa.X(1)))
+				b.I(isa.J("loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "loop starting here has no exit",
+		},
+		{
+			name: "predicate width mismatch",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(9), 0))
+				b.I(isa.Li(isa.X(1), 64))
+				b.I(isa.Whilelt(arch.W8, isa.P(1), isa.X(9), isa.X(1)))
+				b.I(isa.VLoad(arch.W4, isa.V(5), isa.X(1), isa.X(9), 0, isa.P(1)))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "predicate p1 was produced for 8-byte lanes",
+		},
+		{
+			name: "resume without suspend",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.ConfigStream(0, ld(buf.Base, 64))
+				b.I(isa.SResume(0))
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "ss.resume on u0, which is not suspended",
+		},
+		{
+			name: "read while suspended",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.ConfigStream(0, ld(buf.Base, 64))
+				b.I(isa.SSuspend(0))
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.SResume(0))
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(6), isa.V(0)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "u0 read while its stream may be suspended",
+		},
+		{
+			name: "configured but never used",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.ConfigStream(0, ld(buf.Base, 64))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "u0 is configured but never used",
+		},
+		{
+			name: "reconfigured before use",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.ConfigStream(0, ld(buf.Base, 64))
+				b.ConfigStream(0, ld(buf.Base, 32))
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "u0 reconfigured before its previous configuration was ever used",
+		},
+		{
+			name: "write to load stream",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(1), 1))
+				b.ConfigStream(0, ld(buf.Base, 64))
+				b.Label("loop")
+				b.I(isa.VDupX(w, isa.V(0), isa.X(1)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "writes u0, which is bound to a load stream",
+		},
+		{
+			name: "read from store stream",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.ConfigStream(0, st(buf.Base, 64))
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "u0 reads a store (output) stream",
+		},
+		{
+			name: "fall off the end",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(1), 1))
+				return mustBuild(t, b)
+			},
+			sev:  lint.Warn,
+			want: "control can fall off the end of the program",
+		},
+		{
+			name: "unreachable code",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.J("end"))
+				b.I(isa.Li(isa.X(1), 1))
+				b.I(isa.Li(isa.X(2), 2))
+				b.Label("end")
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Warn,
+			want: "instructions 1..2 are unreachable",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := lint.Check(tc.build(), tc.opts)
+			d := findDiag(diags, tc.want)
+			if d == nil {
+				t.Fatalf("no diagnostic matching %q; got %v", tc.want, diags)
+			}
+			if d.Severity != tc.sev {
+				t.Errorf("severity = %v, want %v (%s)", d.Severity, tc.sev, d.Message)
+			}
+		})
+	}
+}
+
+// TestCleanPrograms checks that canonical correct shapes produce no
+// diagnostics at all.
+func TestCleanPrograms(t *testing.T) {
+	src := lint.Extent{Base: 0x10000, Size: 4 * 64}
+	dst := lint.Extent{Base: 0x20000, Size: 4 * 64}
+	opts := &lint.Options{Extents: []lint.Extent{src, dst}}
+
+	t.Run("stream copy loop", func(t *testing.T) {
+		b := program.NewBuilder("ok")
+		b.ConfigStream(0, ld(src.Base, 64))
+		b.ConfigStream(1, st(dst.Base, 64))
+		b.Label("loop")
+		b.I(isa.VMove(w, isa.V(1), isa.V(0)))
+		b.I(isa.SBNotEnd(0, "loop"))
+		b.I(isa.Halt())
+		if diags := lint.Check(mustBuild(t, b), opts); len(diags) != 0 {
+			t.Fatalf("unexpected diagnostics: %v", diags)
+		}
+	})
+
+	t.Run("suspend resume", func(t *testing.T) {
+		b := program.NewBuilder("ok")
+		b.ConfigStream(0, ld(src.Base, 64))
+		b.ConfigStream(1, st(dst.Base, 64))
+		b.Label("loop")
+		b.I(isa.VMove(w, isa.V(1), isa.V(0)))
+		b.I(isa.SSuspend(0))
+		b.I(isa.SResume(0))
+		b.I(isa.SBNotEnd(0, "loop"))
+		b.I(isa.Halt())
+		if diags := lint.Check(mustBuild(t, b), opts); len(diags) != 0 {
+			t.Fatalf("unexpected diagnostics: %v", diags)
+		}
+	})
+
+	t.Run("reconfigure after use", func(t *testing.T) {
+		// The Floyd-Warshall idiom: a second configuration of the same
+		// register after the first was consumed is a rename, not an error.
+		b := program.NewBuilder("ok")
+		b.ConfigStream(0, ld(src.Base, 64))
+		b.ConfigStream(1, st(dst.Base, 64))
+		b.Label("l1")
+		b.I(isa.VMove(w, isa.V(1), isa.V(0)))
+		b.I(isa.SBNotEnd(0, "l1"))
+		b.ConfigStream(0, ld(dst.Base, 64))
+		b.ConfigStream(1, st(src.Base, 64))
+		b.Label("l2")
+		b.I(isa.VMove(w, isa.V(1), isa.V(0)))
+		b.I(isa.SBNotEnd(0, "l2"))
+		b.I(isa.Halt())
+		if diags := lint.Check(mustBuild(t, b), opts); len(diags) != 0 {
+			t.Fatalf("unexpected diagnostics: %v", diags)
+		}
+	})
+}
+
+// TestToError checks the error folding used by BuildVerified.
+func TestToError(t *testing.T) {
+	if err := lint.ToError(nil); err != nil {
+		t.Fatalf("ToError(nil) = %v", err)
+	}
+	warnOnly := []lint.Diagnostic{{PC: 0, Severity: lint.Warn, Message: "meh"}}
+	if err := lint.ToError(warnOnly); err != nil {
+		t.Fatalf("warnings must not fail the build: %v", err)
+	}
+	withErr := append(warnOnly, lint.Diagnostic{PC: 3, Severity: lint.Error, Message: "boom"})
+	err := lint.ToError(withErr)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("ToError = %v, want boom", err)
+	}
+	if strings.Contains(err.Error(), "meh") {
+		t.Fatalf("warning leaked into error: %v", err)
+	}
+}

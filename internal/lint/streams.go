@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"sort"
+
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+)
+
+// checkStreamUses flags configurations whose stream is never consumed: a
+// reconfiguration that clobbers an unused stream, or a configuration the
+// program ends without ever touching. "Use" means a core read or write of the
+// vector register, an ss.force, or another configuration naming the stream as
+// an indirect origin; stream branches alone do not count — testing whether a
+// stream ended without ever consuming it does no work.
+func (c *checker) checkStreamUses() {
+	// Config sites whose descriptors consume stream s as an indirect origin.
+	originUse := make(map[int][]int) // stream → end-part pcs of consuming sites
+	for _, site := range c.sites {
+		if site.desc == nil {
+			continue
+		}
+		for _, o := range site.desc.Origins() {
+			originUse[o] = append(originUse[o], site.endPC)
+		}
+	}
+	for _, site := range c.sites {
+		if !c.reach[site.endPC] {
+			continue
+		}
+		used, clobbered := c.traceUse(site, originUse[site.stream])
+		if used {
+			continue
+		}
+		if clobbered {
+			c.errorf(site.endPC, "u%d reconfigured before its previous configuration was ever used", site.stream)
+		} else {
+			c.errorf(site.endPC, "u%d is configured but never used", site.stream)
+		}
+	}
+}
+
+// traceUse walks forward from a configuration's end part, looking for a use
+// of the stream before it is clobbered by another configuration start or an
+// ss.stop. It reports whether a use was found and, if not, whether any path
+// reached a clobber (vs simply running off the program).
+func (c *checker) traceUse(site *cfgSite, originSites []int) (used, clobbered bool) {
+	u := site.stream
+	seen := make([]bool, len(c.insts))
+	stack := append([]int(nil), c.succs[site.endPC]...)
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[pc] {
+			continue
+		}
+		seen[pc] = true
+		in := &c.insts[pc]
+		if d := in.DataDst(); d.Class == isa.ClassVec && int(d.N) == u {
+			return true, clobbered
+		}
+		var srcs [4]isa.Reg
+		for _, r := range in.DataSrcs(srcs[:0]) {
+			if r.Class == isa.ClassVec && int(r.N) == u {
+				return true, clobbered
+			}
+		}
+		if in.Op == isa.OpSForce && int(in.Dst.N) == u {
+			return true, clobbered
+		}
+		for _, endPC := range originSites {
+			if pc == endPC {
+				return true, clobbered
+			}
+		}
+		kill := false
+		if in.Op == isa.OpSCfg && in.Cfg != nil && in.Cfg.Stream == u && in.Cfg.Start {
+			kill, clobbered = true, true
+		}
+		if in.Op == isa.OpSStop && int(in.Dst.N) == u {
+			kill, clobbered = true, true
+		}
+		if kill {
+			continue
+		}
+		stack = append(stack, c.succs[pc]...)
+	}
+	return false, clobbered
+}
+
+// checkFootprints enumerates the exact address sequence of every reachable
+// non-indirect configuration and checks each element against the declared
+// buffer extents. Indirect descriptors are skipped — their addresses depend
+// on runtime data. Enumeration is capped so linting stays cheap relative to
+// simulation.
+func (c *checker) checkFootprints() {
+	if len(c.opts.Extents) == 0 {
+		return
+	}
+	extents := append([]Extent(nil), c.opts.Extents...)
+	sort.Slice(extents, func(i, j int) bool { return extents[i].Base < extents[j].Base })
+	contains := func(addr uint64, n int64) bool {
+		// Rightmost extent starting at or below addr; Alloc never overlaps.
+		i := sort.Search(len(extents), func(i int) bool { return extents[i].Base > addr })
+		if i == 0 {
+			return false
+		}
+		e := extents[i-1]
+		return addr >= e.Base && addr+uint64(n) <= e.Base+uint64(e.Size)
+	}
+	cap := c.opts.MaxFootprintElems
+	if cap <= 0 {
+		cap = DefaultMaxFootprintElems
+	}
+	for _, site := range c.sites {
+		if site.desc == nil || site.desc.HasIndirect() || !c.reach[site.endPC] {
+			continue
+		}
+		it := descriptor.NewIterator(site.desc, nil)
+		w := int64(site.desc.Width)
+		for n := int64(0); n < cap; n++ {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			if !contains(e.Addr, w) {
+				c.errorf(site.endPC, "stream u%d accesses 0x%x (element %d), outside any allocated buffer",
+					site.stream, e.Addr, n)
+				break
+			}
+			if e.Last {
+				break
+			}
+		}
+	}
+}

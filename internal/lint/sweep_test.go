@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/lint"
+	"repro/internal/mem"
+)
+
+// TestAllKernelsLintClean builds every registered kernel in every variant at
+// its default size and requires verification to pass with zero errors — the
+// same gate cmd/uvelint -all enforces in CI.
+func TestAllKernelsLintClean(t *testing.T) {
+	for _, k := range kernels.All {
+		for _, v := range []kernels.Variant{kernels.UVE, kernels.SVE, kernels.NEON} {
+			t.Run(k.Name+"/"+v.String(), func(t *testing.T) {
+				h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+				inst := k.Build(h, v, k.DefaultSize)
+				if inst.Err != nil {
+					t.Fatalf("build/verify failed: %v", inst.Err)
+				}
+				if lint.HasErrors(inst.Diags) {
+					t.Fatalf("lint errors: %v", inst.Diags)
+				}
+				for _, d := range inst.Diags {
+					t.Logf("warning: %s", d)
+				}
+			})
+		}
+	}
+}
+
+// TestUnrolledGemmLintClean covers the Fig 8.E ablation programs, which do
+// not go through the kernel registry.
+func TestUnrolledGemmLintClean(t *testing.T) {
+	for _, unroll := range []int{1, 2, 4, 8} {
+		h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		inst := kernels.UnrolledGemmUVE(h, 96, unroll)
+		if inst.Err != nil {
+			t.Fatalf("unroll=%d: %v", unroll, inst.Err)
+		}
+	}
+}
+
+// TestBadSizeSurfacesError checks that a size precondition violation comes
+// back as a build error, not a panic (the pre-verifier behaviour).
+func TestBadSizeSurfacesError(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	inst := kernels.ByID("N").Build(h, kernels.UVE, 13) // not a lane multiple
+	if inst.Err == nil {
+		t.Fatal("covariance with n=13 must fail verification")
+	}
+	h = mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	inst = kernels.UnrolledGemmUVE(h, 96, 5)
+	if inst.Err == nil {
+		t.Fatal("unrolled gemm with unroll=5 must fail")
+	}
+}

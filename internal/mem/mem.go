@@ -22,10 +22,22 @@ import (
 // return data (zero-filled growth) so that wrong-path speculative accesses
 // are harmless, but translation through the TLB reports the fault.
 type Memory struct {
-	base   uint64
-	data   []byte
-	mapped map[uint64]bool // page number → mapped
-	brk    uint64          // allocation cursor
+	base    uint64
+	data    []byte
+	mapped  map[uint64]bool // page number → mapped
+	brk     uint64          // allocation cursor
+	extents []Extent        // Alloc history, in address order
+}
+
+// Extent records one allocated region: [Base, Base+Size).
+type Extent struct {
+	Base uint64
+	Size int64
+}
+
+// Contains reports whether [addr, addr+n) lies inside the extent.
+func (e Extent) Contains(addr uint64, n int64) bool {
+	return addr >= e.Base && addr+uint64(n) <= e.Base+uint64(e.Size)
 }
 
 // NewMemory creates a backing store; allocations start at a fixed base so
@@ -61,7 +73,14 @@ func (m *Memory) Alloc(size, align int) uint64 {
 	for p := addr / arch.PageSize; p <= (addr+uint64(size)-1)/arch.PageSize; p++ {
 		m.mapped[p] = true
 	}
+	m.extents = append(m.extents, Extent{Base: addr, Size: int64(size)})
 	return addr
+}
+
+// Extents returns the allocation history in address order — the declared
+// buffer footprint a static verifier checks stream descriptors against.
+func (m *Memory) Extents() []Extent {
+	return append([]Extent(nil), m.extents...)
 }
 
 // MapPage marks the page containing addr as mapped (used by the page-fault

@@ -4,6 +4,7 @@
 package program
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -82,11 +83,19 @@ func (b *Builder) ConfigStream(u int, d *descriptor.Descriptor) *Builder {
 	return b.I(isa.SCfgParts(u, d)...)
 }
 
-// Build resolves labels and returns the program.
+// Errorf records a build error without aborting assembly; Build surfaces
+// every accumulated error. Kernel emitters use it for size preconditions so
+// that an invalid instance fails with a diagnostic instead of a panic.
+func (b *Builder) Errorf(format string, args ...any) *Builder {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+	return b
+}
+
+// Build resolves labels and returns the program. All accumulated errors —
+// emission-time errors and unresolved labels alike — are returned joined,
+// prefixed with the builder's name.
 func (b *Builder) Build() (*Program, error) {
-	if len(b.errs) > 0 {
-		return nil, b.errs[0]
-	}
+	errs := append([]error(nil), b.errs...)
 	insts := append([]isa.Inst(nil), b.insts...)
 	for i := range insts {
 		in := &insts[i]
@@ -94,15 +103,37 @@ func (b *Builder) Build() (*Program, error) {
 			continue
 		}
 		if in.Label == "" {
-			return nil, fmt.Errorf("inst %d (%s): branch without label", i, in.Op.Name())
+			errs = append(errs, fmt.Errorf("inst %d (%s): branch without label", i, in.Op.Name()))
+			continue
 		}
 		t, ok := b.labels[in.Label]
 		if !ok {
-			return nil, fmt.Errorf("inst %d (%s): undefined label %q", i, in.Op.Name(), in.Label)
+			errs = append(errs, fmt.Errorf("inst %d (%s): undefined label %q", i, in.Op.Name(), in.Label))
+			continue
 		}
 		in.Target = t
 	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("program %s: %w", b.name, errors.Join(errs...))
+	}
 	return &Program{Name: b.name, Insts: insts, Labels: b.labels}, nil
+}
+
+// BuildVerified is Build followed by a verification pass over the resolved
+// program. The pass is supplied as a closure so that callers can plug in a
+// static verifier (internal/lint) without this package depending on it; a
+// non-nil error from verify fails the build the same way a label error does.
+func (b *Builder) BuildVerified(verify func(*Program) error) (*Program, error) {
+	p, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if verify != nil {
+		if err := verify(p); err != nil {
+			return nil, fmt.Errorf("program %s: %w", b.name, err)
+		}
+	}
+	return p, nil
 }
 
 // MustBuild is Build that panics on error, for statically known kernels.

@@ -1,6 +1,7 @@
 package program
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -86,3 +87,45 @@ func TestProgramString(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildReturnsAllErrors(t *testing.T) {
+	_, err := NewBuilder("multi").
+		Errorf("size precondition: %d", 13).
+		I(isa.J("nowhere")).
+		I(isa.Beq(isa.X(1), isa.X(0), "")).
+		Build()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	for _, want := range []string{"program multi", "size precondition: 13", "nowhere", "branch without label"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestBuildVerified(t *testing.T) {
+	mk := func() *Builder {
+		return NewBuilder("v").I(isa.Nop()).I(isa.Halt())
+	}
+	if _, err := mk().BuildVerified(nil); err != nil {
+		t.Fatalf("nil verifier: %v", err)
+	}
+	var saw *Program
+	p, err := mk().BuildVerified(func(p *Program) error { saw = p; return nil })
+	if err != nil || saw != p {
+		t.Fatalf("verifier not run on built program: %v", err)
+	}
+	_, err = mk().BuildVerified(func(*Program) error { return errBoom })
+	if err == nil || !strings.Contains(err.Error(), "program v") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("verify failure not surfaced: %v", err)
+	}
+	// A build failure must short-circuit verification.
+	called := false
+	_, err = NewBuilder("b").I(isa.J("nowhere")).BuildVerified(func(*Program) error { called = true; return nil })
+	if err == nil || called {
+		t.Fatalf("verifier ran on failed build (err=%v)", err)
+	}
+}
+
+var errBoom = errors.New("boom")

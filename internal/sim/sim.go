@@ -95,6 +95,9 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 	}
 	h := mem.NewHierarchy(o.Hier)
 	inst := build(h)
+	if inst.Err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", id, v, inst.Err)
+	}
 
 	var eng *engine.Engine
 	if v == kernels.UVE {

@@ -1,10 +1,17 @@
 #!/bin/sh
-# PR gate without make: vet, build, race-detected tests (exercising the
-# parallel experiment runner), and a one-shot Fig 8 benchmark smoke.
+# PR gate without make: formatting, vet, static kernel verification, build,
+# race-detected tests (exercising the parallel experiment runner), and a
+# one-shot Fig 8 benchmark smoke.
 set -eux
 cd "$(dirname "$0")/.."
 
+fmt_diff=$(gofmt -l .)
+if [ -n "$fmt_diff" ]; then
+    echo "gofmt needed on: $fmt_diff" >&2
+    exit 1
+fi
 go vet ./...
 go build ./...
+go run ./cmd/uvelint -all
 go test -race ./...
 go test -run '^$' -bench '^BenchmarkFig8$' -benchtime 1x .
