@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench-smoke bench experiments
+.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke bench experiments
 
-check: fmt vet build lint race bench-smoke
+check: fmt vet build lint race fuzz-smoke bench-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on: $$out"; exit 1; fi
@@ -26,7 +26,14 @@ test:
 	$(GO) test ./...
 
 race:
+	$(GO) test -race ./internal/bench ./internal/sim
 	$(GO) test -race ./...
+
+# Short native-fuzzing smoke over the descriptor iterator and the symbolic
+# footprint abstraction (one -fuzz target per invocation).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzIterator$$' -fuzztime 5s ./internal/descriptor
+	$(GO) test -run '^$$' -fuzz '^FuzzFootprint$$' -fuzztime 5s ./internal/descriptor
 
 # One Fig 8 regeneration through the benchmark harness — cheap proof that
 # the full kernel × machine matrix still assembles, runs and validates.

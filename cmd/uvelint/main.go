@@ -9,6 +9,8 @@
 //	uvelint -kernel C                 # lint SAXPY, all variants
 //	uvelint -kernel C -variant uve    # one variant
 //	uvelint -all                      # lint every kernel/variant pair
+//	uvelint -all -deps                # also print classified dependence pairs
+//	uvelint -all -max-footprint 4096  # cap footprint enumeration
 //
 // Exit status: 0 when every linted program is clean (warnings allowed),
 // 1 when any program has lint errors, 2 on usage or build failure.
@@ -30,7 +32,11 @@ func main() {
 	size := flag.Int("size", 0, "problem size (0 = kernel default)")
 	all := flag.Bool("all", false, "lint every kernel")
 	verbose := flag.Bool("v", false, "print a line for clean programs too")
+	deps := flag.Bool("deps", false, "print every classified stream dependence pair")
+	maxFootprint := flag.Int64("max-footprint", 0,
+		"cap per-stream address enumeration in elements (0 = default 2^21); longer streams degrade to hull-only footprints")
 	flag.Parse()
+	kernels.MaxFootprintElems = *maxFootprint
 
 	var variants []kernels.Variant
 	switch *variant {
@@ -78,6 +84,11 @@ func main() {
 			}
 			for _, d := range inst.Diags {
 				fmt.Printf("%s:%s\n", name, d)
+			}
+			if *deps {
+				for _, d := range inst.Deps {
+					fmt.Printf("%s: dep: %s\n", name, d)
+				}
 			}
 			if lint.HasErrors(inst.Diags) {
 				status = max(status, 1)

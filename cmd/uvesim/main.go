@@ -21,6 +21,8 @@ func main() {
 	variant := flag.String("variant", "UVE", "machine: UVE, SVE or NEON")
 	size := flag.Int("size", 0, "problem size (0 = kernel default)")
 	list := flag.Bool("list", false, "list kernels and exit")
+	sanitize := flag.Bool("sanitize", false,
+		"shadow-track every byte live streams touch and report runtime collisions (UVE only; slow)")
 	flag.Parse()
 
 	if *list {
@@ -48,7 +50,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := sim.Run(k, v, *size, nil)
+	var opts *sim.Options
+	if *sanitize {
+		o := sim.DefaultOptions(v)
+		o.Sanitize = true
+		opts = &o
+	}
+	res, err := sim.Run(k, v, *size, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -69,5 +77,11 @@ func main() {
 			res.Eng.ConfigsCompleted, res.Eng.ChunksLoaded, res.Eng.ChunksStored)
 		fmt.Printf("                     %d line requests (%d coalesced reuses)\n",
 			res.Eng.LineRequests, res.Eng.CoalescedReuses)
+	}
+	if *sanitize {
+		fmt.Printf("  sanitizer:         %d collisions\n", len(res.Collisions))
+		for _, c := range res.Collisions {
+			fmt.Printf("                     %s\n", c)
+		}
 	}
 }

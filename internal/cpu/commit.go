@@ -77,6 +77,9 @@ func (c *Core) commitStore(e *robEntry) {
 	for i, lane := range sq.lanes {
 		c.hier.Mem.Write(sq.addr+uint64(i)*uint64(sq.w), sq.w, lane)
 	}
+	if c.eng != nil {
+		c.eng.NoteScalarStore(e.pc, sq.addr, len(sq.lanes)*int(sq.w))
+	}
 	if sq.bytes > 0 {
 		for _, line := range lineSpan(sq.addr, sq.bytes) {
 			c.drainQ = append(c.drainQ, line)

@@ -1,0 +1,271 @@
+package descriptor_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+)
+
+// checkExact verifies that an exact footprint reproduces the oracle sequence
+// element-for-element, with consistent positions, hull and count.
+func checkExact(t *testing.T, d *descriptor.Descriptor, f *descriptor.Footprint) {
+	t.Helper()
+	oracle := descriptor.Addresses(d, nil)
+	if !f.Exact() {
+		t.Fatalf("footprint not exact: %v", f)
+	}
+	if f.Elems != int64(len(oracle)) {
+		t.Fatalf("Elems = %d, want %d", f.Elems, len(oracle))
+	}
+	i := 0
+	complete := f.EachElem(func(pos, addr int64) bool {
+		if pos != int64(i) {
+			t.Fatalf("element %d has position %d", i, pos)
+		}
+		if uint64(addr) != oracle[i] {
+			t.Fatalf("element %d = %#x, want %#x", i, addr, oracle[i])
+		}
+		i++
+		return true
+	})
+	if !complete || i != len(oracle) {
+		t.Fatalf("walked %d elements (complete=%v), want %d", i, complete, len(oracle))
+	}
+	var min, max uint64
+	for i, a := range oracle {
+		if i == 0 || a < min {
+			min = a
+		}
+		if i == 0 || a > max {
+			max = a
+		}
+	}
+	if len(oracle) > 0 && (uint64(f.Min) != min || uint64(f.Max) != max) {
+		t.Fatalf("hull [%#x, %#x], want [%#x, %#x]", f.Min, f.Max, min, max)
+	}
+}
+
+func TestFootprintAffineShapes(t *testing.T) {
+	const base = 0x10000
+	cases := []struct {
+		name  string
+		d     *descriptor.Descriptor
+		spans int // expected decomposition size after coalescing; 0 = skip
+	}{
+		{"linear", descriptor.New(base, arch.W4, descriptor.Load).Linear(64, 1).MustBuild(), 1},
+		{"strided", descriptor.New(base, arch.W8, descriptor.Load).Linear(16, 3).MustBuild(), 1},
+		{"rows contiguous", descriptor.New(base, arch.W4, descriptor.Load).
+			Dim(0, 8, 1).Dim(0, 8, 8).MustBuild(), 1},
+		{"rows padded", descriptor.New(base, arch.W4, descriptor.Load).
+			Dim(0, 8, 1).Dim(0, 8, 10).MustBuild(), 8},
+		{"column", descriptor.New(base, arch.W4, descriptor.Load).
+			Dim(0, 1, 1).Dim(0, 16, 8).MustBuild(), 1},
+		{"repeated row", descriptor.New(base, arch.W4, descriptor.Load).
+			Dim(0, 8, 1).Dim(0, 4, 0).MustBuild(), 4},
+		{"negative stride", descriptor.New(base+4*63, arch.W4, descriptor.Load).
+			Linear(64, -1).MustBuild(), 1},
+		{"offset dims", descriptor.New(base, arch.W4, descriptor.Load).
+			Dim(2, 6, 1).Dim(1, 5, 8).MustBuild(), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := descriptor.NewFootprint(tc.d, 0)
+			checkExact(t, tc.d, f)
+			if tc.spans > 0 && len(f.Spans) != tc.spans {
+				t.Errorf("got %d spans, want %d: %v", len(f.Spans), tc.spans, f)
+			}
+		})
+	}
+}
+
+func TestFootprintStaticModExact(t *testing.T) {
+	// Fig 3.B4 triangular pattern: row r has r+1 elements.
+	const nr = 12
+	d := descriptor.New(0x20000, arch.W4, descriptor.Load).
+		Dim(0, 0, 1).Dim(0, nr, 16).
+		Mod(descriptor.TargetSize, descriptor.Add, 1, nr).
+		MustBuild()
+	f := descriptor.NewFootprint(d, 0)
+	checkExact(t, d, f)
+}
+
+func TestFootprintIndirectIsTop(t *testing.T) {
+	d := descriptor.New(0x20000, arch.W4, descriptor.Load).
+		Dim(0, 8, 1).
+		IndirectOuter(descriptor.TargetOffset, descriptor.SetValue, 3).
+		MustBuild()
+	f := descriptor.NewFootprint(d, 0)
+	if !f.Top {
+		t.Fatalf("indirect descriptor must be ⊤, got %v", f)
+	}
+	if descriptor.Relate(f, f, 0) != descriptor.OverlapUnknown {
+		t.Fatal("⊤ vs ⊤ must be unknown")
+	}
+	if f.RelateRange(0, 1<<40) != descriptor.OverlapUnknown {
+		t.Fatal("⊤ vs range must be unknown")
+	}
+}
+
+func TestFootprintBudgetDegradesToTop(t *testing.T) {
+	d := descriptor.New(0x20000, arch.W4, descriptor.Load).
+		Dim(0, 0, 1).Dim(0, 64, 64).
+		Mod(descriptor.TargetSize, descriptor.Add, 1, 0).
+		MustBuild()
+	f := descriptor.NewFootprint(d, 100) // 64·65/2 = 2080 elements > 100
+	if !f.Top {
+		t.Fatalf("over-budget static-mod footprint must be ⊤, got %v", f)
+	}
+}
+
+func TestFootprintEmpty(t *testing.T) {
+	d := &descriptor.Descriptor{Base: 0x1000, Width: arch.W4, Kind: descriptor.Load,
+		Dims: []descriptor.Dim{{Offset: 0, Size: 0, Stride: 1}}}
+	f := descriptor.NewFootprint(d, 0)
+	if !f.Empty() {
+		t.Fatalf("zero-size dim must give an empty footprint, got %v", f)
+	}
+	g := descriptor.NewFootprint(descriptor.New(0x1000, arch.W4, descriptor.Load).Linear(8, 1).MustBuild(), 0)
+	if descriptor.Relate(f, g, 0) != descriptor.OverlapDisjoint {
+		t.Fatal("empty footprint must be disjoint from everything")
+	}
+}
+
+func TestRelateDisjointAndOverlap(t *testing.T) {
+	mk := func(base uint64, n, stride int64) *descriptor.Footprint {
+		d := descriptor.New(base, arch.W4, descriptor.Load).Linear(n, stride).MustBuild()
+		return descriptor.NewFootprint(d, 0)
+	}
+	a := mk(0x1000, 64, 1)
+	b := mk(0x1100, 64, 1) // starts exactly at a's end
+	if got := descriptor.Relate(a, b, 0); got != descriptor.OverlapDisjoint {
+		t.Fatalf("adjacent ranges: %v, want disjoint", got)
+	}
+	c := mk(0x10fc, 64, 1) // one element shared with a
+	if got := descriptor.Relate(a, c, 0); got != descriptor.OverlapYes {
+		t.Fatalf("one-element overlap: %v, want overlapping", got)
+	}
+	// Interleaved but byte-disjoint: evens vs odds of a 4-byte grid.
+	ev := mk(0x2000, 32, 2)
+	od := mk(0x2004, 32, 2)
+	if got := descriptor.Relate(ev, od, 0); got != descriptor.OverlapDisjoint {
+		t.Fatalf("even/odd interleave: %v, want disjoint", got)
+	}
+	// Different widths: an 8-byte element straddling two 4-byte elements.
+	w8 := descriptor.NewFootprint(
+		descriptor.New(0x2002, arch.W8, descriptor.Load).Linear(1, 1).MustBuild(), 0)
+	if got := descriptor.Relate(ev, w8, 0); got != descriptor.OverlapYes {
+		t.Fatalf("straddling widths: %v, want overlapping", got)
+	}
+}
+
+func TestFirstPosSequenceOrder(t *testing.T) {
+	// Two rows walked backwards: position order disagrees with address order.
+	d := descriptor.New(0x1000+4*7, arch.W4, descriptor.Load).
+		Dim(0, 8, -1).Dim(0, 2, 16).MustBuild()
+	f := descriptor.NewFootprint(d, 0)
+	checkExact(t, d, f)
+	oracle := descriptor.Addresses(d, nil)
+	for i, a := range oracle {
+		first := -1
+		for j, b := range oracle {
+			if b == a {
+				first = j
+				break
+			}
+		}
+		pos, ok := f.FirstPos(int64(a)-1, int64(a)+1)
+		if !ok || pos != int64(first) {
+			t.Fatalf("FirstPos(%#x) = %d,%v; want %d (element %d)", a, pos, ok, first, i)
+		}
+	}
+	if _, ok := f.FirstPos(0x0fff, 0x1000); ok {
+		t.Fatal("FirstPos below the footprint must miss")
+	}
+}
+
+func TestSameSequence(t *testing.T) {
+	mk := func(kind descriptor.Kind) *descriptor.Footprint {
+		d := descriptor.New(0x3000, arch.W4, kind).Dim(0, 8, 1).Dim(0, 8, 8).MustBuild()
+		return descriptor.NewFootprint(d, 0)
+	}
+	if !mk(descriptor.Load).SameSequence(mk(descriptor.Store)) {
+		t.Fatal("identical patterns must be SameSequence")
+	}
+	rev := descriptor.NewFootprint(
+		descriptor.New(0x3000+4*63, arch.W4, descriptor.Load).Linear(64, -1).MustBuild(), 0)
+	if mk(descriptor.Load).SameSequence(rev) {
+		t.Fatal("reversed order must not be SameSequence")
+	}
+}
+
+// TestQuickFootprintMatchesOracle cross-checks random affine descriptors
+// (with and without static modifiers) against full enumeration.
+func TestQuickFootprintMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		b := descriptor.New(1<<20, arch.W4, descriptor.Load)
+		ndims := 1 + rng.Intn(3)
+		for k := 0; k < ndims; k++ {
+			b.Dim(int64(rng.Intn(5)), 1+int64(rng.Intn(9)), int64(rng.Intn(9)-4))
+		}
+		if ndims >= 2 && rng.Intn(2) == 0 {
+			targets := []descriptor.Target{descriptor.TargetOffset, descriptor.TargetSize, descriptor.TargetStride}
+			behavs := []descriptor.Behavior{descriptor.Add, descriptor.Sub}
+			b.Mod(targets[rng.Intn(3)], behavs[rng.Intn(2)], 1+int64(rng.Intn(3)), int64(rng.Intn(6)))
+		}
+		d, err := b.Build()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		f := descriptor.NewFootprint(d, 0)
+		if f.Top {
+			t.Fatalf("trial %d: unexpected ⊤ for %v", trial, d)
+		}
+		checkExact(t, d, f)
+	}
+}
+
+// TestQuickRelateSound cross-checks Relate's disjoint/overlap verdicts
+// against byte-exact set intersection for random descriptor pairs.
+func TestQuickRelateSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	widths := []arch.ElemWidth{arch.W4, arch.W8}
+	gen := func() *descriptor.Descriptor {
+		b := descriptor.New(1<<20+uint64(4*rng.Intn(40)), widths[rng.Intn(2)], descriptor.Load)
+		for k, n := 0, 1+rng.Intn(2); k < n; k++ {
+			b.Dim(int64(rng.Intn(4)), 1+int64(rng.Intn(8)), int64(rng.Intn(7)-3))
+		}
+		return b.MustBuild()
+	}
+	for trial := 0; trial < 500; trial++ {
+		da, db := gen(), gen()
+		fa, fb := descriptor.NewFootprint(da, 0), descriptor.NewFootprint(db, 0)
+		bytesOf := func(d *descriptor.Descriptor) map[uint64]bool {
+			m := map[uint64]bool{}
+			for _, a := range descriptor.Addresses(d, nil) {
+				for i := uint64(0); i < uint64(d.Width); i++ {
+					m[a+i] = true
+				}
+			}
+			return m
+		}
+		ba, bb := bytesOf(da), bytesOf(db)
+		truth := false
+		for a := range ba {
+			if bb[a] {
+				truth = true
+				break
+			}
+		}
+		got := descriptor.Relate(fa, fb, 0)
+		want := descriptor.OverlapDisjoint
+		if truth {
+			want = descriptor.OverlapYes
+		}
+		if got != want {
+			t.Fatalf("trial %d: Relate = %v, truth %v\n a=%v\n b=%v", trial, got, truth, da, db)
+		}
+	}
+}

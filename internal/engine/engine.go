@@ -292,6 +292,8 @@ type Engine struct {
 	// (paper §III-A3 "Streaming memory model").
 	SyncStoresPending func() bool
 
+	san *sanitizer // nil unless EnableSanitizer was called
+
 	Stats Stats
 }
 
@@ -445,6 +447,7 @@ func (e *Engine) deconfigure(slot int, building []*isa.StreamCfgPart) {
 	if s == nil || s.released {
 		return
 	}
+	e.sanEndSlot(s)
 	e.entries[slot] = &stream{
 		slot: slot, epoch: s.epoch + 1, u: s.u,
 		kind: s.kind, w: s.w, level: s.level,
@@ -647,6 +650,7 @@ func (e *Engine) releaseSlot(slot int) {
 	if s == nil || s.released {
 		return
 	}
+	e.sanEndSlot(s)
 	s.released = true
 	s.epoch++ // invalidate in-flight callbacks
 	// Remove the slot's pending MRQ entries.

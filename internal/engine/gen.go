@@ -153,6 +153,7 @@ func (e *Engine) ensureLine(s *stream, line uint64, now int64) bool {
 // availability to the pending line fetch when needed.
 func (e *Engine) placeElem(s *stream, c *chunk, el descriptor.Elem) {
 	lane := c.n
+	e.sanTouchElem(s, el.Addr)
 	c.addrs = append(c.addrs, el.Addr)
 	c.data = append(c.data, 0)
 	c.n++

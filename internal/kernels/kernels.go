@@ -92,6 +92,8 @@ type Instance struct {
 	// Diags holds the static verifier's findings, including warnings that
 	// did not fail the build.
 	Diags []lint.Diagnostic
+	// Deps holds the dependence analyzer's classified stream pairs.
+	Deps []lint.DepPair
 
 	builder *program.Builder
 }
@@ -219,7 +221,10 @@ func instance(b *program.Builder, bytes int64, check func() error) *Instance {
 // kernel Build — after IntArgs/FPArgs are known — and never panics: failures
 // are reported through Err/Diags.
 func finalize(h *mem.Hierarchy, inst *Instance) *Instance {
-	opts := &lint.Options{}
+	opts := &lint.Options{
+		EntryIntVals:      inst.IntArgs,
+		MaxFootprintElems: MaxFootprintElems,
+	}
 	for r := range inst.IntArgs {
 		opts.EntryInt = append(opts.EntryInt, r)
 	}
@@ -230,12 +235,17 @@ func finalize(h *mem.Hierarchy, inst *Instance) *Instance {
 		opts.Extents = append(opts.Extents, lint.Extent{Base: e.Base, Size: e.Size})
 	}
 	p, err := inst.builder.BuildVerified(func(p *program.Program) error {
-		inst.Diags = lint.Check(p, opts)
+		inst.Diags, inst.Deps = lint.Analyze(p, opts)
 		return lint.ToError(inst.Diags)
 	})
 	inst.Prog, inst.Err = p, err
 	return inst
 }
+
+// MaxFootprintElems caps the verifier's per-stream address enumeration for
+// every kernel build (0 uses lint.DefaultMaxFootprintElems). cmd/uvelint's
+// -max-footprint flag sets it.
+var MaxFootprintElems int64
 
 // lanesFor returns the vector lane count of a variant for width w.
 func lanesFor(v Variant, w arch.ElemWidth) int { return arch.LanesFor(v.VecBytes(), w) }

@@ -11,6 +11,7 @@ import (
 // cfgSite is one completed stream configuration: the µOp run [startPC,
 // endPC] and the descriptor it assembles.
 type cfgSite struct {
+	idx     int // index into checker.sites
 	stream  int
 	startPC int
 	endPC   int
@@ -22,6 +23,7 @@ type checker struct {
 	opts  *Options
 	insts []isa.Inst
 	diags []Diagnostic
+	deps  []DepPair
 
 	succs [][]int // CFG successors per pc
 	reach []bool
@@ -29,6 +31,7 @@ type checker struct {
 	sites      []*cfgSite
 	siteAt     map[int]*cfgSite // end-part pc → site
 	configured uint32           // streams with at least one config site
+	originUse  map[int][]int    // stream → end-part pcs of indirect consumers
 
 	in []state // dataflow fixpoint result
 }
@@ -69,6 +72,7 @@ func (c *checker) run() {
 	c.runDataflow()
 	c.checkStreamUses()
 	c.checkFootprints()
+	c.checkDeps()
 }
 
 // checkRegisters validates operand register numbers against their class
@@ -120,7 +124,7 @@ func (c *checker) collectConfigs() {
 		}
 		pending[u] = append(pending[u], part)
 		if part.End {
-			site := &cfgSite{stream: u, startPC: pendingStart[u], endPC: pc}
+			site := &cfgSite{idx: len(c.sites), stream: u, startPC: pendingStart[u], endPC: pc}
 			if d, err := isa.RebuildDescriptor(pending[u]); err != nil {
 				c.errorf(pc, "invalid configuration of u%d: %v", u, err)
 			} else {

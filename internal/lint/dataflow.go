@@ -1,6 +1,9 @@
 package lint
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/descriptor"
 	"repro/internal/isa"
 )
@@ -28,10 +31,20 @@ const (
 // on element width.
 const widthConflict uint8 = 0xff
 
+// Reaching-configuration-site markers (state.site values beside a site
+// index): siteNone means no configuration reaches, siteConflict means
+// different sites reach along different paths.
+const (
+	siteNone     int16 = -1
+	siteConflict int16 = -2
+)
+
 // state is the abstract machine state at an instruction boundary: must-
 // defined register bitmasks (merge: intersection), predicate element widths,
-// and per-vector-register stream status may-sets (merge: union). The struct
-// is comparable, which the fixpoint loop uses for change detection.
+// per-vector-register stream status may-sets (merge: union), the reaching
+// configuration site per stream register, and integer constant propagation
+// (merge: values that disagree become non-constant). The struct is
+// comparable, which the fixpoint loop uses for change detection.
 type state struct {
 	intDef  uint32
 	fpDef   uint32
@@ -40,14 +53,24 @@ type state struct {
 	predW   [isa.NumPredRegs]uint8
 	stream  [isa.NumVecRegs]uint8
 	kind    [isa.NumVecRegs]uint8
+	site    [isa.NumVecRegs]int16
+	cdef    uint32 // cint[i] holds a known constant
+	cint    [isa.NumIntRegs]uint64
 }
 
 func (c *checker) entryState() state {
 	var s state
 	s.intDef = 1 // x0 reads as zero
+	s.cdef = 1
 	for _, r := range c.opts.EntryInt {
 		if r >= 0 && r < isa.NumIntRegs {
 			s.intDef |= 1 << uint(r)
+		}
+	}
+	for r, v := range c.opts.EntryIntVals {
+		if r > 0 && r < isa.NumIntRegs && s.intDef&(1<<uint(r)) != 0 {
+			s.cdef |= 1 << uint(r)
+			s.cint[r] = v
 		}
 	}
 	for _, r := range c.opts.EntryFP {
@@ -58,6 +81,7 @@ func (c *checker) entryState() state {
 	s.predDef = 1 // p0 is hardwired all-true
 	for u := range s.stream {
 		s.stream[u] = stUnconf
+		s.site[u] = siteNone
 	}
 	return s
 }
@@ -79,6 +103,26 @@ func merge(a *state, b *state) bool {
 	for u := range a.stream {
 		a.stream[u] |= b.stream[u]
 		a.kind[u] |= b.kind[u]
+		switch {
+		case a.site[u] == b.site[u]:
+		case a.site[u] == siteNone:
+			a.site[u] = b.site[u]
+		case b.site[u] == siteNone:
+		default:
+			a.site[u] = siteConflict
+		}
+	}
+	keep := a.cdef & b.cdef
+	for i := 0; i < isa.NumIntRegs; i++ {
+		if keep&(1<<uint(i)) != 0 && a.cint[i] != b.cint[i] {
+			keep &^= 1 << uint(i)
+		}
+	}
+	a.cdef = keep
+	for i := range a.cint {
+		if keep&(1<<uint(i)) == 0 {
+			a.cint[i] = 0 // canonicalize so state comparison is meaningful
+		}
 	}
 	return *a != old
 }
@@ -153,6 +197,9 @@ func (c *checker) transfer(pc int, s state, rep *checker) []state {
 			}
 			if part != nil && part.End {
 				s.stream[u] = stActive
+				if site := c.siteAt[pc]; site != nil {
+					s.site[u] = int16(site.idx)
+				}
 				if site := c.siteAt[pc]; site != nil && site.desc != nil {
 					if site.desc.Kind == descriptor.Load {
 						s.kind[u] = kindLoad
@@ -203,7 +250,8 @@ func (c *checker) transfer(pc int, s state, rep *checker) []state {
 		if p < isa.NumPredRegs && s.predDef&(1<<uint(p)) != 0 {
 			switch w := s.predW[p]; {
 			case w == widthConflict:
-				rep.errorf(pc, "predicate p%d reaches here with conflicting element widths", p)
+				rep.errorf(pc, "predicate p%d reaches here with conflicting element widths (%s)",
+					p, rep.predProducerList(p))
 			case w != 0 && w != uint8(in.W):
 				rep.errorf(pc, "predicate p%d was produced for %d-byte lanes but %s expects %d-byte lanes",
 					p, w, op.Name(), int(in.W))
@@ -217,6 +265,13 @@ func (c *checker) transfer(pc int, s state, rep *checker) []state {
 		case isa.ClassInt:
 			if d.N != 0 {
 				s.intDef |= 1 << uint(d.N)
+				if v, known := evalConstInt(in, &s); known {
+					s.cdef |= 1 << uint(d.N)
+					s.cint[d.N] = v
+				} else {
+					s.cdef &^= 1 << uint(d.N)
+					s.cint[d.N] = 0
+				}
 			}
 		case isa.ClassFP:
 			s.fpDef |= 1 << uint(d.N)
@@ -269,6 +324,84 @@ func (c *checker) transfer(pc int, s state, rep *checker) []state {
 		}
 	}
 	return outs
+}
+
+// evalConstInt evaluates an integer-destination instruction over the
+// constant lattice: known when every needed operand is a known constant.
+// Memory loads and vector-length queries are never constant.
+func evalConstInt(in *isa.Inst, s *state) (uint64, bool) {
+	get := func(r isa.Reg) (uint64, bool) {
+		if r.Class != isa.ClassInt || int(r.N) >= isa.NumIntRegs {
+			return 0, false
+		}
+		if r.N == 0 {
+			return 0, true
+		}
+		if s.cdef&(1<<uint(r.N)) != 0 {
+			return s.cint[r.N], true
+		}
+		return 0, false
+	}
+	switch in.Op {
+	case isa.OpLi:
+		return uint64(in.Imm), true
+	case isa.OpMv, isa.OpAddI, isa.OpSllI, isa.OpSrlI, isa.OpAndI, isa.OpSltI:
+		a, ok := get(in.Src1)
+		if !ok {
+			return 0, false
+		}
+		return isa.EvalInt(in.Op, a, 0, in.Imm), true
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSlt:
+		a, okA := get(in.Src1)
+		b, okB := get(in.Src2)
+		if !okA || !okB {
+			return 0, false
+		}
+		return isa.EvalInt(in.Op, a, b, in.Imm), true
+	}
+	return 0, false
+}
+
+// constInt resolves a register's known constant value at a program point.
+func constInt(s *state, r isa.Reg) (uint64, bool) {
+	if r.Class != isa.ClassInt || int(r.N) >= isa.NumIntRegs {
+		return 0, false
+	}
+	if r.N == 0 {
+		return 0, true
+	}
+	if s.cdef&(1<<uint(r.N)) != 0 {
+		return s.cint[r.N], true
+	}
+	return 0, false
+}
+
+// predProducerList names the instructions that define a predicate register
+// with an element width, so a width-conflict diagnostic can say which
+// producers disagree. pnot copies are reported as copies of their source.
+func (c *checker) predProducerList(p int) string {
+	type prod struct {
+		pc int
+		w  uint8
+	}
+	var prods []prod
+	for pc := range c.insts {
+		in := &c.insts[pc]
+		d := in.DataDst()
+		if d.Class != isa.ClassPred || int(d.N) != p || in.Op == isa.OpPNot {
+			continue
+		}
+		prods = append(prods, prod{pc, uint8(in.W)})
+	}
+	if len(prods) == 0 {
+		return "no width-defining producer found"
+	}
+	parts := make([]string, len(prods))
+	for i, pr := range prods {
+		parts[i] = fmt.Sprintf("%d-byte lanes at %d", pr.w, pr.pc)
+	}
+	return "produced for " + strings.Join(parts, ", ")
 }
 
 // checkRead validates one data-source register against the in-state.

@@ -1,0 +1,306 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+	"repro/internal/lint"
+	"repro/internal/program"
+)
+
+// TestDepNegativeCorpus runs aliasing programs through the dependence
+// analyzer and asserts each one's diagnostic, mirroring TestNegativeCorpus.
+func TestDepNegativeCorpus(t *testing.T) {
+	buf := lint.Extent{Base: 0x10000, Size: 4 * 64}
+	buf2 := lint.Extent{Base: 0x20000, Size: 4 * 64}
+	idx := lint.Extent{Base: 0x30000, Size: 8 * 64}
+	opts := func() *lint.Options {
+		return &lint.Options{Extents: []lint.Extent{buf, buf2, idx}}
+	}
+	cases := []struct {
+		name  string
+		build func() *program.Program
+		opts  *lint.Options
+		sev   lint.Severity
+		want  string
+	}{
+		{
+			name: "two store streams alias (WAW)",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(1), 7))
+				b.ConfigStream(0, st(buf.Base, 64))
+				b.ConfigStream(1, st(buf.Base, 64))
+				b.Label("loop")
+				b.I(isa.VDupX(w, isa.V(0), isa.X(1)))
+				b.I(isa.VDupX(w, isa.V(1), isa.X(1)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "store streams u0 and u1 both write",
+		},
+		{
+			name: "store sweeps against the load (WAR)",
+			build: func() *program.Program {
+				// The load walks the buffer forward, the store backward: the
+				// last element the load prefetches was already overwritten at
+				// the store's first position.
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(1), 7))
+				b.ConfigStream(0, ld(buf.Base, 64))
+				b.ConfigStream(1, descriptor.New(buf.Base, arch.W4, descriptor.Store).
+					Dim(63, 64, -1).MustBuild())
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.VDupX(w, isa.V(1), isa.X(1)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "the prefetch may return the stale pre-store value (WAR)",
+		},
+		{
+			name: "scalar store into a live load stream",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(2), int64(buf.Base)+16))
+				b.I(isa.Li(isa.X(3), 7))
+				b.ConfigStream(0, ld(buf.Base, 64))
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.Store(w, isa.X(2), 0, isa.X(3)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "lands inside live load stream u0's footprint",
+		},
+		{
+			name: "scalar store races a live store stream",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(2), int64(buf.Base)+16))
+				b.I(isa.Li(isa.X(3), 7))
+				b.ConfigStream(0, st(buf.Base, 64))
+				b.Label("loop")
+				b.I(isa.VDupX(w, isa.V(0), isa.X(3)))
+				b.I(isa.Store(w, isa.X(2), 0, isa.X(3)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "races live store stream u0's commits",
+		},
+		{
+			name: "scalar store to an unknown address",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(3), 7))
+				b.ConfigStream(0, ld(buf.Base, 64))
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.Store(w, isa.X(2), 0, isa.X(3)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			opts: &lint.Options{EntryInt: []int{2}, Extents: []lint.Extent{buf}},
+			sev:  lint.Warn,
+			want: "scalar store while streams u0 may be live: store address is statically unknown",
+		},
+		{
+			name: "indirect stream defeats the footprint",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(1), 7))
+				b.ConfigStream(1, descriptor.New(idx.Base, arch.W8, descriptor.Load).
+					Linear(64, 1).MustBuild())
+				b.ConfigStream(0, descriptor.New(buf.Base, arch.W4, descriptor.Load).
+					Linear(64, 1).Indirect(descriptor.TargetOffset, descriptor.SetValue, 1).
+					MustBuild())
+				b.ConfigStream(2, st(buf.Base, 64))
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.VDupX(w, isa.V(2), isa.X(1)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Warn,
+			want: "cannot prove streams u0 and u2 disjoint",
+		},
+		{
+			name: "ambiguous reaching configuration",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(1), 7))
+				b.I(isa.Beq(isa.X(2), isa.X(0), "alt"))
+				b.I(isa.SCfgParts(0, ld(buf.Base, 64))...)
+				b.I(isa.J("join"))
+				b.Label("alt")
+				b.I(isa.SCfgParts(0, ld(buf2.Base, 64))...)
+				b.Label("join")
+				b.I(isa.SCfgParts(1, st(buf.Base, 64))...)
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.VDupX(w, isa.V(1), isa.X(1)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			opts: &lint.Options{EntryInt: []int{2}, Extents: []lint.Extent{buf, buf2}},
+			sev:  lint.Warn,
+			want: "different configurations of u0 may be live here",
+		},
+		{
+			name: "conflicting predicate widths name their producers",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(9), 0))
+				b.I(isa.Li(isa.X(1), 64))
+				b.I(isa.Beq(isa.X(9), isa.X(0), "alt"))
+				b.I(isa.Whilelt(arch.W8, isa.P(1), isa.X(9), isa.X(1)))
+				b.I(isa.J("join"))
+				b.Label("alt")
+				b.I(isa.Whilelt(arch.W4, isa.P(1), isa.X(9), isa.X(1)))
+				b.Label("join")
+				b.I(isa.VLoad(arch.W4, isa.V(5), isa.X(1), isa.X(9), 0, isa.P(1)))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			sev:  lint.Error,
+			want: "conflicting element widths (produced for 8-byte lanes at 3, 4-byte lanes at 5)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := tc.opts
+			if o == nil {
+				o = opts()
+			}
+			diags := lint.Check(tc.build(), o)
+			d := findDiag(diags, tc.want)
+			if d == nil {
+				t.Fatalf("no diagnostic matching %q; got %v", tc.want, diags)
+			}
+			if d.Severity != tc.sev {
+				t.Errorf("severity = %v, want %v (%s)", d.Severity, tc.sev, d.Message)
+			}
+		})
+	}
+}
+
+// findDep returns the first pair between streams a and b (either order;
+// b = -1 matches scalar-store pairs).
+func findDep(deps []lint.DepPair, a, b int) *lint.DepPair {
+	for i := range deps {
+		d := &deps[i]
+		if (d.First == a && d.Second == b) || (d.First == b && d.Second == a) {
+			return d
+		}
+	}
+	return nil
+}
+
+// TestDepVerdicts checks the safe-overlap classifications the analyzer must
+// prove silently: lockstep WAR, RAW behind the config drain stall, disjoint
+// copies, and the retired cross-phase WAR.
+func TestDepVerdicts(t *testing.T) {
+	src := lint.Extent{Base: 0x10000, Size: 4 * 64}
+	dst := lint.Extent{Base: 0x20000, Size: 4 * 64}
+	opts := &lint.Options{Extents: []lint.Extent{src, dst}}
+
+	run := func(t *testing.T, b *program.Builder) []lint.DepPair {
+		t.Helper()
+		diags, deps := lint.Analyze(mustBuild(t, b), opts)
+		if len(diags) != 0 {
+			t.Fatalf("unexpected diagnostics: %v", diags)
+		}
+		return deps
+	}
+
+	t.Run("lockstep WAR is ordered", func(t *testing.T) {
+		// The in-place update idiom (Floyd-Warshall, irsmk): identical load
+		// and store sequences over one buffer.
+		b := program.NewBuilder("ok")
+		b.ConfigStream(0, ld(src.Base, 64))
+		b.ConfigStream(1, st(src.Base, 64))
+		b.Label("loop")
+		b.I(isa.VMove(w, isa.V(1), isa.V(0)))
+		b.I(isa.SBNotEnd(0, "loop"))
+		b.I(isa.Halt())
+		deps := run(t, b)
+		d := findDep(deps, 0, 1)
+		if d == nil || d.Verdict != lint.DepOrdered || !strings.Contains(d.Detail, "lockstep") {
+			t.Fatalf("want ordered lockstep pair, got %v (all: %v)", d, deps)
+		}
+	})
+
+	t.Run("RAW is ordered by the config stall", func(t *testing.T) {
+		b := program.NewBuilder("ok")
+		b.ConfigStream(0, st(dst.Base, 64))
+		b.ConfigStream(1, ld(dst.Base, 64))
+		b.I(isa.Li(isa.X(1), 7))
+		b.Label("loop")
+		b.I(isa.VDupX(w, isa.V(0), isa.X(1)))
+		b.I(isa.VMove(w, isa.V(5), isa.V(1)))
+		b.I(isa.SBNotEnd(0, "loop"))
+		b.I(isa.Halt())
+		deps := run(t, b)
+		d := findDep(deps, 0, 1)
+		if d == nil || d.Kind != "RAW" || d.Verdict != lint.DepOrdered {
+			t.Fatalf("want ordered RAW pair, got %v (all: %v)", d, deps)
+		}
+	})
+
+	t.Run("copy streams are disjoint", func(t *testing.T) {
+		b := program.NewBuilder("ok")
+		b.ConfigStream(0, ld(src.Base, 64))
+		b.ConfigStream(1, st(dst.Base, 64))
+		b.Label("loop")
+		b.I(isa.VMove(w, isa.V(1), isa.V(0)))
+		b.I(isa.SBNotEnd(0, "loop"))
+		b.I(isa.Halt())
+		deps := run(t, b)
+		d := findDep(deps, 0, 1)
+		if d == nil || d.Verdict != lint.DepDisjoint {
+			t.Fatalf("want disjoint pair, got %v (all: %v)", d, deps)
+		}
+	})
+
+	t.Run("retired cross-phase WAR is ordered", func(t *testing.T) {
+		// The Jacobi two-sweep idiom: sweep 1 reads src into dst, sweep 2
+		// (on other registers) writes src back. Only u0 is branch-tested, so
+		// u1 stays may-live at u3's configuration — the retired-access rule
+		// must order the pair instead of flagging it.
+		b := program.NewBuilder("ok")
+		b.ConfigStream(0, ld(src.Base, 64))
+		b.ConfigStream(1, ld(src.Base+4, 63))
+		b.ConfigStream(2, st(dst.Base, 64))
+		b.I(isa.Li(isa.X(1), 7))
+		b.Label("l1")
+		b.I(isa.VMove(w, isa.V(2), isa.V(0)))
+		b.I(isa.VMove(w, isa.V(5), isa.V(1)))
+		b.I(isa.SBNotEnd(0, "l1"))
+		b.ConfigStream(4, ld(dst.Base, 64))
+		b.ConfigStream(3, st(src.Base, 64))
+		b.Label("l2")
+		b.I(isa.VMove(w, isa.V(3), isa.V(4)))
+		b.I(isa.SBNotEnd(4, "l2"))
+		b.I(isa.Halt())
+		deps := run(t, b)
+		d := findDep(deps, 1, 3)
+		if d == nil || d.Kind != "WAR" || d.Verdict != lint.DepOrdered ||
+			!strings.Contains(d.Detail, "no consumer after") {
+			t.Fatalf("want retired ordered WAR pair, got %v (all: %v)", d, deps)
+		}
+	})
+}

@@ -77,6 +77,10 @@ type Options struct {
 	// entry (x0 is always defined; p0 is always the all-true predicate).
 	EntryInt []int
 	EntryFP  []int
+	// EntryIntVals optionally supplies the known entry values of EntryInt
+	// registers; they seed the constant propagation that resolves scalar
+	// memory addresses for the dependence analyzer.
+	EntryIntVals map[int]uint64
 	// Extents are the program's declared buffers. Empty disables the
 	// descriptor footprint check.
 	Extents []Extent
@@ -92,13 +96,22 @@ const DefaultMaxFootprintElems = 1 << 21
 // Check verifies p and returns its findings sorted by instruction index.
 // opts may be nil.
 func Check(p *program.Program, opts *Options) []Diagnostic {
+	diags, _ := Analyze(p, opts)
+	return diags
+}
+
+// Analyze verifies p like Check and additionally returns the inter-stream
+// dependence pairs the analyzer classified (every program point where two
+// streams — or a scalar store and a stream — are simultaneously live).
+// opts may be nil.
+func Analyze(p *program.Program, opts *Options) ([]Diagnostic, []DepPair) {
 	if opts == nil {
 		opts = &Options{}
 	}
 	c := newChecker(p, opts)
 	c.run()
 	sort.SliceStable(c.diags, func(i, j int) bool { return c.diags[i].PC < c.diags[j].PC })
-	return c.diags
+	return c.diags, c.deps
 }
 
 // HasErrors reports whether any diagnostic has Error severity.

@@ -31,6 +31,39 @@ func TestAllKernelsLintClean(t *testing.T) {
 	}
 }
 
+// TestDependenceSweep runs the dependence analyzer over every kernel ×
+// variant at default size: no pair may classify as a hazard (the kernels are
+// all correct, so any hazard is an analyzer false positive), and the
+// in-place lockstep idioms must be recognized as ordered overlaps rather
+// than warned about.
+func TestDependenceSweep(t *testing.T) {
+	lockstep := map[string]bool{"K": true, "S": true} // IRSmk, Floyd-Warshall
+	for _, k := range kernels.All {
+		for _, v := range []kernels.Variant{kernels.UVE, kernels.SVE, kernels.NEON} {
+			t.Run(k.Name+"/"+v.String(), func(t *testing.T) {
+				h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+				inst := k.Build(h, v, k.DefaultSize)
+				if inst.Err != nil {
+					t.Fatalf("build/verify failed: %v", inst.Err)
+				}
+				ordered := 0
+				for _, d := range inst.Deps {
+					if d.Verdict == lint.DepHazard {
+						t.Errorf("false-positive hazard: %s", d)
+					}
+					if d.Verdict == lint.DepOrdered {
+						ordered++
+						t.Logf("ordered: %s", d)
+					}
+				}
+				if v == kernels.UVE && lockstep[k.ID] && ordered == 0 {
+					t.Errorf("lockstep kernel %s has no ordered pair: %v", k.Name, inst.Deps)
+				}
+			})
+		}
+	}
+}
+
 // TestUnrolledGemmLintClean covers the Fig 8.E ablation programs, which do
 // not go through the kernel registry.
 func TestUnrolledGemmLintClean(t *testing.T) {

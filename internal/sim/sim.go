@@ -20,6 +20,11 @@ type Options struct {
 	// SkipCheck skips output validation (benchmark loops that re-run the
 	// same instance's timing many times).
 	SkipCheck bool
+	// Sanitize enables the streaming engine's shadow address tracker, which
+	// records every byte live streams touch and reports runtime collisions
+	// (Result.Collisions). UVE only; byte-granular, so meant for
+	// verification runs at test sizes, not timing experiments.
+	Sanitize bool
 }
 
 // DefaultOptions returns the Table I machine for the given variant.
@@ -48,6 +53,8 @@ type Result struct {
 	L2        mem.CacheStats
 	// BusUtil is (ReadBW+WriteBW)/PeakBW — the Fig 8.D metric.
 	BusUtil float64
+	// Collisions holds the stream sanitizer's observations (Options.Sanitize).
+	Collisions []engine.Collision
 }
 
 // IPC returns committed instructions per cycle.
@@ -102,6 +109,9 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 	var eng *engine.Engine
 	if v == kernels.UVE {
 		eng = engine.New(o.Eng, h)
+		if o.Sanitize {
+			eng.EnableSanitizer()
+		}
 	}
 	core := cpu.New(o.Core, inst.Prog, h, eng)
 	for r, val := range inst.IntArgs {
@@ -126,6 +136,7 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 	}
 	if eng != nil {
 		res.Eng = eng.Stats
+		res.Collisions = eng.Collisions()
 	}
 	if !o.SkipCheck && inst.Check != nil {
 		if err := inst.Check(); err != nil {

@@ -1,6 +1,7 @@
 #!/bin/sh
 # PR gate without make: formatting, vet, static kernel verification, build,
-# race-detected tests (exercising the parallel experiment runner), and a
+# race-detected tests (exercising the parallel experiment runner), a short
+# fuzz smoke over the descriptor iterator and footprint abstraction, and a
 # one-shot Fig 8 benchmark smoke.
 set -eux
 cd "$(dirname "$0")/.."
@@ -13,5 +14,12 @@ fi
 go vet ./...
 go build ./...
 go run ./cmd/uvelint -all
+# Targeted race run for the PR-1 parallel experiment runner and the
+# simulation facade it drives, then the full race-detected suite.
+go test -race ./internal/bench ./internal/sim
 go test -race ./...
+# Fuzz smokes (one -fuzz target per invocation): descriptor address
+# iterator and symbolic footprint vs. the concrete oracle.
+go test -run '^$' -fuzz '^FuzzIterator$' -fuzztime 5s ./internal/descriptor
+go test -run '^$' -fuzz '^FuzzFootprint$' -fuzztime 5s ./internal/descriptor
 go test -run '^$' -bench '^BenchmarkFig8$' -benchtime 1x .
