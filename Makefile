@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke bench experiments
+.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke trace-smoke bench experiments
 
-check: fmt vet build lint race fuzz-smoke bench-smoke
+check: fmt vet build lint race fuzz-smoke bench-smoke trace-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on: $$out"; exit 1; fi
@@ -39,6 +39,20 @@ fuzz-smoke:
 # the full kernel × machine matrix still assembles, runs and validates.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig8$$' -benchtime 1x .
+
+# Trace smoke: a traced saxpy run must emit a valid Chrome trace file, the
+# tracing machinery (compiled in but disabled) must leave uvesim's stdout
+# byte-identical to the traced run's, and uvebench's figure output must be
+# byte-identical between sequential and parallel execution.
+trace-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/uvesim -kernel C -size 512 > "$$dir/plain.txt" && \
+	$(GO) run ./cmd/uvesim -kernel C -size 512 -trace "$$dir/saxpy.json" > "$$dir/traced.txt" 2> /dev/null && \
+	$(GO) run ./scripts/jsonvalid "$$dir/saxpy.json" && \
+	cmp "$$dir/plain.txt" "$$dir/traced.txt" && \
+	$(GO) run ./cmd/uvebench -exp fig8 -scale 256 -j 1 > "$$dir/fig8-seq.txt" && \
+	$(GO) run ./cmd/uvebench -exp fig8 -scale 256 > "$$dir/fig8-par.txt" && \
+	cmp "$$dir/fig8-seq.txt" "$$dir/fig8-par.txt"
 
 # Full custom-metric benchmark sweep (§VI figures as benchmark units).
 bench:

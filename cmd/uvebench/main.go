@@ -13,6 +13,7 @@
 //	uvebench -exp hw            # §VI-C storage accounting
 //	uvebench -exp ablate        # beyond-paper design-choice ablations
 //	uvebench -exp table1        # machine configuration
+//	uvebench -stalls            # per-kernel cycle/stall attribution (Fig 8.C)
 //	uvebench -exp all           # everything
 //
 // -scale N divides problem sizes by N for quick runs. -j N sizes the
@@ -20,6 +21,11 @@
 // (default all cores; -j 1 is fully sequential — the output is
 // byte-identical either way). -json emits machine-readable results for
 // BENCH_*.json trajectory tracking instead of the text tables.
+//
+// Runs whose measurements are degenerate (a zero cycle count, a non-finite
+// summary value) are reported on stderr and make the process exit 1; the
+// JSON document is still emitted, with the affected ratios pinned to 0
+// rather than NaN/Inf, so downstream tooling never sees a marshal error.
 package main
 
 import (
@@ -32,74 +38,34 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig8, fig8table, fig8e, fig9, fig10, fig11, spm, hw, table1, all)")
+	exp := flag.String("exp", "all", "experiment id (fig8, fig8table, fig8e, fig9, fig10, fig11, spm, hw, table1, stalls, all)")
 	scale := flag.Int("scale", 1, "divide problem sizes by this factor")
 	verbose := flag.Bool("v", false, "print each run")
 	workers := flag.Int("j", 0, "simulation worker pool size (0 = all cores, 1 = sequential)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results")
+	stalls := flag.Bool("stalls", false, "shorthand for -exp stalls")
 	flag.Parse()
 
 	o := &bench.Options{Scale: *scale, Verbose: *verbose && !*jsonOut, Workers: *workers}
 
-	// Every experiment produces both a text rendering and a Report; one
-	// shared Options means the runner's memo table spans the whole
-	// invocation, so e.g. the Fig 9 48-PR reference reuses the Fig 8 run.
-	run := func(id string) (string, bench.Report) {
-		switch id {
-		case "table1":
-			t := bench.FormatTable1()
-			return t, bench.Report{Experiment: id, Text: t}
-		case "fig8table":
-			t := bench.FormatFig8Table()
-			return t, bench.Report{Experiment: id, Text: t}
-		case "fig8":
-			rows := bench.Fig8(o)
-			return bench.FormatFig8(rows), bench.Report{Experiment: id, Fig8: rows, Summary: bench.Fig8Summary(rows)}
-		case "fig8e":
-			pts := bench.Fig8E(o)
-			return bench.FormatSweep("Fig 8.E — UVE GEMM loop unrolling (speedup vs no unrolling)", pts),
-				bench.Report{Experiment: id, Sweep: pts}
-		case "fig9":
-			pts := bench.Fig9(o)
-			return bench.FormatSweep("Fig 9 — sensitivity to vector physical registers (speedup vs 48 PRs)", pts),
-				bench.Report{Experiment: id, Sweep: pts}
-		case "fig10":
-			pts := bench.Fig10(o)
-			return bench.FormatSweep("Fig 10 — sensitivity to FIFO depth (speedup vs depth 8)", pts),
-				bench.Report{Experiment: id, Sweep: pts}
-		case "fig11":
-			pts := bench.Fig11(o)
-			return bench.FormatSweep("Fig 11 — sensitivity to streaming cache level (speedup vs L2)", pts),
-				bench.Report{Experiment: id, Sweep: pts}
-		case "spm":
-			pts := bench.SPMSweep(o)
-			return bench.FormatSweep("§VI-B — stream processing modules (speedup vs 2 modules)", pts),
-				bench.Report{Experiment: id, Sweep: pts}
-		case "hw":
-			t := bench.FormatHW()
-			return t, bench.Report{Experiment: id, Text: t}
-		case "ablate":
-			pts := bench.Ablations(o)
-			return bench.FormatSweep("Ablations — baseline prefetchers off; engine restricted to 1 load port (speedup vs default)", pts),
-				bench.Report{Experiment: id, Sweep: pts}
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
-			os.Exit(2)
-			return "", bench.Report{}
-		}
-	}
-
 	ids := []string{*exp}
-	if *exp == "all" {
-		ids = []string{"table1", "fig8table", "hw", "fig8", "fig8e", "fig9", "fig10", "fig11", "spm", "ablate"}
+	if *stalls {
+		ids = []string{"stalls"}
+	} else if *exp == "all" {
+		ids = bench.ExperimentIDs
 	}
 
+	// One shared Options means the runner's memo table spans the whole
+	// invocation, so e.g. the Fig 9 48-PR reference reuses the Fig 8 run.
 	var reports []bench.Report
 	for _, id := range ids {
-		text, rep := run(id)
-		if *jsonOut {
-			reports = append(reports, rep)
-		} else {
+		text, rep, err := bench.RunExperiment(id, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		reports = append(reports, rep)
+		if !*jsonOut {
 			fmt.Println(text)
 		}
 	}
@@ -117,5 +83,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	if degs := bench.Degenerate(reports); len(degs) > 0 {
+		fmt.Fprintf(os.Stderr, "uvebench: %d degenerate measurement(s):\n", len(degs))
+		for _, d := range degs {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		os.Exit(1)
 	}
 }

@@ -4,7 +4,15 @@
 // Usage:
 //
 //	uvesim -kernel C -variant UVE -size 32768
+//	uvesim -kernel C -trace saxpy.json              # Chrome trace_event file
+//	uvesim -kernel C -stalls                        # cycle attribution table
 //	uvesim -list
+//
+// -trace writes a cycle-level event trace (about:tracing / Perfetto JSON by
+// default, a plain-text timeline with -trace-format text). -stalls appends
+// the per-class stall attribution to the report. Neither perturbs the
+// simulation: the stats lines printed for a traced run are byte-identical
+// to an untraced one.
 package main
 
 import (
@@ -14,7 +22,13 @@ import (
 
 	"repro/internal/kernels"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
+
+// traceRingSize bounds the events retained for -trace; older events are
+// dropped (and counted) once the ring wraps. Attribution is exact
+// regardless — it folds every cycle as it happens.
+const traceRingSize = 1 << 16
 
 func main() {
 	kid := flag.String("kernel", "C", "kernel ID (A..S, see -list)")
@@ -23,6 +37,10 @@ func main() {
 	list := flag.Bool("list", false, "list kernels and exit")
 	sanitize := flag.Bool("sanitize", false,
 		"shadow-track every byte live streams touch and report runtime collisions (UVE only; slow)")
+	traceFile := flag.String("trace", "", "write a cycle trace to this file")
+	traceInterval := flag.Int64("trace-interval", 1000, "stall-attribution interval in cycles")
+	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome (trace_event JSON) or text")
+	stalls := flag.Bool("stalls", false, "print the per-class stall attribution after the stats")
 	flag.Parse()
 
 	if *list {
@@ -31,6 +49,10 @@ func main() {
 			fmt.Printf("%-3s %-16s %-14s %s (default n=%d)\n", k.ID, k.Name, k.Domain, k.Pattern, k.DefaultSize)
 		}
 		return
+	}
+	if *traceFormat != "chrome" && *traceFormat != "text" {
+		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (chrome|text)\n", *traceFormat)
+		os.Exit(2)
 	}
 	k := kernels.ByID(*kid)
 	if k == nil {
@@ -50,10 +72,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	var col *trace.Collector
+	if *traceFile != "" || *stalls {
+		ring := 0
+		if *traceFile != "" {
+			ring = traceRingSize
+		}
+		col = trace.NewCollector(ring, *traceInterval)
+	}
+
 	var opts *sim.Options
-	if *sanitize {
+	if *sanitize || col != nil {
 		o := sim.DefaultOptions(v)
-		o.Sanitize = true
+		o.Sanitize = *sanitize
+		if col != nil {
+			o.Trace = col
+		}
 		opts = &o
 	}
 	res, err := sim.Run(k, v, *size, opts)
@@ -84,4 +118,53 @@ func main() {
 			fmt.Printf("                     %s\n", c)
 		}
 	}
+	if *stalls {
+		printStalls(col, res.Cycles)
+	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, *traceFormat, col); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events retained (%d dropped), wrote %s\n",
+			len(col.Events()), col.Dropped(), *traceFile)
+	}
+}
+
+// printStalls renders the run's cycle attribution: every pre-halt cycle in
+// exactly one class, plus the post-halt store-drain tail shown separately.
+func printStalls(col *trace.Collector, cycles int64) {
+	att := col.Attribution()
+	tot := att.Totals()
+	fmt.Printf("  stall attribution (%d of %d cycles classified):\n",
+		att.AttributedExcludingDrain(), cycles)
+	for cl := trace.StallClass(0); cl < trace.ClassCount; cl++ {
+		if cl == trace.ClassDrain || tot[cl] == 0 {
+			continue
+		}
+		pct := 0.0
+		if cycles > 0 {
+			pct = 100 * float64(tot[cl]) / float64(cycles)
+		}
+		fmt.Printf("    %-10s %10d  %5.1f%%\n", cl, tot[cl], pct)
+	}
+	if d := tot[trace.ClassDrain]; d > 0 {
+		fmt.Printf("    %-10s %10d  (post-halt, outside cycle count)\n", trace.ClassDrain, d)
+	}
+}
+
+func writeTrace(path, format string, col *trace.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "chrome" {
+		err = trace.WriteChrome(f, col)
+	} else {
+		err = trace.WriteText(f, col)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

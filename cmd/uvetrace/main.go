@@ -9,9 +9,13 @@
 //	uvetrace -base 0 -width 4 -dim 0:0:1 -dim 0:6:10 -mod size:add:1:6
 //	uvetrace -base 0 -width 4 -dim 0:4:0 -indirect offset:set:5,1,9,2
 //
-// -mod target:behavior:displacement:count attaches a static modifier to the
-// most recently declared dimension; -indirect target:behavior:v0,v1,...
-// attaches an indirect modifier fed by the given literal origin values.
+// Flag order is significant: -mod target:behavior:displacement:count and
+// -indirect target:behavior:v0,v1,... attach to the most recently declared
+// -dim, exactly as the ss.app.mod configuration instructions follow their
+// dimension. Consequently a -mod or -indirect that appears before any -dim
+// is an error ("no preceding -dim"), not a silently misattached modifier;
+// likewise every numeric field is validated, so `-mod size:add:x:6` fails
+// loudly instead of applying displacement 0.
 package main
 
 import (
@@ -45,50 +49,15 @@ func main() {
 	max := flag.Int("max", 256, "print at most this many addresses")
 	var parts dimFlag
 	flag.Var(&parts, "dim", "dimension offset:size:stride (repeatable, innermost first)")
-	flag.Var(modFlag{&parts}, "mod", "static modifier target:behavior:disp:count")
-	flag.Var(indFlag{&parts}, "indirect", "indirect modifier target:behavior:v0,v1,...")
+	flag.Var(modFlag{&parts}, "mod", "static modifier target:behavior:disp:count (attaches to the preceding -dim)")
+	flag.Var(indFlag{&parts}, "indirect", "indirect modifier target:behavior:v0,v1,... (attaches to the preceding -dim)")
 	flag.Parse()
 
 	baseAddr, err := strconv.ParseUint(strings.TrimPrefix(*base, "0x"), chooseBase(*base), 64)
 	if err != nil {
 		fatal("bad -base: %v", err)
 	}
-	b := uve.NewLoadStream(baseAddr, uve.ElemWidth(*width))
-	origins := map[int][]uint64{}
-	nextOrigin := 30
-	for _, p := range parts {
-		kind, spec := p[0], p[1:]
-		switch kind {
-		case 'd':
-			f := splitInts(spec, 3)
-			b.Dim(f[0], f[1], f[2])
-		case 'm':
-			fs := strings.Split(spec, ":")
-			if len(fs) != 4 {
-				fatal("bad -mod %q", spec)
-			}
-			d1, _ := strconv.ParseInt(fs[2], 10, 64)
-			d2, _ := strconv.ParseInt(fs[3], 10, 64)
-			b.Mod(parseTarget(fs[0]), parseBehavior(fs[1], false), d1, d2)
-		case 'i':
-			fs := strings.Split(spec, ":")
-			if len(fs) != 3 {
-				fatal("bad -indirect %q", spec)
-			}
-			var vals []uint64
-			for _, v := range strings.Split(fs[2], ",") {
-				x, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
-				if err != nil {
-					fatal("bad indirect value %q", v)
-				}
-				vals = append(vals, x)
-			}
-			origins[nextOrigin] = vals
-			b.Indirect(parseTarget(fs[0]), parseBehavior(fs[1], true), nextOrigin)
-			nextOrigin++
-		}
-	}
-	d, err := b.Build()
+	d, origins, err := buildPattern(baseAddr, *width, parts)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -111,6 +80,86 @@ func main() {
 	fmt.Printf("total: %d elements\n", len(elems))
 }
 
+// buildPattern assembles the descriptor from the ordered flag parts (each
+// prefixed 'd'im / 'm'od / 'i'ndirect by the flag.Value setters) and the
+// literal origin values for indirect modifiers. Modifiers must follow at
+// least one dimension — the builder attaches them to the most recent one.
+func buildPattern(base uint64, width int, parts []string) (*uve.Descriptor, map[int][]uint64, error) {
+	b := uve.NewLoadStream(base, uve.ElemWidth(width))
+	origins := map[int][]uint64{}
+	nextOrigin := 30
+	dims := 0
+	for _, p := range parts {
+		kind, spec := p[0], p[1:]
+		switch kind {
+		case 'd':
+			f, err := splitInts(spec, 3)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -dim %q: %w", spec, err)
+			}
+			b.Dim(f[0], f[1], f[2])
+			dims++
+		case 'm':
+			if dims == 0 {
+				return nil, nil, fmt.Errorf("-mod %q has no preceding -dim to attach to", spec)
+			}
+			fs := strings.Split(spec, ":")
+			if len(fs) != 4 {
+				return nil, nil, fmt.Errorf("bad -mod %q: want target:behavior:disp:count", spec)
+			}
+			t, err := parseTarget(fs[0])
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -mod %q: %w", spec, err)
+			}
+			bh, err := parseBehavior(fs[1], false)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -mod %q: %w", spec, err)
+			}
+			d1, err := strconv.ParseInt(fs[2], 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -mod displacement %q", fs[2])
+			}
+			d2, err := strconv.ParseInt(fs[3], 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -mod count %q", fs[3])
+			}
+			b.Mod(t, bh, d1, d2)
+		case 'i':
+			if dims == 0 {
+				return nil, nil, fmt.Errorf("-indirect %q has no preceding -dim to attach to", spec)
+			}
+			fs := strings.Split(spec, ":")
+			if len(fs) != 3 {
+				return nil, nil, fmt.Errorf("bad -indirect %q: want target:behavior:v0,v1,...", spec)
+			}
+			t, err := parseTarget(fs[0])
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -indirect %q: %w", spec, err)
+			}
+			bh, err := parseBehavior(fs[1], true)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -indirect %q: %w", spec, err)
+			}
+			var vals []uint64
+			for _, v := range strings.Split(fs[2], ",") {
+				x, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("bad indirect value %q", v)
+				}
+				vals = append(vals, x)
+			}
+			origins[nextOrigin] = vals
+			b.Indirect(t, bh, nextOrigin)
+			nextOrigin++
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, origins, nil
+}
+
 func chooseBase(s string) int {
 	if strings.HasPrefix(s, "0x") {
 		return 16
@@ -118,52 +167,50 @@ func chooseBase(s string) int {
 	return 10
 }
 
-func splitInts(s string, n int) []int64 {
+func splitInts(s string, n int) ([]int64, error) {
 	fs := strings.Split(s, ":")
 	if len(fs) != n {
-		fatal("expected %d colon-separated fields in %q", n, s)
+		return nil, fmt.Errorf("expected %d colon-separated fields", n)
 	}
 	out := make([]int64, n)
 	for i, f := range fs {
 		v, err := strconv.ParseInt(f, 10, 64)
 		if err != nil {
-			fatal("bad integer %q", f)
+			return nil, fmt.Errorf("bad integer %q", f)
 		}
 		out[i] = v
 	}
-	return out
+	return out, nil
 }
 
-func parseTarget(s string) uve.Target {
+func parseTarget(s string) (uve.Target, error) {
 	switch s {
 	case "offset":
-		return uve.TargetOffset
+		return uve.TargetOffset, nil
 	case "size":
-		return uve.TargetSize
+		return uve.TargetSize, nil
 	case "stride":
-		return uve.TargetStride
+		return uve.TargetStride, nil
 	}
-	fatal("bad target %q (offset|size|stride)", s)
-	return 0
+	return 0, fmt.Errorf("bad target %q (offset|size|stride)", s)
 }
 
-func parseBehavior(s string, indirect bool) uve.Behavior {
+func parseBehavior(s string, indirect bool) (uve.Behavior, error) {
 	switch s {
 	case "add":
 		if indirect {
-			return uve.ModSetAdd
+			return uve.ModSetAdd, nil
 		}
-		return uve.ModAdd
+		return uve.ModAdd, nil
 	case "sub":
 		if indirect {
-			return uve.ModSetSub
+			return uve.ModSetSub, nil
 		}
-		return uve.ModSub
+		return uve.ModSub, nil
 	case "set":
-		return uve.ModSetValue
+		return uve.ModSetValue, nil
 	}
-	fatal("bad behavior %q (add|sub|set)", s)
-	return 0
+	return 0, fmt.Errorf("bad behavior %q (add|sub|set)", s)
 }
 
 func fatal(format string, args ...interface{}) {

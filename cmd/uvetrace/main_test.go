@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Flag-ordering regression tests: -mod/-indirect attach to the most recent
+// -dim, so a modifier with no preceding dimension must be a hard error (it
+// used to be passed to the builder anyway), and malformed integers must be
+// rejected rather than silently parsed as 0.
+
+func TestModBeforeDimRejected(t *testing.T) {
+	_, _, err := buildPattern(0, 4, []string{"msize:add:1:6", "d0:8:1"})
+	if err == nil || !strings.Contains(err.Error(), "no preceding -dim") {
+		t.Fatalf("want 'no preceding -dim' error, got %v", err)
+	}
+}
+
+func TestIndirectBeforeDimRejected(t *testing.T) {
+	_, _, err := buildPattern(0, 4, []string{"ioffset:set:5,1,9,2"})
+	if err == nil || !strings.Contains(err.Error(), "no preceding -dim") {
+		t.Fatalf("want 'no preceding -dim' error, got %v", err)
+	}
+}
+
+func TestModAfterDimAccepted(t *testing.T) {
+	d, _, err := buildPattern(0, 4, []string{"d0:0:1", "d0:6:10", "msize:add:1:6"})
+	if err != nil {
+		t.Fatalf("valid mod-after-dim pattern rejected: %v", err)
+	}
+	if d == nil {
+		t.Fatal("nil descriptor for valid pattern")
+	}
+}
+
+func TestIndirectAfterDimAccepted(t *testing.T) {
+	d, origins, err := buildPattern(0, 4, []string{"d0:4:0", "ioffset:set:5,1,9,2"})
+	if err != nil {
+		t.Fatalf("valid indirect-after-dim pattern rejected: %v", err)
+	}
+	if d == nil {
+		t.Fatal("nil descriptor for valid pattern")
+	}
+	if got := origins[30]; len(got) != 4 || got[0] != 5 || got[3] != 2 {
+		t.Fatalf("origin values not captured: %v", got)
+	}
+}
+
+func TestModBadIntegerRejected(t *testing.T) {
+	_, _, err := buildPattern(0, 4, []string{"d0:8:1", "msize:add:x:6"})
+	if err == nil || !strings.Contains(err.Error(), "displacement") {
+		t.Fatalf("want displacement parse error, got %v", err)
+	}
+	_, _, err = buildPattern(0, 4, []string{"d0:8:1", "msize:add:1:y"})
+	if err == nil || !strings.Contains(err.Error(), "count") {
+		t.Fatalf("want count parse error, got %v", err)
+	}
+}
+
+func TestDimBadIntegerRejected(t *testing.T) {
+	_, _, err := buildPattern(0, 4, []string{"d0:eight:1"})
+	if err == nil || !strings.Contains(err.Error(), "bad integer") {
+		t.Fatalf("want bad integer error, got %v", err)
+	}
+}
+
+func TestBadTargetAndBehaviorRejected(t *testing.T) {
+	if _, _, err := buildPattern(0, 4, []string{"d0:8:1", "mwidth:add:1:6"}); err == nil {
+		t.Fatal("bad target accepted")
+	}
+	if _, _, err := buildPattern(0, 4, []string{"d0:8:1", "msize:mul:1:6"}); err == nil {
+		t.Fatal("bad behavior accepted")
+	}
+}

@@ -103,14 +103,46 @@ type Fig8Row struct {
 	BusU   map[kernels.Variant]float64
 }
 
-// SpeedupVs returns UVE speedup over the given baseline.
-func (r *Fig8Row) SpeedupVs(v kernels.Variant) float64 {
-	return float64(r.Cycles[v]) / float64(r.Cycles[kernels.UVE])
+// safeDiv divides, mapping a zero denominator (or a non-finite quotient)
+// to 0 instead of NaN/Inf — a zero-cycle run is a degenerate measurement,
+// not a meaningful ratio, and non-finite floats would make the -json
+// report unmarshalable. Degenerate rows are surfaced explicitly through
+// Degenerate.
+func safeDiv(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	q := num / den
+	if math.IsNaN(q) || math.IsInf(q, 0) {
+		return 0
+	}
+	return q
 }
 
-// InstReductionVs returns 1 − Inst(UVE)/Inst(baseline), the Fig 8.A metric.
+// SpeedupVs returns UVE speedup over the given baseline (0 when either
+// measurement is degenerate).
+func (r *Fig8Row) SpeedupVs(v kernels.Variant) float64 {
+	return safeDiv(float64(r.Cycles[v]), float64(r.Cycles[kernels.UVE]))
+}
+
+// InstReductionVs returns 1 − Inst(UVE)/Inst(baseline), the Fig 8.A metric
+// (0 when the baseline committed nothing).
 func (r *Fig8Row) InstReductionVs(v kernels.Variant) float64 {
+	if r.Inst[v] == 0 {
+		return 0
+	}
 	return 1 - float64(r.Inst[kernels.UVE])/float64(r.Inst[v])
+}
+
+// Degenerate reports whether any of the row's cycle counts is zero (its
+// ratios are then meaningless and forced to 0).
+func (r *Fig8Row) Degenerate() bool {
+	for _, v := range fig8Variants {
+		if r.Cycles[v] == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // fig8Variants are the three Table I machines, in Fig 8 column order.
@@ -166,7 +198,11 @@ func GeoMeanSpeedup(rows []Fig8Row, base kernels.Variant, vectorizedOnly bool) f
 		if vectorizedOnly && !r.SVEVectorized {
 			continue
 		}
-		logSum += math.Log(r.SpeedupVs(base))
+		s := r.SpeedupVs(base)
+		if s <= 0 {
+			continue // degenerate row: excluded rather than poisoning the mean
+		}
+		logSum += math.Log(s)
 		n++
 	}
 	if n == 0 {
@@ -293,7 +329,7 @@ func Fig9(o *Options) []SweepPoint {
 				}
 				out = append(out, SweepPoint{
 					Kernel: k.Name, Variant: v, Param: fmt.Sprintf("%dPR", pr),
-					Cycles: res.Cycles, Speedup: float64(ref) / float64(res.Cycles),
+					Cycles: res.Cycles, Speedup: safeDiv(float64(ref), float64(res.Cycles)),
 				})
 			}
 		}
@@ -331,7 +367,7 @@ func Fig10(o *Options) []SweepPoint {
 		for _, d := range depths {
 			out = append(out, SweepPoint{
 				Kernel: k.Name, Variant: kernels.UVE, Param: fmt.Sprintf("depth=%d", d),
-				Cycles: cycles[d], Speedup: float64(cycles[8]) / float64(cycles[d]),
+				Cycles: cycles[d], Speedup: safeDiv(float64(cycles[8]), float64(cycles[d])),
 			})
 		}
 	}
@@ -367,7 +403,7 @@ func Fig11(o *Options) []SweepPoint {
 		for _, lvl := range levels {
 			out = append(out, SweepPoint{
 				Kernel: k.Name, Variant: kernels.UVE, Param: lvl.String(),
-				Cycles: cycles[lvl], Speedup: float64(cycles[arch.LevelL2]) / float64(cycles[lvl]),
+				Cycles: cycles[lvl], Speedup: safeDiv(float64(cycles[arch.LevelL2]), float64(cycles[lvl])),
 			})
 		}
 	}
@@ -402,7 +438,7 @@ func SPMSweep(o *Options) []SweepPoint {
 		for _, m := range mods {
 			out = append(out, SweepPoint{
 				Kernel: k.Name, Variant: kernels.UVE, Param: fmt.Sprintf("%dSPM", m),
-				Cycles: cycles[m], Speedup: float64(cycles[2]) / float64(cycles[m]),
+				Cycles: cycles[m], Speedup: safeDiv(float64(cycles[2]), float64(cycles[m])),
 			})
 		}
 	}
@@ -436,7 +472,7 @@ func Fig8E(o *Options) []SweepPoint {
 	for _, f := range factors {
 		out = append(out, SweepPoint{
 			Kernel: "GEMM", Variant: kernels.UVE, Param: fmt.Sprintf("unroll=%d", f),
-			Cycles: cycles[f], Speedup: float64(cycles[1]) / float64(cycles[f]),
+			Cycles: cycles[f], Speedup: safeDiv(float64(cycles[1]), float64(cycles[f])),
 		})
 	}
 	return out
@@ -553,10 +589,10 @@ func Ablations(o *Options) []SweepPoint {
 		ref, noPf, uveRef, onePort := results[4*i], results[4*i+1], results[4*i+2], results[4*i+3]
 		out = append(out, SweepPoint{
 			Kernel: k.Name, Variant: kernels.SVE, Param: "no-prefetch",
-			Cycles: noPf.Cycles, Speedup: float64(ref.Cycles) / float64(noPf.Cycles),
+			Cycles: noPf.Cycles, Speedup: safeDiv(float64(ref.Cycles), float64(noPf.Cycles)),
 		}, SweepPoint{
 			Kernel: k.Name, Variant: kernels.UVE, Param: "1-load-port",
-			Cycles: onePort.Cycles, Speedup: float64(uveRef.Cycles) / float64(onePort.Cycles),
+			Cycles: onePort.Cycles, Speedup: safeDiv(float64(uveRef.Cycles), float64(onePort.Cycles)),
 		})
 	}
 	return out

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExperimentIDs lists every experiment `uvebench -exp` accepts, in the
+// order `-exp all` runs them.
+var ExperimentIDs = []string{
+	"table1", "fig8table", "hw", "fig8", "fig8e",
+	"fig9", "fig10", "fig11", "spm", "ablate", "stalls",
+}
+
+// RunExperiment executes one experiment by id, returning both the text
+// rendering and the machine-readable report. It is the single dispatch
+// shared by cmd/uvebench and the report-validity tests. An unknown id is an
+// error, not an exit — the CLI decides the process outcome.
+func RunExperiment(id string, o *Options) (string, Report, error) {
+	switch id {
+	case "table1":
+		t := FormatTable1()
+		return t, Report{Experiment: id, Text: t}, nil
+	case "fig8table":
+		t := FormatFig8Table()
+		return t, Report{Experiment: id, Text: t}, nil
+	case "fig8":
+		rows := Fig8(o)
+		return FormatFig8(rows), Report{Experiment: id, Fig8: rows, Summary: Fig8Summary(rows)}, nil
+	case "fig8e":
+		pts := Fig8E(o)
+		return FormatSweep("Fig 8.E — UVE GEMM loop unrolling (speedup vs no unrolling)", pts),
+			Report{Experiment: id, Sweep: pts}, nil
+	case "fig9":
+		pts := Fig9(o)
+		return FormatSweep("Fig 9 — sensitivity to vector physical registers (speedup vs 48 PRs)", pts),
+			Report{Experiment: id, Sweep: pts}, nil
+	case "fig10":
+		pts := Fig10(o)
+		return FormatSweep("Fig 10 — sensitivity to FIFO depth (speedup vs depth 8)", pts),
+			Report{Experiment: id, Sweep: pts}, nil
+	case "fig11":
+		pts := Fig11(o)
+		return FormatSweep("Fig 11 — sensitivity to streaming cache level (speedup vs L2)", pts),
+			Report{Experiment: id, Sweep: pts}, nil
+	case "spm":
+		pts := SPMSweep(o)
+		return FormatSweep("§VI-B — stream processing modules (speedup vs 2 modules)", pts),
+			Report{Experiment: id, Sweep: pts}, nil
+	case "hw":
+		t := FormatHW()
+		return t, Report{Experiment: id, Text: t}, nil
+	case "ablate":
+		pts := Ablations(o)
+		return FormatSweep("Ablations — baseline prefetchers off; engine restricted to 1 load port (speedup vs default)", pts),
+			Report{Experiment: id, Sweep: pts}, nil
+	case "stalls":
+		rows := Stalls(o)
+		return FormatStalls(rows), Report{Experiment: id, Stalls: rows}, nil
+	}
+	return "", Report{}, fmt.Errorf("unknown experiment %q", id)
+}
+
+// Degenerate describes the measurements in the reports that carry no
+// information: zero-cycle runs (whose ratios were forced to 0 by safeDiv)
+// and any float that is still non-finite. uvebench -json prints these to
+// stderr and exits non-zero so a silent bad run can't masquerade as data.
+func Degenerate(reports []Report) []string {
+	var out []string
+	add := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	for _, rep := range reports {
+		for _, r := range rep.Fig8 {
+			if r.Degenerate() {
+				add("%s: fig8 row %s/%s has a zero cycle count", rep.Experiment, r.ID, r.Name)
+			}
+		}
+		for _, p := range rep.Sweep {
+			if p.Cycles == 0 {
+				add("%s: sweep point %s/%s %s has zero cycles", rep.Experiment, p.Kernel, p.Variant, p.Param)
+			}
+			if math.IsNaN(p.Speedup) || math.IsInf(p.Speedup, 0) {
+				add("%s: sweep point %s/%s %s has non-finite speedup", rep.Experiment, p.Kernel, p.Variant, p.Param)
+			}
+		}
+		for _, r := range rep.Stalls {
+			if r.Cycles == 0 {
+				add("%s: stall row %s/%s has zero cycles", rep.Experiment, r.ID, r.Variant)
+			}
+		}
+		for k, v := range rep.Summary {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				add("%s: summary %q is non-finite", rep.Experiment, k)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// Every experiment's -json report must marshal (encoding/json rejects
+// NaN/Inf, so a nil error proves every float is finite) and the bytes must
+// be valid JSON, at both -scale extremes: maximal shrink (sizes clamp to
+// their structural minimums) and the ordinary small-test scale.
+func TestRunExperimentReportsValidJSON(t *testing.T) {
+	scales := []int{1 << 20}
+	if !testing.Short() {
+		scales = append(scales, 1000)
+	}
+	for _, scale := range scales {
+		o := &Options{Scale: scale}
+		for _, id := range ExperimentIDs {
+			text, rep, err := RunExperiment(id, o)
+			if err != nil {
+				t.Fatalf("scale=%d %s: %v", scale, id, err)
+			}
+			if text == "" {
+				t.Errorf("scale=%d %s: empty text rendering", scale, id)
+			}
+			b, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatalf("scale=%d %s: report does not marshal: %v", scale, id, err)
+			}
+			if !json.Valid(b) {
+				t.Errorf("scale=%d %s: marshaled report is not valid JSON", scale, id)
+			}
+		}
+	}
+}
+
+func TestRunExperimentUnknownID(t *testing.T) {
+	if _, _, err := RunExperiment("fig99", &Options{Scale: 1 << 20}); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestDegenerateFlagsBadMeasurements(t *testing.T) {
+	bad := []Report{
+		{Experiment: "fig8", Fig8: []Fig8Row{{ID: "C", Name: "saxpy"}}},
+		{Experiment: "fig9", Sweep: []SweepPoint{
+			{Kernel: "gemm", Variant: kernels.UVE, Param: "x", Cycles: 0, Speedup: 1},
+			{Kernel: "gemm", Variant: kernels.UVE, Param: "y", Cycles: 5, Speedup: math.Inf(1)},
+		}},
+		{Experiment: "stalls", Stalls: []StallRow{{ID: "C", Variant: kernels.UVE}}},
+		{Experiment: "fig8", Summary: map[string]float64{"geomean": math.NaN()}},
+	}
+	degs := Degenerate(bad)
+	if len(degs) != 5 {
+		t.Fatalf("want 5 degenerate findings, got %d: %v", len(degs), degs)
+	}
+	for _, want := range []string{"zero cycle", "zero cycles", "non-finite speedup", "non-finite"} {
+		found := false
+		for _, d := range degs {
+			if strings.Contains(d, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentions %q: %v", want, degs)
+		}
+	}
+
+	good := []Report{{Experiment: "fig8", Fig8: []Fig8Row{{
+		Cycles: map[kernels.Variant]int64{kernels.UVE: 1, kernels.SVE: 1, kernels.NEON: 1},
+	}}, Summary: map[string]float64{"geomean": 1.5}}}
+	if degs := Degenerate(good); len(degs) != 0 {
+		t.Errorf("clean reports flagged: %v", degs)
+	}
+}
+
+func TestSafeDiv(t *testing.T) {
+	if got := safeDiv(1, 0); got != 0 {
+		t.Errorf("safeDiv(1,0) = %v, want 0", got)
+	}
+	if got := safeDiv(math.Inf(1), 2); got != 0 {
+		t.Errorf("safeDiv(+Inf,2) = %v, want 0", got)
+	}
+	if got := safeDiv(0, 0); got != 0 {
+		t.Errorf("safeDiv(0,0) = %v, want 0", got)
+	}
+	if got := safeDiv(6, 3); got != 2 {
+		t.Errorf("safeDiv(6,3) = %v, want 2", got)
+	}
+}

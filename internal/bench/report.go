@@ -4,11 +4,13 @@ import "repro/internal/kernels"
 
 // Report is the machine-readable form of one experiment's output
 // (`uvebench -json`), consumed by BENCH_*.json trajectory tracking.
-// Exactly one of Fig8 / Sweep / Text is populated, per experiment kind.
+// Exactly one of Fig8 / Sweep / Stalls / Text is populated, per experiment
+// kind.
 type Report struct {
 	Experiment string             `json:"experiment"`
 	Fig8       []Fig8Row          `json:"fig8,omitempty"`
 	Sweep      []SweepPoint       `json:"sweep,omitempty"`
+	Stalls     []StallRow         `json:"stalls,omitempty"`
 	Summary    map[string]float64 `json:"summary,omitempty"`
 	Text       string             `json:"text,omitempty"`
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Job identifies one simulation: a kernel (or a custom instance factory),
@@ -40,7 +41,9 @@ func (j *Job) id() string {
 // configFP is the canonical, comparable fingerprint of a machine
 // configuration. engine.Config carries a *CacheLevel (Fig 11 override)
 // whose pointer identity would defeat memoization, so the pointee is
-// hoisted into value fields and the pointer zeroed.
+// hoisted into value fields and the pointer zeroed. A trace recorder is
+// part of the fingerprint by identity: traced jobs use per-job collectors,
+// so they never memo-share with untraced (or other traced) runs.
 type configFP struct {
 	core       cpu.Config
 	hier       mem.HierarchyConfig
@@ -48,6 +51,7 @@ type configFP struct {
 	forceLevel arch.CacheLevel
 	hasForce   bool
 	skipCheck  bool
+	rec        trace.Recorder
 }
 
 // memoKey canonically identifies a (kernel, variant, size, config)
@@ -66,7 +70,7 @@ func keyOf(j Job) memoKey {
 	} else {
 		o = sim.DefaultOptions(j.Variant)
 	}
-	fp := configFP{core: o.Core, hier: o.Hier, eng: o.Eng, skipCheck: o.SkipCheck}
+	fp := configFP{core: o.Core, hier: o.Hier, eng: o.Eng, skipCheck: o.SkipCheck, rec: o.Trace}
 	if o.Eng.ForceLevel != nil {
 		fp.hasForce = true
 		fp.forceLevel = *o.Eng.ForceLevel

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The conservative-complete property: every cycle of every run lands in
+// exactly one stall class, so the attributed total equals the measured
+// cycle count for all 19 kernels on both machines — no unexplained cycles,
+// no double counting.
+func TestStallsConservativeComplete(t *testing.T) {
+	rows := Stalls(&Options{Scale: 1 << 20})
+	if want := len(kernels.All) * len(stallVariants); len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.Cycles <= 0 {
+			t.Errorf("%s/%s: no cycles measured", r.ID, r.Variant)
+			continue
+		}
+		if r.Attributed != r.Cycles {
+			t.Errorf("%s/%s: attributed %d cycles, measured %d",
+				r.ID, r.Variant, r.Attributed, r.Cycles)
+		}
+		var sum int64
+		for _, v := range r.Breakdown {
+			sum += v
+		}
+		if sum != r.Attributed {
+			t.Errorf("%s/%s: breakdown sums to %d, attributed %d",
+				r.ID, r.Variant, sum, r.Attributed)
+		}
+	}
+}
+
+// Attaching a trace collector must not perturb the simulation: the traced
+// run's cycle count (and committed instruction count) must equal the
+// untraced run's exactly.
+func TestTraceDoesNotPerturbTiming(t *testing.T) {
+	for _, kid := range []string{"C", "D"} {
+		k := kernels.ByID(kid)
+		for _, v := range []kernels.Variant{kernels.UVE, kernels.SVE} {
+			size := SizeFor(k, &Options{Scale: 1 << 20})
+			plain, err := sim.Run(k, v, size, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kid, v, err)
+			}
+			o := sim.DefaultOptions(v)
+			o.Trace = trace.NewCollector(1024, 100)
+			traced, err := sim.Run(k, v, size, &o)
+			if err != nil {
+				t.Fatalf("%s/%s traced: %v", kid, v, err)
+			}
+			if plain.Cycles != traced.Cycles || plain.Committed != traced.Committed {
+				t.Errorf("%s/%s: traced run diverged: %d/%d cycles, %d/%d insts",
+					kid, v, plain.Cycles, traced.Cycles, plain.Committed, traced.Committed)
+			}
+		}
+	}
+}
+
+func TestFormatStalls(t *testing.T) {
+	rows := []StallRow{{
+		ID: "C", Name: "saxpy", Variant: kernels.UVE, Size: 64,
+		Cycles: 100, Attributed: 100, Drain: 3,
+		Breakdown: map[string]int64{"busy": 60, "fifo-data": 30, "memory": 10},
+	}}
+	out := FormatStalls(rows)
+	for _, frag := range []string{"Stall attribution", "saxpy", "busy", "fifo-data", "memory", "Fig 8.C"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatStalls missing %q", frag)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package cpu
 import (
 	"repro/internal/arch"
 	"repro/internal/isa"
+	"repro/internal/trace"
 )
 
 // commit retires up to CommitWidth finished instructions in order, applying
@@ -59,6 +60,9 @@ func (c *Core) commit() {
 		c.Stats.Committed++
 		c.Stats.CommittedByKind[in.Op.Kind()]++
 		c.lastCommit = c.cycle
+		if c.tracing {
+			c.rec.Emit(trace.Event{Cycle: c.cycle, Kind: trace.EvCommit, Arg0: int64(e.pc), Arg1: e.seq})
+		}
 		if in.Op == isa.OpHalt {
 			c.halted = true
 			c.haltCycle = c.cycle
@@ -108,6 +112,12 @@ func (c *Core) takeFault(e *robEntry) {
 	c.Stats.PageFaults++
 	faultPC := e.pc
 	faultAddr := e.faultAddr
+	if c.tracing {
+		c.rec.Emit(trace.Event{
+			Cycle: c.cycle, Kind: trace.EvPageFault,
+			Arg0: int64(faultPC), Arg1: int64(faultAddr),
+		})
+	}
 	c.squashAfter(-1) // squash the whole window including the faulting entry
 	c.hier.Mem.MapPage(faultAddr)
 	c.hier.TLB.Flush()
@@ -123,6 +133,11 @@ func (c *Core) takeFault(e *robEntry) {
 // paper's ROB-walk recovery with stream-pointer reversal (§IV-A
 // "Miss-Speculation").
 func (c *Core) squashAfter(keep int) {
+	if c.tracing && len(c.rob)-1 > keep {
+		c.rec.Emit(trace.Event{
+			Cycle: c.cycle, Kind: trace.EvSquash, Arg0: int64(len(c.rob) - 1 - keep),
+		})
+	}
 	for i := len(c.rob) - 1; i > keep; i-- {
 		e := c.rob[i]
 		e.squashed = true

@@ -11,6 +11,7 @@ package cpu
 import (
 	"repro/internal/arch"
 	"repro/internal/isa"
+	"repro/internal/trace"
 )
 
 // Config sizes the core (defaults per Table I, modeled on the Cortex-A76).
@@ -128,6 +129,32 @@ func (b BlockCause) String() string {
 		return "stream-store"
 	}
 	return "?"
+}
+
+// stallClass maps a rename-blocking cause onto the trace package's
+// canonical per-cycle attribution class.
+func (b BlockCause) stallClass() trace.StallClass {
+	switch b {
+	case BlockROB:
+		return trace.ClassRenameROB
+	case BlockIQ:
+		return trace.ClassRenameIQ
+	case BlockScheduler:
+		return trace.ClassRenameSched
+	case BlockPRF:
+		return trace.ClassRenamePRF
+	case BlockLQ:
+		return trace.ClassRenameLQ
+	case BlockSQ:
+		return trace.ClassRenameSQ
+	case BlockSCROB:
+		return trace.ClassRenameSCROB
+	case BlockStreamData:
+		return trace.ClassStreamData
+	case BlockStreamStore:
+		return trace.ClassStreamStore
+	}
+	return trace.ClassExec
 }
 
 // Stats aggregates core activity for the evaluation figures.

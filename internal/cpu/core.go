@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/program"
+	"repro/internal/trace"
 )
 
 // portGroup classifies instructions by the functional-unit port they issue
@@ -184,13 +185,21 @@ type Core struct {
 	effVecBytes    int
 	serializeInROB bool
 
+	// rec receives instrumentation events; tracing caches rec.Enabled() so
+	// hot paths pay a single bool test when tracing is off. lastBlock is the
+	// rename stage's blocking cause this cycle, feeding the stall
+	// classification.
+	rec       trace.Recorder
+	tracing   bool
+	lastBlock BlockCause
+
 	Stats Stats
 }
 
 // New builds a core executing prog over the given memory hierarchy. eng may
 // be nil (baseline cores without streaming support).
 func New(cfg Config, prog *program.Program, h *mem.Hierarchy, eng *engine.Engine) *Core {
-	c := &Core{cfg: cfg, prog: prog, hier: h, eng: eng, bp: make([]uint8, prog.Len())}
+	c := &Core{cfg: cfg, prog: prog, hier: h, eng: eng, bp: make([]uint8, prog.Len()), rec: trace.Nop}
 	for i := range c.bp {
 		c.bp[i] = bpUnset
 	}
@@ -263,6 +272,16 @@ func (c *Core) FPReg(n int, w arch.ElemWidth) float64 {
 	return isa.BitsFloat(w, c.fpVal[c.ratFP[n]])
 }
 
+// SetRecorder directs instrumentation events at r (nil restores the no-op
+// recorder). Call before Run; tracing must not change mid-execution.
+func (c *Core) SetRecorder(r trace.Recorder) {
+	if r == nil {
+		r = trace.Nop
+	}
+	c.rec = r
+	c.tracing = r.Enabled()
+}
+
 // Cycle returns the current cycle.
 func (c *Core) Cycle() int64 { return c.cycle }
 
@@ -296,6 +315,18 @@ func (c *Core) Step() {
 	c.Stats.Cycles = c.cycle
 	c.Stats.ROBOccupancySum += int64(len(c.rob))
 
+	// Snapshot for the stall classification: cycles in the post-halt store
+	// drain are a class of their own, and "busy" means something retired
+	// this cycle.
+	wasHalted := c.halted
+	committedBefore := c.Stats.Committed
+	c.lastBlock = BlockNone
+	if c.tracing && c.eng != nil {
+		// Engine methods called from rename (ConsumeChunk/ReserveStore) run
+		// before the engine's own Tick; keep its event clock current.
+		c.eng.SetNow(c.cycle)
+	}
+
 	c.commit()
 	c.complete()
 	c.memPhase()
@@ -309,10 +340,41 @@ func (c *Core) Step() {
 	}
 	c.hier.Tick(c.cycle)
 
+	if c.tracing {
+		c.rec.Emit(trace.Event{
+			Cycle: c.cycle, Kind: trace.EvCycleClass,
+			Arg0: int64(c.classifyCycle(wasHalted, c.Stats.Committed-committedBefore)),
+		})
+	}
+
 	if !c.halted && c.cycle-c.lastCommit > c.cfg.Watchdog {
 		panic(fmt.Sprintf("cpu: watchdog: no commit for %d cycles at pc≈%d (rob head %s)",
 			c.cfg.Watchdog, c.fetchPC, c.robHeadDesc()))
 	}
+}
+
+// classifyCycle attributes the cycle that just finished to exactly one
+// StallClass. Priority: post-halt drain, then useful work, then the rename
+// stage's structural/stream cause, then the ROB head's state (memory-bound
+// vs. still executing), and an empty ROB means the front end starved the
+// backend. Because every pre-halt cycle lands in a non-drain class, the
+// non-drain total equals the halt cycle — the Result.Cycles reconciliation
+// the bench tests enforce.
+func (c *Core) classifyCycle(wasHalted bool, committed uint64) trace.StallClass {
+	switch {
+	case wasHalted:
+		return trace.ClassDrain
+	case committed > 0:
+		return trace.ClassBusy
+	case c.lastBlock != BlockNone:
+		return c.lastBlock.stallClass()
+	case len(c.rob) > 0:
+		if h := c.rob[0]; h.isMem && h.issued && !h.memDone && !h.done {
+			return trace.ClassMemory
+		}
+		return trace.ClassExec
+	}
+	return trace.ClassFrontend
 }
 
 func (c *Core) robHeadDesc() string {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // srcsReady reports whether every renamed source value is available.
@@ -51,6 +52,9 @@ func (c *Core) issue() {
 		c.schedCnt[e.group]--
 		used[e.group]++
 		issued++
+		if c.tracing {
+			c.rec.Emit(trace.Event{Cycle: c.cycle, Kind: trace.EvIssue, Arg0: int64(e.pc), Arg1: e.seq})
+		}
 		c.execute(e)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // --- fetch with branch prediction ---
@@ -71,6 +72,9 @@ func (c *Core) fetchLineReady(pc int) bool {
 	}
 	if c.ifetchBusy {
 		c.Stats.FetchStallCycles++
+		if c.tracing {
+			c.rec.Emit(trace.Event{Cycle: c.cycle, Kind: trace.EvFetchStall})
+		}
 		return false
 	}
 	c.ifetchBusy = true
@@ -83,6 +87,9 @@ func (c *Core) fetchLineReady(pc int) bool {
 		c.ifetchBusy = false
 	}
 	c.Stats.FetchStallCycles++
+	if c.tracing {
+		c.rec.Emit(trace.Event{Cycle: c.cycle, Kind: trace.EvFetchStall})
+	}
 	return false
 }
 
@@ -121,6 +128,9 @@ func (c *Core) redirect(pc int, penalty int) {
 	c.fetchHalted = false
 	c.decodeQ = c.decodeQ[:0]
 	c.Stats.FetchRedirects++
+	if c.tracing {
+		c.rec.Emit(trace.Event{Cycle: c.cycle, Kind: trace.EvFetchRedirect, Arg0: int64(pc)})
+	}
 }
 
 // --- rename/dispatch (where UVE streams meet the pipeline, paper §IV-A) ---
@@ -156,6 +166,13 @@ func (c *Core) rename() {
 			c.Stats.StreamWait++
 		} else {
 			c.Stats.RenameBlocked++
+		}
+		c.lastBlock = blocked
+		if c.tracing {
+			c.rec.Emit(trace.Event{
+				Cycle: c.cycle, Kind: trace.EvRenameBlock,
+				Arg0: int64(blocked.stallClass()),
+			})
 		}
 	}
 }

@@ -1,18 +1,24 @@
 package engine
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+	"os"
+)
 
-// DebugReqTrace, when set, observes each new line request (u, base, line,
-// chunkOpen, pendingAddr).
-var DebugReqTrace func(u int, base, line uint64, open bool, pend uint64)
-
-// DumpStreams prints per-stream state (debugging helper).
-func (e *Engine) DumpStreams() {
+// DumpStreams writes per-stream state to w (debugging helper). A nil writer
+// defaults to stderr so mid-run dumps never corrupt machine-readable stdout
+// (e.g. uvebench -json). Line-request observation, formerly the ad-hoc
+// DebugReqTrace hook, now flows through the trace.Recorder as EvLineRequest.
+func (e *Engine) DumpStreams(w io.Writer) {
+	if w == nil {
+		w = os.Stderr
+	}
 	for _, s := range e.entries {
 		if s == nil || s.released || s.desc == nil && !s.configuring {
 			continue
 		}
-		fmt.Printf("slot=%d u=%d cfg=%v done=%v total=%d(%v) commit=%d spec=%d gen=%d sawEnd=%v pendSt=%d kind=%v\n",
+		fmt.Fprintf(w, "slot=%d u=%d cfg=%v done=%v total=%d(%v) commit=%d spec=%d gen=%d sawEnd=%v pendSt=%d kind=%v\n",
 			s.slot, s.u, s.configuring, s.configDone, s.totalChunks, s.totalKnown,
 			s.commitPos, s.specPos, s.genPos, s.coreSawEnd, s.pendingStoreLines, s.kind)
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/descriptor"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Config sizes the Streaming Engine (paper Table I and §VI-C).
@@ -294,6 +295,14 @@ type Engine struct {
 
 	san *sanitizer // nil unless EnableSanitizer was called
 
+	// rec receives instrumentation events; tracing caches rec.Enabled().
+	// now is the engine's event clock: Tick sets it, and the core advances
+	// it at the start of each Step so core-called methods (ConsumeChunk,
+	// ReserveStore) timestamp correctly before the engine's own Tick runs.
+	rec     trace.Recorder
+	tracing bool
+	now     int64
+
 	Stats Stats
 }
 
@@ -317,8 +326,24 @@ func New(cfg Config, h *mem.Hierarchy) *Engine {
 		e.freeSlots = append(e.freeSlots, i)
 	}
 	e.vecBytes = cfg.VecBytes
+	e.rec = trace.Nop
 	return e
 }
+
+// SetRecorder directs instrumentation events at r (nil restores the no-op
+// recorder). Call before the first cycle.
+func (e *Engine) SetRecorder(r trace.Recorder) {
+	if r == nil {
+		r = trace.Nop
+	}
+	e.rec = r
+	e.tracing = r.Enabled()
+}
+
+// SetNow advances the engine's event clock; the core calls it at the start
+// of each Step (when tracing) so events emitted from rename-stage calls
+// carry the current cycle rather than the previous Tick's.
+func (e *Engine) SetNow(now int64) { e.now = now }
 
 // SetVL narrows (or restores) the effective vector length used to size the
 // chunks of subsequently configured streams (ss.setvl).
@@ -582,6 +607,9 @@ func (e *Engine) configure(slot int, d *descriptor.Descriptor) {
 	}
 	s.it = descriptor.NewIterator(d, s.shadow)
 	e.Stats.ConfigsCompleted++
+	if e.tracing {
+		e.rec.Emit(trace.Event{Cycle: e.now, Kind: trace.EvStreamConfig, Arg0: int64(slot), Arg1: int64(s.u)})
+	}
 	if DebugConfigure != nil {
 		DebugConfigure(s.u, d.String())
 	}
@@ -663,6 +691,9 @@ func (e *Engine) releaseSlot(slot int) {
 	e.mrq = kept
 	e.freeSlots = append(e.freeSlots, slot)
 	e.Stats.StreamsReleased++
+	if e.tracing {
+		e.rec.Emit(trace.Event{Cycle: e.now, Kind: trace.EvStreamEnd, Arg0: int64(slot), Arg1: int64(s.u)})
+	}
 }
 
 // DebugSCROB toggles configuration tracing (tests only).

@@ -8,6 +8,7 @@ import (
 	"repro/internal/descriptor"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // --- iterator lookahead ---
@@ -51,10 +52,16 @@ func (e *Engine) genStep(s *stream, now int64) {
 	if s.dimSwitch {
 		s.dimSwitch = false
 		e.Stats.DimSwitchStalls++
+		if e.tracing {
+			e.rec.Emit(trace.Event{Cycle: now, Kind: trace.EvDimSwitch, Arg0: int64(s.slot)})
+		}
 		return
 	}
 	if s.genPos-s.commitPos >= int64(len(s.fifo)) {
 		e.Stats.FIFOFullCycles++
+		if e.tracing {
+			e.rec.Emit(trace.Event{Cycle: now, Kind: trace.EvFIFOFull, Arg0: int64(s.slot)})
+		}
 		return
 	}
 	c := &s.fifo[s.genPos%int64(len(s.fifo))]
@@ -125,6 +132,9 @@ func (e *Engine) ensureLine(s *stream, line uint64, now int64) bool {
 	}
 	if len(e.mrq) >= e.cfg.MRQSize {
 		e.Stats.MRQFullCycles++
+		if e.tracing {
+			e.rec.Emit(trace.Event{Cycle: now, Kind: trace.EvMRQFull, Arg0: int64(s.slot)})
+		}
 		return false
 	}
 	f := &lineFetch{line: line, slot: s.slot, epoch: s.epoch, level: s.level, pc: -(1000 + s.slot)}
@@ -140,8 +150,8 @@ func (e *Engine) ensureLine(s *stream, line uint64, now int64) bool {
 	s.lastFault = false
 	e.mrq = append(e.mrq, f)
 	e.Stats.LineRequests++
-	if DebugReqTrace != nil {
-		DebugReqTrace(s.u, s.desc.Base, line, s.genStarted, uint64(s.genPos))
+	if e.tracing {
+		e.rec.Emit(trace.Event{Cycle: now, Kind: trace.EvLineRequest, Arg0: int64(s.slot), Arg1: int64(line)})
 	}
 	s.lastLine = line
 	s.lastLineState = 1
@@ -179,6 +189,12 @@ func (e *Engine) closeChunk(s *stream, c *chunk, el descriptor.Elem) {
 	c.originNeed = append(c.originNeed[:0], s.originCum...)
 	s.genStarted = false
 	s.genPos++
+	if e.tracing {
+		e.rec.Emit(trace.Event{
+			Cycle: e.now, Kind: trace.EvChunkProduced,
+			Arg0: int64(s.slot), Arg1: c.seq, Arg2: int64(c.n),
+		})
+	}
 	if el.Last {
 		s.totalChunks = s.genPos
 		s.totalKnown = true
@@ -319,6 +335,9 @@ func (e *Engine) ConsumeChunk(slot int) (ChunkView, bool) {
 	}
 	s.lastEnd, s.lastLast = c.end, c.last
 	s.specPos++
+	if e.tracing {
+		e.rec.Emit(trace.Event{Cycle: e.now, Kind: trace.EvChunkConsumed, Arg0: int64(s.slot), Arg1: c.seq})
+	}
 	return v, true
 }
 
@@ -350,6 +369,9 @@ func (e *Engine) ReserveStore(slot int) (ChunkView, bool) {
 	c.stamp = e.reserveStamp
 	s.lastEnd, s.lastLast = c.end, c.last
 	s.specPos++
+	if e.tracing {
+		e.rec.Emit(trace.Event{Cycle: e.now, Kind: trace.EvChunkConsumed, Arg0: int64(s.slot), Arg1: c.seq})
+	}
 	return v, true
 }
 
@@ -493,6 +515,9 @@ func (e *Engine) RenameSuspend(u int) CtlUndo {
 	}
 	undo := CtlUndo{Slot: s.slot, PrevSuspended: s.suspended, Valid: true}
 	s.suspended = true
+	if e.tracing {
+		e.rec.Emit(trace.Event{Cycle: e.now, Kind: trace.EvStreamSuspend, Arg0: int64(s.slot), Arg1: int64(s.u)})
+	}
 	return undo
 }
 
@@ -507,6 +532,9 @@ func (e *Engine) RenameResume(u int) CtlUndo {
 	}
 	undo := CtlUndo{Slot: s.slot, PrevSuspended: s.suspended, Valid: true}
 	s.suspended = false
+	if e.tracing {
+		e.rec.Emit(trace.Event{Cycle: e.now, Kind: trace.EvStreamResume, Arg0: int64(s.slot), Arg1: int64(s.u)})
+	}
 	return undo
 }
 
@@ -629,12 +657,40 @@ func (e *Engine) ActiveStreams() int {
 // line and one store line per cycle — the engine's ports in Table I), and
 // housekeeping.
 func (e *Engine) Tick(now int64) {
+	e.now = now
 	e.processSCROB()
 	e.schedule(now)
 	e.issueMRQ(now)
 	e.drainStore(now)
 	e.advanceEngineConsumed()
 	e.autoRelease()
+	e.tallyOriginStalls(now)
+}
+
+// tallyOriginStalls charges one cycle per indirect stream whose head chunk
+// is otherwise ready but waiting for origin-stream data to be delivered —
+// the origin-stall component of the Fig 8.C breakdown. (Before this pass,
+// Stats.OriginStallCycles was declared but never incremented.)
+func (e *Engine) tallyOriginStalls(now int64) {
+	for _, s := range e.entries {
+		if s == nil || s.released || s.desc == nil || len(s.originRefs) == 0 {
+			continue
+		}
+		if s.specPos >= s.genPos {
+			continue
+		}
+		c := &s.fifo[s.specPos%int64(len(s.fifo))]
+		ready := c.closed
+		if s.kind == descriptor.Load {
+			ready = c.loadReady()
+		}
+		if ready && !e.originsDelivered(s, c) {
+			e.Stats.OriginStallCycles++
+			if e.tracing {
+				e.rec.Emit(trace.Event{Cycle: now, Kind: trace.EvOriginStall, Arg0: int64(s.slot)})
+			}
+		}
+	}
 }
 
 // schedule picks the NumModules streams with the lowest FIFO occupancy

@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/kernels"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // Options overrides pieces of the Table I machine for sensitivity sweeps.
@@ -25,6 +26,10 @@ type Options struct {
 	// (Result.Collisions). UVE only; byte-granular, so meant for
 	// verification runs at test sizes, not timing experiments.
 	Sanitize bool
+	// Trace, when non-nil, receives typed instrumentation events from the
+	// core and (UVE) the streaming engine. Timing is unaffected: the same
+	// cycles are simulated with or without a recorder.
+	Trace trace.Recorder
 }
 
 // DefaultOptions returns the Table I machine for the given variant.
@@ -112,8 +117,14 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 		if o.Sanitize {
 			eng.EnableSanitizer()
 		}
+		if o.Trace != nil {
+			eng.SetRecorder(o.Trace)
+		}
 	}
 	core := cpu.New(o.Core, inst.Prog, h, eng)
+	if o.Trace != nil {
+		core.SetRecorder(o.Trace)
+	}
 	for r, val := range inst.IntArgs {
 		core.SetIntReg(r, val)
 	}

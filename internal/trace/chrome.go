@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export (the JSON array format chrome://tracing and
+// Perfetto load). Layout: one process (pid 0) with a thread lane per
+// pipeline stage, one lane per stream-table slot, and a set of "C" counter
+// series carrying the per-interval stall attribution. Timestamps are
+// simulated cycles (the viewer displays them as microseconds; the scale is
+// arbitrary but ordering and widths are exact).
+
+const (
+	laneAttr   = 0 // counter series attach here
+	laneFetch  = 1
+	laneRename = 2
+	laneIssue  = 3
+	laneCommit = 4
+	laneEngine = 5  // engine-global events (MRQ, line requests)
+	laneSlot0  = 16 // + stream-table slot
+)
+
+// chromeLane maps an event to its display lane.
+func chromeLane(e Event) int {
+	switch e.Kind {
+	case EvFetchStall, EvFetchRedirect:
+		return laneFetch
+	case EvRenameBlock:
+		return laneRename
+	case EvIssue:
+		return laneIssue
+	case EvCommit, EvSquash, EvPageFault:
+		return laneCommit
+	case EvMRQFull, EvLineRequest:
+		return laneEngine
+	case EvStreamConfig, EvStreamSuspend, EvStreamResume, EvStreamEnd,
+		EvChunkProduced, EvChunkConsumed, EvFIFOFull, EvOriginStall, EvDimSwitch:
+		return laneSlot0 + int(e.Arg0)
+	}
+	return laneEngine
+}
+
+// chromeArgs builds the human-readable args payload for an event.
+func chromeArgs(e Event) map[string]int64 {
+	switch e.Kind {
+	case EvFetchRedirect:
+		return map[string]int64{"pc": e.Arg0}
+	case EvRenameBlock:
+		return map[string]int64{"cause": e.Arg0}
+	case EvIssue, EvCommit:
+		return map[string]int64{"pc": e.Arg0, "seq": e.Arg1}
+	case EvSquash:
+		return map[string]int64{"squashed": e.Arg0}
+	case EvPageFault:
+		return map[string]int64{"pc": e.Arg0, "addr": e.Arg1}
+	case EvStreamConfig, EvStreamSuspend, EvStreamResume, EvStreamEnd:
+		return map[string]int64{"slot": e.Arg0, "u": e.Arg1}
+	case EvChunkProduced:
+		return map[string]int64{"slot": e.Arg0, "chunk": e.Arg1, "elems": e.Arg2}
+	case EvChunkConsumed:
+		return map[string]int64{"slot": e.Arg0, "chunk": e.Arg1}
+	case EvLineRequest:
+		return map[string]int64{"slot": e.Arg0, "line": e.Arg1}
+	}
+	return nil
+}
+
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	S    string           `json:"s,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+	Meta map[string]any   `json:"-"`
+}
+
+// WriteChrome emits the collector's contents as a Chrome trace_event JSON
+// array: thread-name metadata for each lane in use, the ring's point events
+// as instants, and the stall attribution as counter series sampled at each
+// interval boundary.
+func WriteChrome(w io.Writer, c *Collector) error {
+	bw := bufio.NewWriter(w)
+	first := true
+	emit := func(v any) error {
+		if first {
+			if _, err := bw.WriteString("[\n"); err != nil {
+				return err
+			}
+			first = false
+		} else {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	events := c.Events()
+	lanes := map[int]string{laneAttr: "stall attribution"}
+	for _, e := range events {
+		id := chromeLane(e)
+		if _, ok := lanes[id]; ok {
+			continue
+		}
+		switch {
+		case id == laneFetch:
+			lanes[id] = "fetch"
+		case id == laneRename:
+			lanes[id] = "rename"
+		case id == laneIssue:
+			lanes[id] = "issue"
+		case id == laneCommit:
+			lanes[id] = "commit"
+		case id == laneEngine:
+			lanes[id] = "engine"
+		default:
+			lanes[id] = fmt.Sprintf("stream slot %d", id-laneSlot0)
+		}
+	}
+	for _, l := range sortedLanes(lanes) {
+		ev := map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 0, "tid": l.id,
+			"args": map[string]string{"name": l.name},
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+
+	// Counter series: one sample per attribution interval, at its start
+	// cycle, carrying every class so the viewer stacks them.
+	for _, iv := range c.Attribution().Intervals() {
+		args := make(map[string]int64, ClassCount)
+		for cl := StallClass(0); cl < ClassCount; cl++ {
+			args[cl.String()] = iv.Counts[cl]
+		}
+		if err := emit(chromeEvent{
+			Name: "stalls", Ph: "C", Ts: iv.Start, Pid: 0, Tid: laneAttr, Args: args,
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range events {
+		if err := emit(chromeEvent{
+			Name: e.Kind.String(), Ph: "i", Ts: e.Cycle, Pid: 0,
+			Tid: chromeLane(e), S: "t", Args: chromeArgs(e),
+		}); err != nil {
+			return err
+		}
+	}
+
+	if first {
+		if _, err := bw.WriteString("["); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type lane struct {
+	id   int
+	name string
+}
+
+// sortedLanes flattens the lane map into tid order so the metadata block is
+// deterministic (Go map iteration is not).
+func sortedLanes(lanes map[int]string) []lane {
+	out := make([]lane, 0, len(lanes))
+	for id, name := range lanes {
+		out = append(out, lane{id, name})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteText emits a compact human-readable timeline: one row per
+// attribution interval with the per-class cycle counts, followed by the
+// retained point events (oldest first) one per line. It is the quick-look
+// companion to the Chrome export.
+func WriteText(w io.Writer, c *Collector) error {
+	bw := bufio.NewWriter(w)
+
+	att := c.Attribution()
+	fmt.Fprintf(bw, "# stall attribution (interval=%d cycles)\n", att.Interval)
+	fmt.Fprintf(bw, "%-12s", "cycle")
+	for cl := StallClass(0); cl < ClassCount; cl++ {
+		fmt.Fprintf(bw, " %10s", cl)
+	}
+	fmt.Fprintln(bw)
+	for _, iv := range att.Intervals() {
+		fmt.Fprintf(bw, "%-12d", iv.Start)
+		for _, n := range iv.Counts {
+			fmt.Fprintf(bw, " %10d", n)
+		}
+		fmt.Fprintln(bw)
+	}
+	tot := att.Totals()
+	fmt.Fprintf(bw, "%-12s", "total")
+	for _, n := range tot {
+		fmt.Fprintf(bw, " %10d", n)
+	}
+	fmt.Fprintln(bw)
+
+	events := c.Events()
+	fmt.Fprintf(bw, "\n# events (%d retained, %d dropped)\n", len(events), c.Dropped())
+	for _, e := range events {
+		fmt.Fprintf(bw, "%-12d %-14s", e.Cycle, e.Kind)
+		args := chromeArgs(e)
+		keys := make([]string, 0, len(args))
+		for k := range args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(bw, " %s=%d", k, args[k])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}

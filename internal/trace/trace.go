@@ -1,0 +1,219 @@
+// Package trace is the simulator's cycle-level event-tracing and
+// stall-attribution layer. The core and the streaming engine emit typed
+// Events into a Recorder; the ring-buffered Collector keeps a recent window
+// of point events and folds the per-cycle stall classification into a
+// per-interval attribution that explains every simulated cycle (the Fig 8.C
+// methodology, extended from a single rename-block rate to a complete
+// breakdown). The Nop recorder makes instrumentation free when tracing is
+// off: emission sites are guarded by a cached bool and the recorder itself
+// performs no allocations, so the Fig 8 pipeline is byte-identical either
+// way.
+package trace
+
+// EventKind is the type of one instrumentation event.
+type EventKind uint8
+
+const (
+	// EvCycleClass attributes one cycle to a StallClass (Arg0). The core
+	// emits exactly one per Step; Collectors fold these into the
+	// Attribution instead of the ring.
+	EvCycleClass EventKind = iota
+
+	// Core events.
+	EvFetchStall    // front end waited on an L1-I fill
+	EvFetchRedirect // Arg0 = new pc (mispredict or fault re-steer)
+	EvRenameBlock   // Arg0 = StallClass of the blocking cause
+	EvIssue         // Arg0 = pc, Arg1 = seq
+	EvCommit        // Arg0 = pc, Arg1 = seq
+	EvSquash        // Arg0 = entries squashed in the ROB walk
+	EvPageFault     // Arg0 = pc, Arg1 = faulting address
+
+	// Engine events. Arg0 is the stream-table slot unless noted.
+	EvStreamConfig  // Arg1 = logical stream register
+	EvStreamSuspend // Arg1 = logical stream register
+	EvStreamResume  // Arg1 = logical stream register
+	EvStreamEnd     // Arg1 = logical stream register (slot released)
+	EvChunkProduced // Arg1 = chunk seq, Arg2 = elements
+	EvChunkConsumed // Arg1 = chunk seq (speculative consume/reserve at rename)
+	EvFIFOFull      // generation stalled: FIFO has no free chunk slot
+	EvMRQFull       // generation stalled: memory request queue full
+	EvOriginStall   // head chunk ready but origin stream data not delivered
+	EvDimSwitch     // one-cycle dimension-switch penalty taken
+	EvLineRequest   // Arg1 = cache-line address requested
+
+	EventKindCount
+)
+
+var eventKindNames = [EventKindCount]string{
+	EvCycleClass:    "cycle",
+	EvFetchStall:    "fetch-stall",
+	EvFetchRedirect: "redirect",
+	EvRenameBlock:   "rename-block",
+	EvIssue:         "issue",
+	EvCommit:        "commit",
+	EvSquash:        "squash",
+	EvPageFault:     "page-fault",
+	EvStreamConfig:  "stream-config",
+	EvStreamSuspend: "stream-suspend",
+	EvStreamResume:  "stream-resume",
+	EvStreamEnd:     "stream-end",
+	EvChunkProduced: "chunk-produced",
+	EvChunkConsumed: "chunk-consumed",
+	EvFIFOFull:      "fifo-full",
+	EvMRQFull:       "mrq-full",
+	EvOriginStall:   "origin-stall",
+	EvDimSwitch:     "dim-switch",
+	EvLineRequest:   "line-request",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) && eventKindNames[k] != "" {
+		return eventKindNames[k]
+	}
+	return "?"
+}
+
+// Event is one instrumentation record. It is a flat value type so that
+// emitting through the Recorder interface never allocates.
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	Arg0  int64
+	Arg1  int64
+	Arg2  int64
+}
+
+// StallClass is the canonical attribution of one simulated cycle. Every
+// cycle belongs to exactly one class, so the per-class counts always sum to
+// the cycle count (test-enforced across the 19-kernel sweep).
+type StallClass uint8
+
+const (
+	ClassBusy     StallClass = iota // at least one instruction committed
+	ClassFrontend                   // ROB empty: fetch/decode starved the backend
+	// Rename-stage structural stalls, by cause (the Fig 8.C breakdown).
+	ClassRenameROB
+	ClassRenameIQ
+	ClassRenameSched
+	ClassRenamePRF
+	ClassRenameLQ
+	ClassRenameSQ
+	ClassRenameSCROB
+	// Engine-FIFO pacing: rename waited on stream data (input FIFO empty)
+	// or on an addressed output-FIFO slot.
+	ClassStreamData
+	ClassStreamStore
+	ClassMemory // ROB head is a memory instruction waiting on the hierarchy
+	ClassExec   // ROB head still executing (FU latency, branch resolution)
+	ClassDrain  // post-halt cycles draining stores to memory
+	ClassCount
+)
+
+var stallClassNames = [ClassCount]string{
+	ClassBusy:        "busy",
+	ClassFrontend:    "frontend",
+	ClassRenameROB:   "rob",
+	ClassRenameIQ:    "iq",
+	ClassRenameSched: "sched",
+	ClassRenamePRF:   "prf",
+	ClassRenameLQ:    "lq",
+	ClassRenameSQ:    "sq",
+	ClassRenameSCROB: "scrob",
+	ClassStreamData:  "fifo-data",
+	ClassStreamStore: "fifo-store",
+	ClassMemory:      "memory",
+	ClassExec:        "exec",
+	ClassDrain:       "drain",
+}
+
+func (c StallClass) String() string {
+	if int(c) < len(stallClassNames) {
+		return stallClassNames[c]
+	}
+	return "?"
+}
+
+// Recorder receives the instrumentation stream. Implementations must be
+// allocation-free on Emit: it sits on the commit path of every simulated
+// instruction when tracing is enabled.
+type Recorder interface {
+	// Emit records one event.
+	Emit(e Event)
+	// Enabled reports whether emission sites should bother constructing
+	// events; the Nop recorder returns false so hot paths skip entirely.
+	Enabled() bool
+}
+
+type nopRecorder struct{}
+
+func (nopRecorder) Emit(Event)    {}
+func (nopRecorder) Enabled() bool { return false }
+
+// Nop is the default recorder: it drops everything and reports disabled.
+var Nop Recorder = nopRecorder{}
+
+// Collector is the standard Recorder: a fixed-capacity ring of recent point
+// events plus a complete per-interval stall attribution. The ring keeps the
+// most recent window (old events are overwritten); the attribution is never
+// dropped, so its totals account for every cycle regardless of ring size.
+type Collector struct {
+	ring []Event
+	head int   // next write position
+	n    int64 // total point events ever recorded
+	att  Attribution
+}
+
+// NewCollector builds a collector with the given ring capacity (0 keeps no
+// point events — attribution only) and attribution interval in cycles
+// (<= 0 folds the whole run into a single interval).
+func NewCollector(ringSize int, interval int64) *Collector {
+	c := &Collector{att: Attribution{Interval: interval}}
+	if ringSize > 0 {
+		c.ring = make([]Event, ringSize)
+	}
+	return c
+}
+
+// Enabled implements Recorder.
+func (c *Collector) Enabled() bool { return true }
+
+// Emit implements Recorder. Cycle-class events feed the attribution; all
+// other events enter the ring. Steady-state emission performs no
+// allocations (the ring is preallocated; attribution intervals amortize).
+func (c *Collector) Emit(e Event) {
+	if e.Kind == EvCycleClass {
+		c.att.add(e.Cycle, StallClass(e.Arg0))
+		return
+	}
+	c.n++
+	if len(c.ring) == 0 {
+		return
+	}
+	c.ring[c.head] = e
+	c.head++
+	if c.head == len(c.ring) {
+		c.head = 0
+	}
+}
+
+// Events returns the retained point events, oldest first.
+func (c *Collector) Events() []Event {
+	if c.n >= int64(len(c.ring)) && len(c.ring) > 0 {
+		out := make([]Event, 0, len(c.ring))
+		out = append(out, c.ring[c.head:]...)
+		out = append(out, c.ring[:c.head]...)
+		return out
+	}
+	return append([]Event(nil), c.ring[:c.head]...)
+}
+
+// Dropped returns how many point events fell out of the ring window.
+func (c *Collector) Dropped() int64 {
+	if int64(len(c.ring)) >= c.n {
+		return 0
+	}
+	return c.n - int64(len(c.ring))
+}
+
+// Attribution returns the collector's stall attribution.
+func (c *Collector) Attribution() *Attribution { return &c.att }

@@ -23,3 +23,16 @@ go test -race ./...
 go test -run '^$' -fuzz '^FuzzIterator$' -fuzztime 5s ./internal/descriptor
 go test -run '^$' -fuzz '^FuzzFootprint$' -fuzztime 5s ./internal/descriptor
 go test -run '^$' -bench '^BenchmarkFig8$' -benchtime 1x .
+# Trace smoke: a traced saxpy run must emit a valid Chrome trace file, and
+# the tracing machinery — compiled in but disabled — must leave uvesim's
+# stdout byte-identical to the traced run's, and uvebench's figure output
+# byte-identical between sequential and parallel execution.
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/uvesim -kernel C -size 512 > "$tracedir/plain.txt"
+go run ./cmd/uvesim -kernel C -size 512 -trace "$tracedir/saxpy.json" > "$tracedir/traced.txt" 2> /dev/null
+go run ./scripts/jsonvalid "$tracedir/saxpy.json"
+cmp "$tracedir/plain.txt" "$tracedir/traced.txt"
+go run ./cmd/uvebench -exp fig8 -scale 256 -j 1 > "$tracedir/fig8-seq.txt"
+go run ./cmd/uvebench -exp fig8 -scale 256 > "$tracedir/fig8-par.txt"
+cmp "$tracedir/fig8-seq.txt" "$tracedir/fig8-par.txt"

@@ -1,0 +1,42 @@
+// Command jsonvalid exits 0 iff every argument file (or stdin, with no
+// arguments) is syntactically valid JSON. It exists so the CI trace smoke
+// can validate emitted trace files without assuming jq or python on the
+// host.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		check("stdin", os.Stdin)
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		check(path, f)
+		f.Close()
+	}
+}
+
+func check(name string, r io.Reader) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		fail("%s: %v", name, err)
+	}
+	if !json.Valid(b) {
+		fail("%s: invalid JSON", name)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jsonvalid: "+format+"\n", args...)
+	os.Exit(1)
+}
