@@ -1,13 +1,14 @@
 # Development targets. `make check` is the PR gate: it checks formatting,
 # vets, builds, statically verifies every kernel program (uvelint), runs the
 # full test suite under the race detector (which exercises the parallel
-# experiment runner), and smoke-runs the Fig 8 benchmark once.
+# experiment runner), smoke-runs the Fig 8 benchmark once, and checks the
+# trace, fault-campaign and watchdog smokes.
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke trace-smoke bench experiments
+.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke trace-smoke fault-smoke watchdog-smoke bench experiments
 
-check: fmt vet build lint race fuzz-smoke bench-smoke trace-smoke
+check: fmt vet build lint race fuzz-smoke bench-smoke trace-smoke fault-smoke watchdog-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on: $$out"; exit 1; fi
@@ -53,6 +54,30 @@ trace-smoke:
 	$(GO) run ./cmd/uvebench -exp fig8 -scale 256 -j 1 > "$$dir/fig8-seq.txt" && \
 	$(GO) run ./cmd/uvebench -exp fig8 -scale 256 > "$$dir/fig8-par.txt" && \
 	cmp "$$dir/fig8-seq.txt" "$$dir/fig8-par.txt"
+
+# Fault smoke: seeded injection is deterministic — the same seed must give
+# byte-identical output for one faulted run and for the full campaign table
+# — and the campaign paths run race-detected.
+fault-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/uvesim -kernel C -size 512 -faults seed=7 > "$$dir/fault1.txt" && \
+	$(GO) run ./cmd/uvesim -kernel C -size 512 -faults seed=7 > "$$dir/fault2.txt" && \
+	cmp "$$dir/fault1.txt" "$$dir/fault2.txt" && \
+	$(GO) run ./cmd/uvebench -exp faults -scale 512 > "$$dir/campaign1.txt" && \
+	$(GO) run ./cmd/uvebench -exp faults -scale 512 > "$$dir/campaign2.txt" && \
+	cmp "$$dir/campaign1.txt" "$$dir/campaign2.txt"
+	$(GO) test -race -run Fault ./internal/fault ./internal/sim ./internal/bench
+
+# Watchdog smoke: an intentionally starved run (every line fetch NACKed
+# into long back-offs, tight no-commit bound) must exit non-zero with the
+# structured diagnostic — never hang.
+watchdog-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	if $(GO) run ./cmd/uvesim -kernel C -size 65536 \
+	    -faults seed=7,nack=900,nack-backoff=200 -watchdog 150 > "$$dir/wd.txt" 2>&1; then \
+	    echo "watchdog smoke: starved run exited zero"; exit 1; \
+	fi; \
+	grep -q watchdog "$$dir/wd.txt" && grep -q "stream table" "$$dir/wd.txt"
 
 # Full custom-metric benchmark sweep (§VI figures as benchmark units).
 bench:

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/kernels"
-	"repro/internal/sim"
 )
 
 // The benchmarks below regenerate every table and figure of the paper's
@@ -63,7 +62,12 @@ func BenchmarkKernel(b *testing.B) {
 				var inst uint64
 				size := bench.SizeFor(k, benchOpts())
 				for i := 0; i < b.N; i++ {
-					res := sim.MustRun(k, v, size, nil)
+					// A fresh single-worker runner per iteration: its memo
+					// table must not short-circuit repeated measurements.
+					res, err := bench.NewRunner(1).Run(bench.Job{Kernel: k, Variant: v, Size: size})
+					if err != nil {
+						b.Fatal(err)
+					}
 					cycles, inst = res.Cycles, res.Committed
 				}
 				b.ReportMetric(float64(cycles), "cycles")

@@ -14,13 +14,21 @@
 //	uvebench -exp ablate        # beyond-paper design-choice ablations
 //	uvebench -exp table1        # machine configuration
 //	uvebench -stalls            # per-kernel cycle/stall attribution (Fig 8.C)
-//	uvebench -exp all           # everything
+//	uvebench -exp faults        # seeded fault campaigns + state oracle
+//	uvebench -exp all           # everything (except faults)
 //
 // -scale N divides problem sizes by N for quick runs. -j N sizes the
 // worker pool that fans the independent simulations out across cores
 // (default all cores; -j 1 is fully sequential — the output is
 // byte-identical either way). -json emits machine-readable results for
 // BENCH_*.json trajectory tracking instead of the text tables.
+//
+// -exp faults runs every kernel on UVE and SVE under a grid of seeded
+// deterministic fault campaigns and checks each faulted run's final memory
+// image against the fault-free run. -faults replaces the default campaign
+// template (the grid still varies the seed); -watchdog tightens the
+// forward-progress bound. The experiment is excluded from -exp all so the
+// default output stays byte-stable.
 //
 // Runs whose measurements are degenerate (a zero cycle count, a non-finite
 // summary value) are reported on stderr and make the process exit 1; the
@@ -35,18 +43,29 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/cliflags"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig8, fig8table, fig8e, fig9, fig10, fig11, spm, hw, table1, stalls, all)")
+	exp := flag.String("exp", "all", "experiment id (fig8, fig8table, fig8e, fig9, fig10, fig11, spm, hw, table1, stalls, faults, all)")
 	scale := flag.Int("scale", 1, "divide problem sizes by this factor")
 	verbose := flag.Bool("v", false, "print each run")
-	workers := flag.Int("j", 0, "simulation worker pool size (0 = all cores, 1 = sequential)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results")
+	workers := cliflags.Workers(flag.CommandLine)
+	jsonOut := cliflags.JSON(flag.CommandLine)
+	faults := cliflags.AddFaults(flag.CommandLine)
 	stalls := flag.Bool("stalls", false, "shorthand for -exp stalls")
 	flag.Parse()
 
-	o := &bench.Options{Scale: *scale, Verbose: *verbose && !*jsonOut, Workers: *workers}
+	plan, err := faults.Plan()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	o := &bench.Options{
+		Scale: *scale, Verbose: *verbose && !*jsonOut, Workers: *workers,
+		Faults: plan, Watchdog: faults.Watchdog,
+	}
 
 	ids := []string{*exp}
 	if *stalls {

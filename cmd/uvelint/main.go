@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/kernels"
 	"repro/internal/lint"
 	"repro/internal/mem"
@@ -38,17 +39,10 @@ func main() {
 	flag.Parse()
 	kernels.MaxFootprintElems = *maxFootprint
 
-	var variants []kernels.Variant
-	switch *variant {
-	case "all":
-		variants = []kernels.Variant{kernels.UVE, kernels.SVE, kernels.NEON}
-	default:
-		var v kernels.Variant
-		if err := v.UnmarshalText([]byte(normalizeVariant(*variant))); err != nil {
-			fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
-			os.Exit(2)
-		}
-		variants = []kernels.Variant{v}
+	variants, err := cliflags.Variants(*variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	var targets []*kernels.Kernel
@@ -111,18 +105,6 @@ func lookup(id string) *kernels.Kernel {
 		}
 	}
 	return nil
-}
-
-func normalizeVariant(s string) string {
-	switch s {
-	case "uve":
-		return "UVE"
-	case "sve":
-		return "SVE"
-	case "neon":
-		return "NEON"
-	}
-	return s
 }
 
 func max(a, b int) int {

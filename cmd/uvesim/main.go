@@ -6,6 +6,7 @@
 //	uvesim -kernel C -variant UVE -size 32768
 //	uvesim -kernel C -trace saxpy.json              # Chrome trace_event file
 //	uvesim -kernel C -stalls                        # cycle attribution table
+//	uvesim -kernel C -faults seed=7                 # seeded fault campaign
 //	uvesim -list
 //
 // -trace writes a cycle-level event trace (about:tracing / Perfetto JSON by
@@ -13,6 +14,13 @@
 // the per-class stall attribution to the report. Neither perturbs the
 // simulation: the stats lines printed for a traced run are byte-identical
 // to an untraced one.
+//
+// -faults runs the kernel under seeded deterministic fault injection
+// (NACKed line fetches, mid-stream page faults, DRAM latency spikes,
+// forced stream pauses); the same spec reproduces the same run cycle for
+// cycle, and the kernel's output check still passes — injection perturbs
+// timing only. -watchdog bounds forward progress so an injection-induced
+// livelock exits with a diagnostic instead of hanging.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliflags"
 	"repro/internal/kernels"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -35,11 +44,9 @@ func main() {
 	variant := flag.String("variant", "UVE", "machine: UVE, SVE or NEON")
 	size := flag.Int("size", 0, "problem size (0 = kernel default)")
 	list := flag.Bool("list", false, "list kernels and exit")
-	sanitize := flag.Bool("sanitize", false,
-		"shadow-track every byte live streams touch and report runtime collisions (UVE only; slow)")
-	traceFile := flag.String("trace", "", "write a cycle trace to this file")
-	traceInterval := flag.Int64("trace-interval", 1000, "stall-attribution interval in cycles")
-	traceFormat := flag.String("trace-format", "chrome", "trace file format: chrome (trace_event JSON) or text")
+	sanitize := cliflags.Sanitize(flag.CommandLine)
+	tr := cliflags.AddTrace(flag.CommandLine)
+	faults := cliflags.AddFaults(flag.CommandLine)
 	stalls := flag.Bool("stalls", false, "print the per-class stall attribution after the stats")
 	flag.Parse()
 
@@ -50,8 +57,8 @@ func main() {
 		}
 		return
 	}
-	if *traceFormat != "chrome" && *traceFormat != "text" {
-		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (chrome|text)\n", *traceFormat)
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	k := kernels.ByID(*kid)
@@ -59,35 +66,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown kernel %q (try -list)\n", *kid)
 		os.Exit(2)
 	}
-	var v kernels.Variant
-	switch *variant {
-	case "UVE", "uve":
-		v = kernels.UVE
-	case "SVE", "sve":
-		v = kernels.SVE
-	case "NEON", "neon":
-		v = kernels.NEON
-	default:
-		fmt.Fprintf(os.Stderr, "unknown variant %q\n", *variant)
+	v, err := cliflags.Variant(*variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan, err := faults.Plan()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
-	var col *trace.Collector
-	if *traceFile != "" || *stalls {
-		ring := 0
-		if *traceFile != "" {
-			ring = traceRingSize
-		}
-		col = trace.NewCollector(ring, *traceInterval)
-	}
+	col := tr.Collector(traceRingSize, *stalls)
 
 	var opts *sim.Options
-	if *sanitize || col != nil {
+	if *sanitize || col != nil || plan != nil || faults.Watchdog > 0 {
 		o := sim.DefaultOptions(v)
 		o.Sanitize = *sanitize
 		if col != nil {
 			o.Trace = col
 		}
+		o.Faults = plan
+		o.Watchdog = faults.Watchdog
 		opts = &o
 	}
 	res, err := sim.Run(k, v, *size, opts)
@@ -112,6 +112,10 @@ func main() {
 		fmt.Printf("                     %d line requests (%d coalesced reuses)\n",
 			res.Eng.LineRequests, res.Eng.CoalescedReuses)
 	}
+	if plan != nil {
+		fmt.Printf("  faults:            plan %s\n", plan)
+		fmt.Printf("                     injected %s\n", res.Faults.String())
+	}
 	if *sanitize {
 		fmt.Printf("  sanitizer:         %d collisions\n", len(res.Collisions))
 		for _, c := range res.Collisions {
@@ -121,13 +125,13 @@ func main() {
 	if *stalls {
 		printStalls(col, res.Cycles)
 	}
-	if *traceFile != "" {
-		if err := writeTrace(*traceFile, *traceFormat, col); err != nil {
+	if tr.File != "" {
+		if err := writeTrace(tr.File, tr.Format, col); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "trace: %d events retained (%d dropped), wrote %s\n",
-			len(col.Events()), col.Dropped(), *traceFile)
+			len(col.Events()), col.Dropped(), tr.File)
 	}
 }
 

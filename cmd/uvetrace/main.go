@@ -16,9 +16,14 @@
 // is an error ("no preceding -dim"), not a silently misattached modifier;
 // likewise every numeric field is validated, so `-mod size:add:x:6` fails
 // loudly instead of applying displacement 0.
+//
+// -json emits the same information as a machine-readable document: the
+// descriptor string, the total element count, and the first -max addresses
+// (with a "truncated" marker when the walk was longer).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +31,8 @@ import (
 	"strings"
 
 	uve "repro"
+
+	"repro/internal/cliflags"
 )
 
 type dimFlag []string
@@ -47,6 +54,7 @@ func main() {
 	base := flag.String("base", "0", "byte base address (decimal or 0x hex)")
 	width := flag.Int("width", 4, "element width in bytes (1,2,4,8)")
 	max := flag.Int("max", 256, "print at most this many addresses")
+	jsonOut := cliflags.JSON(flag.CommandLine)
 	var parts dimFlag
 	flag.Var(&parts, "dim", "dimension offset:size:stride (repeatable, innermost first)")
 	flag.Var(modFlag{&parts}, "mod", "static modifier target:behavior:disp:count (attaches to the preceding -dim)")
@@ -61,8 +69,12 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Println(d)
 	elems := uve.Elements(d, uve.SliceOrigin(origins))
+	if *jsonOut {
+		writeJSON(d, elems, *max)
+		return
+	}
+	fmt.Println(d)
 	for i, e := range elems {
 		if i >= *max {
 			fmt.Printf("... (%d more)\n", len(elems)-i)
@@ -78,6 +90,29 @@ func main() {
 		fmt.Printf("%4d  %#x%s\n", i, e.Addr, marks)
 	}
 	fmt.Printf("total: %d elements\n", len(elems))
+}
+
+// writeJSON emits the machine-readable walk: addresses are capped by -max
+// like the text output, with Truncated marking a longer walk.
+func writeJSON(d *uve.Descriptor, elems []uve.Elem, max int) {
+	doc := struct {
+		Descriptor string   `json:"descriptor"`
+		Total      int      `json:"total"`
+		Addrs      []uint64 `json:"addrs"`
+		Truncated  bool     `json:"truncated,omitempty"`
+	}{Descriptor: d.String(), Total: len(elems)}
+	for i, e := range elems {
+		if i >= max {
+			doc.Truncated = true
+			break
+		}
+		doc.Addrs = append(doc.Addrs, e.Addr)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal("%v", err)
+	}
 }
 
 // buildPattern assembles the descriptor from the ordered flag parts (each

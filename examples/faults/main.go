@@ -1,0 +1,96 @@
+// Faults: a seeded deterministic fault campaign on the saxpy kernel.
+//
+// The Streaming Engine's recovery machinery (§IV-B) must preserve precise
+// architectural state across mid-stream page faults, NACKed line fetches
+// and forced suspend/resume. This example runs saxpy fault-free, replays
+// it under a grid of seeded campaigns, and checks the output is
+// byte-identical every time — only the cycle count moves. It then bounds
+// one run far below its natural length to show the watchdog's structured
+// diagnostic (the alternative to hanging on an injection-induced livelock).
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	uve "repro"
+)
+
+const (
+	n = 1 << 13
+	a = 2.5
+	w = uve.W4
+)
+
+func main() {
+	baseCycles, want, _ := run(0, nil)
+	fmt.Printf("fault-free: %d cycles\n\n", baseCycles)
+
+	fmt.Printf("%-6s %10s %10s  %s\n", "seed", "cycles", "slowdown", "injected (output identical every row)")
+	for _, seed := range []uint64{3, 7, 11} {
+		plan := uve.DefaultFaultPlan(seed)
+		cycles, got, stats := run(seed, &plan)
+		for i := range want {
+			if got[i] != want[i] {
+				panic(fmt.Sprintf("seed %d: y[%d] = %v, want %v", seed, i, got[i], want[i]))
+			}
+		}
+		fmt.Printf("%-6d %10d %9.3fx  %s\n",
+			seed, cycles, float64(cycles)/float64(baseCycles), stats)
+	}
+
+	fmt.Println("\nwatchdog: bounding the same run to 1000 cycles ...")
+	m, p, _ := build(uve.WithMaxCycles(1000))
+	_, err := m.Run(p, uve.FloatArg(1, w, a))
+	var wd *uve.WatchdogError
+	if !errors.As(err, &wd) {
+		panic(fmt.Sprintf("expected a watchdog diagnostic, got %v", err))
+	}
+	fmt.Printf("  tripped at cycle %d (last commit at %d)\n", wd.Cycle, wd.LastCommit)
+	fmt.Println("  the full error carries the ROB head and the stream table:")
+	fmt.Println()
+	fmt.Println(err)
+}
+
+// run executes saxpy once — under plan when non-nil — validates nothing
+// crashed, and returns the cycle count, the output array and the
+// injection counts.
+func run(seed uint64, plan *uve.FaultPlan) (int64, []float64, uve.FaultStats) {
+	var opts []uve.Option
+	if plan != nil {
+		opts = append(opts, uve.WithFaults(*plan), uve.WithWatchdog(1_000_000))
+	}
+	m, p, y := build(opts...)
+	res, err := m.Run(p, uve.FloatArg(1, w, a))
+	if err != nil {
+		panic(err)
+	}
+	if plan != nil && res.Faults.Total() == 0 {
+		panic(fmt.Sprintf("seed %d injected nothing", seed))
+	}
+	return res.Cycles, y.Slice(), res.Faults
+}
+
+// build assembles a fresh machine, data and the streamed saxpy program
+// (the Fig 1.D shape: descriptors in the preamble, a load-free loop body).
+func build(opts ...uve.Option) (*uve.Machine, *uve.Program, *uve.F32Array) {
+	m := uve.NewMachine(uve.DefaultConfig(), opts...)
+	x := m.Float32s(n)
+	y := m.Float32s(n)
+	x.Fill(func(i int) float64 { return float64(i % 100) })
+	y.Fill(func(i int) float64 { return float64(i % 37) })
+
+	b := uve.NewProgram("saxpy-faults")
+	b.ConfigStream(0, uve.NewLoadStream(x.Base, w).Linear(n, 1).MustBuild())
+	b.ConfigStream(1, uve.NewLoadStream(y.Base, w).Linear(n, 1).MustBuild())
+	b.ConfigStream(2, uve.NewStoreStream(y.Base, w).Linear(n, 1).MustBuild())
+	b.I(uve.VDup(w, uve.V(3), uve.F(1)))
+	b.Label("loop")
+	b.I(uve.VFMul(w, uve.V(4), uve.V(3), uve.V(0), uve.None))
+	b.I(uve.VFAdd(w, uve.V(2), uve.V(4), uve.V(1), uve.None))
+	b.I(uve.BranchStreamNotEnd(0, "loop"))
+	b.I(uve.Halt())
+	return m, b.MustBuild(), y
+}

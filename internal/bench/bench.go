@@ -15,6 +15,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cpu"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -28,6 +29,13 @@ type Options struct {
 	// Workers sizes the parallel runner's worker pool: 0 = GOMAXPROCS,
 	// 1 = fully sequential.
 	Workers int
+	// Faults, when set, replaces the default plan as the fault-campaign
+	// template (`-exp faults`); its seed is overridden per grid point.
+	// Other experiments ignore it — the evaluation figures are fault-free.
+	Faults *fault.Plan
+	// Watchdog, when positive, tightens the campaign's forward-progress
+	// bound (cycles without a commit before a structured abort).
+	Watchdog int64
 
 	mu sync.Mutex
 	r  *Runner

@@ -6,7 +6,9 @@ import (
 )
 
 // ExperimentIDs lists every experiment `uvebench -exp` accepts, in the
-// order `-exp all` runs them.
+// order `-exp all` runs them. The "faults" resilience campaign is also
+// accepted by id but excluded here: `-exp all` output stays byte-stable,
+// and the campaign is a correctness gate, not an evaluation figure.
 var ExperimentIDs = []string{
 	"table1", "fig8table", "hw", "fig8", "fig8e",
 	"fig9", "fig10", "fig11", "spm", "ablate", "stalls",
@@ -57,6 +59,9 @@ func RunExperiment(id string, o *Options) (string, Report, error) {
 	case "stalls":
 		rows := Stalls(o)
 		return FormatStalls(rows), Report{Experiment: id, Stalls: rows}, nil
+	case "faults":
+		rows := FaultCampaign(o)
+		return FormatFaultCampaign(rows), Report{Experiment: id, Faults: rows}, nil
 	}
 	return "", Report{}, fmt.Errorf("unknown experiment %q", id)
 }
@@ -87,6 +92,16 @@ func Degenerate(reports []Report) []string {
 		for _, r := range rep.Stalls {
 			if r.Cycles == 0 {
 				add("%s: stall row %s/%s has zero cycles", rep.Experiment, r.ID, r.Variant)
+			}
+		}
+		for _, r := range rep.Faults {
+			if r.Err != "" {
+				add("%s: fault campaign %s/%s seed=%#x failed: %s", rep.Experiment, r.ID, r.Variant, r.Seed, r.Err)
+			} else if !r.StateOK {
+				add("%s: fault campaign %s/%s seed=%#x diverged architectural state", rep.Experiment, r.ID, r.Variant, r.Seed)
+			}
+			if r.Cycles == 0 || r.BaseCycles == 0 {
+				add("%s: fault campaign %s/%s seed=%#x has a zero cycle count", rep.Experiment, r.ID, r.Variant, r.Seed)
 			}
 		}
 		for k, v := range rep.Summary {

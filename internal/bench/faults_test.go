@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestBenchMemoKeyCoversOptions asserts every sim.Options field that
+// changes what a simulation computes or measures separates memo keys. A
+// field missing from configFP would let two different runs share a result
+// (the pre-existing bug this PR fixes for Sanitize, and guards for the new
+// fault/watchdog/hash options).
+func TestBenchMemoKeyCoversOptions(t *testing.T) {
+	k := kernels.ByID("C")
+	base := func() *sim.Options {
+		o := sim.DefaultOptions(kernels.UVE)
+		return &o
+	}
+	job := func(o *sim.Options) Job { return Job{Kernel: k, Variant: kernels.UVE, Size: 32, Opts: o} }
+	ref := keyOf(job(base()))
+
+	plan := fault.DefaultPlan(3)
+	mutations := map[string]func(o *sim.Options){
+		"SkipCheck": func(o *sim.Options) { o.SkipCheck = true },
+		"Sanitize":  func(o *sim.Options) { o.Sanitize = true },
+		"HashMem":   func(o *sim.Options) { o.HashMem = true },
+		"Watchdog":  func(o *sim.Options) { o.Watchdog = 12345 },
+		"MaxCycles": func(o *sim.Options) { o.MaxCycles = 99999 },
+		"Faults":    func(o *sim.Options) { o.Faults = &plan },
+		"Trace":     func(o *sim.Options) { o.Trace = trace.NewCollector(8, 0) },
+		"Core":      func(o *sim.Options) { o.Core.ROBSize++ },
+		"Eng":       func(o *sim.Options) { o.Eng.FIFODepth++ },
+	}
+	for name, mut := range mutations {
+		o := base()
+		mut(o)
+		if keyOf(job(o)) == ref {
+			t.Errorf("Options.%s does not separate memo keys", name)
+		}
+	}
+
+	// Equal fault plans behind distinct pointers must share a key.
+	pa, pb := fault.DefaultPlan(3), fault.DefaultPlan(3)
+	oa, ob := base(), base()
+	oa.Faults, ob.Faults = &pa, &pb
+	if keyOf(job(oa)) != keyOf(job(ob)) {
+		t.Error("equal fault plans behind different pointers got different keys")
+	}
+}
+
+// TestRunnerSnapshotsOptionsAtSubmit: mutating a caller-owned plan after
+// RunAll must neither corrupt the memoized result nor let a re-submission
+// with the old value miss the memo.
+func TestRunnerSnapshotsOptionsAtSubmit(t *testing.T) {
+	k := kernels.ByID("C")
+	r := NewRunner(2)
+	plan := fault.DefaultPlan(1)
+	o := sim.DefaultOptions(kernels.UVE)
+	o.Faults = &plan
+	o.HashMem = true
+
+	first, err := r.Run(Job{Kernel: k, Variant: kernels.UVE, Size: 64, Opts: &o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Seed = 2 // caller mutates the shared pointee after submission
+
+	fresh := fault.DefaultPlan(1)
+	o2 := sim.DefaultOptions(kernels.UVE)
+	o2.Faults = &fresh
+	o2.HashMem = true
+	second, err := r.Run(Job{Kernel: k, Variant: kernels.UVE, Size: 64, Opts: &o2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Simulated != 1 || st.MemoHits != 1 {
+		t.Fatalf("seed-1 resubmission missed the memo: %+v", st)
+	}
+	if first.Cycles != second.Cycles || first.MemHash != second.MemHash {
+		t.Fatal("memoized result changed under caller mutation")
+	}
+
+	// The mutated plan is a different simulation.
+	third, err := r.Run(Job{Kernel: k, Variant: kernels.UVE, Size: 64, Opts: &o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Simulated != 2 {
+		t.Fatalf("seed-2 plan memo-shared with seed-1: %+v", st)
+	}
+	if third.MemHash != first.MemHash {
+		t.Fatal("fault seeds changed architectural state")
+	}
+}
+
+// TestFaultCampaignSmall runs the campaign grid at tiny sizes: every row
+// must pass the state oracle, and the rendering must be deterministic
+// across independent Options (the check.sh fault-smoke gate relies on it).
+func TestFaultCampaignSmall(t *testing.T) {
+	rows := FaultCampaign(&Options{Scale: 1000})
+	if len(rows) != len(kernels.All)*2*len(faultSeeds) {
+		t.Fatalf("campaign produced %d rows", len(rows))
+	}
+	var injected uint64
+	for i := range rows {
+		r := &rows[i]
+		if r.Err != "" {
+			t.Errorf("%s/%s seed=%#x: %s", r.ID, r.Variant, r.Seed, r.Err)
+		} else if !r.StateOK {
+			t.Errorf("%s/%s seed=%#x: state oracle failed", r.ID, r.Variant, r.Seed)
+		}
+		injected += r.Injected.Total()
+	}
+	if injected == 0 {
+		t.Error("campaign injected nothing")
+	}
+
+	again := FormatFaultCampaign(FaultCampaign(&Options{Scale: 1000}))
+	if got := FormatFaultCampaign(rows); got != again {
+		t.Error("campaign output not deterministic across runs")
+	}
+	if !strings.Contains(again, "state") {
+		t.Error("campaign table missing header")
+	}
+}

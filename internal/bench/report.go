@@ -11,6 +11,7 @@ type Report struct {
 	Fig8       []Fig8Row          `json:"fig8,omitempty"`
 	Sweep      []SweepPoint       `json:"sweep,omitempty"`
 	Stalls     []StallRow         `json:"stalls,omitempty"`
+	Faults     []FaultRow         `json:"faults,omitempty"`
 	Summary    map[string]float64 `json:"summary,omitempty"`
 	Text       string             `json:"text,omitempty"`
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cpu"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -44,6 +45,9 @@ func (j *Job) id() string {
 // hoisted into value fields and the pointer zeroed. A trace recorder is
 // part of the fingerprint by identity: traced jobs use per-job collectors,
 // so they never memo-share with untraced (or other traced) runs.
+// Every Options field that changes what a simulation computes or measures
+// must appear here, or two different runs would memo-share; sim's
+// TestBenchMemoKeyCoversOptions cross-checks the field coverage.
 type configFP struct {
 	core       cpu.Config
 	hier       mem.HierarchyConfig
@@ -51,6 +55,12 @@ type configFP struct {
 	forceLevel arch.CacheLevel
 	hasForce   bool
 	skipCheck  bool
+	sanitize   bool
+	hashMem    bool
+	watchdog   int64
+	maxCycles  int64
+	faults     fault.Plan
+	hasFaults  bool
 	rec        trace.Recorder
 }
 
@@ -70,11 +80,19 @@ func keyOf(j Job) memoKey {
 	} else {
 		o = sim.DefaultOptions(j.Variant)
 	}
-	fp := configFP{core: o.Core, hier: o.Hier, eng: o.Eng, skipCheck: o.SkipCheck, rec: o.Trace}
+	fp := configFP{
+		core: o.Core, hier: o.Hier, eng: o.Eng,
+		skipCheck: o.SkipCheck, sanitize: o.Sanitize, hashMem: o.HashMem,
+		watchdog: o.Watchdog, maxCycles: o.MaxCycles, rec: o.Trace,
+	}
 	if o.Eng.ForceLevel != nil {
 		fp.hasForce = true
 		fp.forceLevel = *o.Eng.ForceLevel
 		fp.eng.ForceLevel = nil
+	}
+	if o.Faults != nil {
+		fp.hasFaults = true
+		fp.faults = *o.Faults
 	}
 	return memoKey{kernel: j.id(), variant: j.Variant, size: j.Size, cfg: fp}
 }
@@ -161,6 +179,14 @@ func (r *Runner) RunAll(jobs []Job) ([]*sim.Result, error) {
 	r.mu.Lock()
 	r.stats.Submitted += len(jobs)
 	for i, j := range jobs {
+		if j.Opts != nil {
+			// Snapshot at submit: the memo key and the eventual execution
+			// must see the same configuration even if the caller mutates
+			// its Options (or a pointee like Eng.ForceLevel or Faults)
+			// after RunAll returns the shared memo entry.
+			c := j.Opts.Clone()
+			j.Opts = &c
+		}
 		k := keyOf(j)
 		e := r.memo[k]
 		if e == nil {

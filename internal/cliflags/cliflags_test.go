@@ -1,0 +1,107 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestVariant(t *testing.T) {
+	for in, want := range map[string]kernels.Variant{
+		"UVE": kernels.UVE, "uve": kernels.UVE,
+		"SVE": kernels.SVE, "sve": kernels.SVE,
+		"NEON": kernels.NEON, "neon": kernels.NEON,
+	} {
+		v, err := Variant(in)
+		if err != nil || v != want {
+			t.Errorf("Variant(%q) = %v, %v", in, v, err)
+		}
+	}
+	if _, err := Variant("AVX"); err == nil {
+		t.Error("Variant accepted AVX")
+	}
+	vs, err := Variants("all")
+	if err != nil || len(vs) != 3 {
+		t.Errorf("Variants(all) = %v, %v", vs, err)
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	fs := newFS()
+	tr := AddTrace(fs)
+	if err := fs.Parse([]string{"-trace", "x.json", "-trace-format", "perfetto"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err == nil || !strings.Contains(err.Error(), "perfetto") {
+		t.Errorf("bad format not rejected: %v", err)
+	}
+
+	fs = newFS()
+	tr = AddTrace(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	if c := tr.Collector(16, false); c != nil {
+		t.Error("collector built with no trace file and no attribution request")
+	}
+	if c := tr.Collector(16, true); c == nil {
+		t.Error("no collector despite attribution request")
+	}
+	tr.File = "x.json"
+	if c := tr.Collector(16, false); c == nil {
+		t.Error("no collector despite trace file")
+	}
+}
+
+func TestFaultsFlag(t *testing.T) {
+	fs := newFS()
+	f := AddFaults(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := f.Plan(); err != nil || p != nil {
+		t.Errorf("absent -faults: plan %v, err %v", p, err)
+	}
+
+	fs = newFS()
+	f = AddFaults(fs)
+	if err := fs.Parse([]string{"-faults", "seed=9,nack=100", "-watchdog", "777"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.Plan()
+	if err != nil || p == nil || p.Seed != 9 || p.NackPerMille != 100 {
+		t.Errorf("plan = %+v, err %v", p, err)
+	}
+	if f.Watchdog != 777 {
+		t.Errorf("watchdog = %d", f.Watchdog)
+	}
+
+	// Empty spec is the default campaign, not an error.
+	fs = newFS()
+	f = AddFaults(fs)
+	if err := fs.Parse([]string{"-faults", ""}); err != nil {
+		t.Fatal(err)
+	}
+	if p, err := f.Plan(); err != nil || p == nil || !p.Enabled() {
+		t.Errorf("empty spec: plan %+v, err %v", p, err)
+	}
+
+	// A bad spec fails at parse time.
+	fs = newFS()
+	AddFaults(fs)
+	if err := fs.Parse([]string{"-faults", "bogus=1"}); err == nil {
+		t.Error("bad spec accepted at parse time")
+	}
+}

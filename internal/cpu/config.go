@@ -48,8 +48,16 @@ type Config struct {
 	FaultPenalty int
 
 	// Watchdog aborts the simulation when no instruction commits for this
-	// many cycles (a modeling bug, not a program property).
+	// many cycles (a modeling bug, not a program property). The abort is a
+	// panic with a structured *WatchdogError carrying the ROB head and the
+	// engine's stream-table dump; internal/sim recovers it into an error.
 	Watchdog int64
+
+	// MaxCycles, when positive, is a hard wall-clock-free bound: the run
+	// aborts with a *WatchdogError once the cycle count exceeds it. Fault
+	// campaigns set it so an injection-induced livelock can never hang a
+	// test harness.
+	MaxCycles int64
 }
 
 // DefaultConfig returns the Table I core.

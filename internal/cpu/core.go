@@ -296,15 +296,20 @@ func (c *Core) Run() int64 {
 		c.Step()
 	}
 	// Drain timing: outstanding stores and stream stores flow to memory.
+	drained := false
 	for i := 0; i < 1_000_000; i++ {
 		pending := len(c.drainQ) > 0 || !c.hier.Quiesce()
 		if c.eng != nil && c.eng.StoresPending() {
 			pending = true
 		}
 		if !pending {
+			drained = true
 			break
 		}
 		c.Step()
+	}
+	if !drained {
+		panic(c.watchdogError("post-halt store drain stalled"))
 	}
 	return c.haltCycle
 }
@@ -348,8 +353,10 @@ func (c *Core) Step() {
 	}
 
 	if !c.halted && c.cycle-c.lastCommit > c.cfg.Watchdog {
-		panic(fmt.Sprintf("cpu: watchdog: no commit for %d cycles at pc≈%d (rob head %s)",
-			c.cfg.Watchdog, c.fetchPC, c.robHeadDesc()))
+		panic(c.watchdogError(fmt.Sprintf("no commit for %d cycles", c.cfg.Watchdog)))
+	}
+	if c.cfg.MaxCycles > 0 && c.cycle >= c.cfg.MaxCycles {
+		panic(c.watchdogError(fmt.Sprintf("cycle bound %d exceeded", c.cfg.MaxCycles)))
 	}
 }
 

@@ -1,0 +1,50 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WatchdogError is the structured diagnostic the core panics with when a
+// run stops making progress: the forward-progress counter expired, the
+// hard cycle bound (Config.MaxCycles) was exceeded, or the post-halt store
+// drain wedged. It converts a livelock/deadlock — which under fault
+// injection would otherwise hang the process — into an inspectable error:
+// internal/sim recovers it and surfaces it through the normal error path.
+type WatchdogError struct {
+	Reason     string // which bound tripped
+	Cycle      int64  // cycle at abort
+	LastCommit int64  // cycle of the last committed instruction
+	PC         int    // approximate fetch PC
+	ROBHead    string // state of the oldest in-flight instruction
+	StreamDump string // engine stream-table state (UVE machines)
+}
+
+func (w *WatchdogError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cpu: watchdog (%s): cycle %d, last commit at cycle %d, pc≈%d, rob head %s",
+		w.Reason, w.Cycle, w.LastCommit, w.PC, w.ROBHead)
+	if w.StreamDump != "" {
+		b.WriteString("\nstream table at abort:\n")
+		b.WriteString(strings.TrimRight(w.StreamDump, "\n"))
+	}
+	return b.String()
+}
+
+// watchdogError snapshots the core (and, on UVE machines, the engine's
+// stream table) into the diagnostic.
+func (c *Core) watchdogError(reason string) *WatchdogError {
+	w := &WatchdogError{
+		Reason:     reason,
+		Cycle:      c.cycle,
+		LastCommit: c.lastCommit,
+		PC:         c.fetchPC,
+		ROBHead:    c.robHeadDesc(),
+	}
+	if c.eng != nil {
+		var b strings.Builder
+		c.eng.DumpStreams(&b)
+		w.StreamDump = b.String()
+	}
+	return w
+}

@@ -160,6 +160,7 @@ func (e *Engine) fastForward(s *stream) {
 	s.lastFetch = nil
 	s.lastFault = false
 	s.dimSwitch = false
+	s.genPauseUntil = 0
 
 	skipped, chunks, lanes := int64(0), int64(0), 0
 	for skipped < s.committedElems {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/descriptor"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -127,6 +128,10 @@ type lineFetch struct {
 	level   arch.CacheLevel
 	pc      int
 	waiters []laneRef
+	// Injected-NACK bookkeeping: a NACKed request backs off until retryAt;
+	// nacks counts injections so the plan's retry bound can cap them.
+	retryAt int64
+	nacks   int
 }
 
 type laneRef struct {
@@ -169,6 +174,7 @@ type stream struct {
 	lastFetch     *lineFetch
 	lastFault     bool
 	dimSwitch     bool
+	genPauseUntil int64 // injected dim-boundary pause: no generation before this cycle
 
 	// Indirection: functional origin values come from shadow iterators over
 	// the origin streams' descriptors; timing is paced by origin FIFO
@@ -257,11 +263,14 @@ type flagPair struct {
 	last bool
 }
 
+// storeLine references its stream by pointer, not slot+epoch: committed
+// store drains survive exception replay (ReloadFromCommit bumps the epoch
+// to orphan speculative line fetches, but a committed line must still
+// decrement pendingStoreLines or StoresPending wedges the post-halt drain).
 type storeLine struct {
 	line  uint64
 	level arch.CacheLevel
-	slot  int
-	epoch uint64
+	s     *stream
 }
 
 var debugSCROB = false
@@ -294,6 +303,11 @@ type Engine struct {
 	SyncStoresPending func() bool
 
 	san *sanitizer // nil unless EnableSanitizer was called
+
+	// inj, when non-nil, perturbs the request path deterministically:
+	// NACK/backoff on MRQ line requests and forced generation pauses at
+	// descriptor dimension boundaries. Timing only — never data.
+	inj *fault.Injector
 
 	// rec receives instrumentation events; tracing caches rec.Enabled().
 	// now is the engine's event clock: Tick sets it, and the core advances
@@ -344,6 +358,10 @@ func (e *Engine) SetRecorder(r trace.Recorder) {
 // of each Step (when tracing) so events emitted from rename-stage calls
 // carry the current cycle rather than the previous Tick's.
 func (e *Engine) SetNow(now int64) { e.now = now }
+
+// SetInjector attaches a deterministic fault injector to the engine's
+// request path (nil detaches). Call before the first cycle.
+func (e *Engine) SetInjector(in *fault.Injector) { e.inj = in }
 
 // SetVL narrows (or restores) the effective vector length used to size the
 // chunks of subsequently configured streams (ss.setvl).

@@ -34,9 +34,10 @@ func (s *stream) pop() descriptor.Elem {
 
 // --- generation (Stream Processing Modules, paper Fig 7.B) ---
 
-// wantsGen reports whether the stream has address-generation work.
-func (s *stream) wantsGen() bool {
-	if s.released || s.suspended {
+// wantsGen reports whether the stream has address-generation work at the
+// given cycle (an injected dimension-boundary pause defers it).
+func (s *stream) wantsGen(now int64) bool {
+	if s.released || s.suspended || s.genPauseUntil > now {
 		return false
 	}
 	if s.itDone && !s.genStarted && !s.itHas {
@@ -198,6 +199,16 @@ func (e *Engine) closeChunk(s *stream, c *chunk, el descriptor.Elem) {
 	if el.Last {
 		s.totalChunks = s.genPos
 		s.totalKnown = true
+	}
+	if e.inj != nil && c.end != 0 && !c.last {
+		// Adversarial suspend/resume: pause generation right at a descriptor
+		// dimension boundary, while dimension-switch state is in flight.
+		if d, ok := e.inj.SuspendAtDimBoundary(); ok {
+			s.genPauseUntil = e.now + d
+			if e.tracing {
+				e.rec.Emit(trace.Event{Cycle: e.now, Kind: trace.EvInject, Arg0: trace.InjSuspend, Arg1: int64(s.slot), Arg2: d})
+			}
+		}
 	}
 	if s.kind == descriptor.Load {
 		e.Stats.ChunksLoaded++
@@ -455,7 +466,7 @@ func (e *Engine) CommitStore(slot int, seq int64, now int64) {
 			continue
 		}
 		seen[l] = true
-		e.storeQ = append(e.storeQ, storeLine{line: l, level: s.level, slot: s.slot, epoch: s.epoch})
+		e.storeQ = append(e.storeQ, storeLine{line: l, level: s.level, s: s})
 		s.pendingStoreLines++
 		e.Stats.StoreLines++
 	}
@@ -699,7 +710,7 @@ func (e *Engine) tallyOriginStalls(now int64) {
 func (e *Engine) schedule(now int64) {
 	var cand []*stream
 	for _, s := range e.entries {
-		if s != nil && s.desc != nil && s.wantsGen() {
+		if s != nil && s.desc != nil && s.wantsGen(now) {
 			cand = append(cand, s)
 		}
 	}
@@ -737,6 +748,19 @@ func (e *Engine) issueMRQ(now int64) {
 		}
 		if f.issued {
 			continue
+		}
+		if f.retryAt > now {
+			continue // backing off after an injected NACK
+		}
+		if e.inj != nil {
+			if backoff, nack := e.inj.NackLine(f.nacks); nack {
+				f.nacks++
+				f.retryAt = now + backoff
+				if e.tracing {
+					e.rec.Emit(trace.Event{Cycle: now, Kind: trace.EvInject, Arg0: trace.InjNack, Arg1: int64(f.slot), Arg2: int64(f.line)})
+				}
+				continue
+			}
 		}
 		ff := f
 		req := &mem.Req{Line: ff.line, MinLevel: ff.level, PC: ff.pc, Done: func(at int64) { e.lineArrived(ff, at) }}
@@ -787,9 +811,7 @@ func (e *Engine) drainStore(now int64) {
 		return
 	}
 	e.storeQ = e.storeQ[1:]
-	if s := e.entries[sl.slot]; s != nil && s.epoch == sl.epoch {
-		s.pendingStoreLines--
-	}
+	sl.s.pendingStoreLines--
 }
 
 // storeLevel maps a stream's configured level onto the store path. The

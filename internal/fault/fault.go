@@ -1,0 +1,278 @@
+// Package fault implements the simulator's deterministic fault-injection
+// layer: seeded injectors that perturb a run at configurable points — NACKed
+// cache-line requests with bounded retry/backoff in the engine's request
+// path, TLB/page faults raised mid-stream (exercising the precise
+// squash-and-replay recovery of paper §IV-A "Exception Handling"), transient
+// DRAM latency spikes, and forced stream generation pauses at descriptor
+// dimension boundaries.
+//
+// Every decision comes from one splitmix64 stream seeded by Plan.Seed, and
+// each simulation is single-goroutine, so a given (plan, kernel, variant,
+// size, machine config) tuple injects the exact same faults at the exact
+// same points on every run: campaigns are byte-reproducible. Injection only
+// perturbs *timing* and recovery paths — architectural results must match
+// the fault-free run, which the resilience oracle in internal/sim enforces.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plan configures one deterministic fault campaign. The zero value injects
+// nothing; all fields are plain integers so plans compare (and memoize) by
+// value. Rates are per-mille (0..1000) per decision point.
+type Plan struct {
+	// Seed selects the injection sequence. Two runs with equal plans (and
+	// equal machines) observe identical faults.
+	Seed uint64
+
+	// NackPerMille is the chance an unissued engine line request is NACKed
+	// in a cycle; a NACKed request backs off NackBackoff cycles before the
+	// arbiter retries it, and each request is NACKed at most NackRetries
+	// times (bounded retry — forward progress is guaranteed).
+	NackPerMille int
+	NackRetries  int
+	NackBackoff  int64
+
+	// PageFaultEvery forces every Nth TLB translation to report a page
+	// fault (0 disables), capped at MaxPageFaults injections per run. The
+	// fault takes the real recovery path: precise squash at commit, OS page
+	// mapping, TLB flush, stream replay from the commit point.
+	PageFaultEvery int
+	MaxPageFaults  int
+
+	// DRAMSpikePerMille is the chance a DRAM request's service incurs an
+	// extra DRAMSpikeCycles of latency (a transient bank/refresh conflict).
+	DRAMSpikePerMille int
+	DRAMSpikeCycles   int64
+
+	// SuspendEvery pauses a stream's address generation for SuspendCycles
+	// at every Nth descriptor dimension boundary (0 disables) — adversarial
+	// suspend/resume at exactly the points where dimension-switch state is
+	// in flight.
+	SuspendEvery  int
+	SuspendCycles int64
+}
+
+// DefaultPlan returns a moderate plan exercising all four injection
+// channels, parameterized only by the seed.
+func DefaultPlan(seed uint64) Plan {
+	return Plan{
+		Seed:              seed,
+		NackPerMille:      30,
+		NackRetries:       3,
+		NackBackoff:       6,
+		PageFaultEvery:    150,
+		MaxPageFaults:     4,
+		DRAMSpikePerMille: 20,
+		DRAMSpikeCycles:   40,
+		SuspendEvery:      7,
+		SuspendCycles:     12,
+	}
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool {
+	return p.NackPerMille > 0 || p.PageFaultEvery > 0 || p.DRAMSpikePerMille > 0 || p.SuspendEvery > 0
+}
+
+func (p Plan) String() string {
+	return fmt.Sprintf("seed=%#x nack=%d‰(≤%d, +%d cyc) pf=1/%d(≤%d) dram=%d‰(+%d cyc) suspend=1/%d(%d cyc)",
+		p.Seed, p.NackPerMille, p.NackRetries, p.NackBackoff,
+		p.PageFaultEvery, p.MaxPageFaults,
+		p.DRAMSpikePerMille, p.DRAMSpikeCycles,
+		p.SuspendEvery, p.SuspendCycles)
+}
+
+// ParsePlan builds a plan from a comma-separated key=value spec, starting
+// from DefaultPlan(1) so a bare "seed=7" yields a full campaign. Recognized
+// keys: seed, nack, nack-retries, nack-backoff, pf, max-pf, dram,
+// dram-cycles, suspend, suspend-cycles. Unknown keys and malformed values
+// are hard errors — a typo must not silently run a different campaign.
+func ParsePlan(spec string) (Plan, error) {
+	p := DefaultPlan(1)
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: bad plan entry %q: want key=value", kv)
+		}
+		n, err := strconv.ParseUint(strings.TrimPrefix(val, "0x"), base(val), 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: bad %s value %q", key, val)
+		}
+		switch key {
+		case "seed":
+			p.Seed = n
+		case "nack":
+			p.NackPerMille = int(n)
+		case "nack-retries":
+			p.NackRetries = int(n)
+		case "nack-backoff":
+			p.NackBackoff = int64(n)
+		case "pf":
+			p.PageFaultEvery = int(n)
+		case "max-pf":
+			p.MaxPageFaults = int(n)
+		case "dram":
+			p.DRAMSpikePerMille = int(n)
+		case "dram-cycles":
+			p.DRAMSpikeCycles = int64(n)
+		case "suspend":
+			p.SuspendEvery = int(n)
+		case "suspend-cycles":
+			p.SuspendCycles = int64(n)
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown plan key %q (known: %s)", key, strings.Join(planKeys(), ", "))
+		}
+	}
+	if p.NackPerMille > 1000 || p.DRAMSpikePerMille > 1000 {
+		return Plan{}, fmt.Errorf("fault: per-mille rates must be ≤ 1000")
+	}
+	return p, nil
+}
+
+func planKeys() []string {
+	ks := []string{"seed", "nack", "nack-retries", "nack-backoff", "pf", "max-pf", "dram", "dram-cycles", "suspend", "suspend-cycles"}
+	sort.Strings(ks)
+	return ks
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+// Stats counts the injections one run actually observed.
+type Stats struct {
+	Nacks      uint64 // line requests NACKed in the engine MRQ
+	PageFaults uint64 // TLB translations forced to fault
+	DRAMSpikes uint64 // DRAM services with an injected latency spike
+	Suspends   uint64 // generation pauses at dimension boundaries
+}
+
+// Total returns the total number of injected events.
+func (s Stats) Total() uint64 { return s.Nacks + s.PageFaults + s.DRAMSpikes + s.Suspends }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d nacks, %d page faults, %d dram spikes, %d suspends",
+		s.Nacks, s.PageFaults, s.DRAMSpikes, s.Suspends)
+}
+
+// Injector draws injection decisions for one run. Not safe for concurrent
+// use — each simulation owns exactly one injector (internal/sim constructs
+// it per run from the plan, so memoized sibling runs never share state).
+type Injector struct {
+	plan         Plan
+	rng          uint64
+	translations uint64
+	boundaries   uint64
+
+	Stats Stats
+}
+
+// NewInjector builds an injector for the plan, normalizing zero bounds to
+// safe defaults (a plan enabling NACKs without a retry cap would otherwise
+// livelock the request path).
+func NewInjector(p Plan) *Injector {
+	if p.NackPerMille > 0 {
+		if p.NackRetries <= 0 {
+			p.NackRetries = 3
+		}
+		if p.NackBackoff <= 0 {
+			p.NackBackoff = 4
+		}
+	}
+	if p.PageFaultEvery > 0 && p.MaxPageFaults <= 0 {
+		p.MaxPageFaults = 8
+	}
+	if p.DRAMSpikePerMille > 0 && p.DRAMSpikeCycles <= 0 {
+		p.DRAMSpikeCycles = 32
+	}
+	if p.SuspendEvery > 0 && p.SuspendCycles <= 0 {
+		p.SuspendCycles = 8
+	}
+	return &Injector{plan: p, rng: p.Seed ^ 0x9e3779b97f4a7c15}
+}
+
+// Plan returns the injector's normalized plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// next is splitmix64: tiny, fast, and fully deterministic from the seed.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (in *Injector) chance(perMille int) bool {
+	if perMille <= 0 {
+		return false
+	}
+	return in.next()%1000 < uint64(perMille)
+}
+
+// NackLine decides whether an unissued line request (already NACKed nacks
+// times) is NACKed again this cycle; on true, the request must back off the
+// returned number of cycles. The per-request retry bound guarantees forward
+// progress.
+func (in *Injector) NackLine(nacks int) (backoff int64, nack bool) {
+	if in.plan.NackPerMille <= 0 || nacks >= in.plan.NackRetries {
+		return 0, false
+	}
+	if !in.chance(in.plan.NackPerMille) {
+		return 0, false
+	}
+	in.Stats.Nacks++
+	return in.plan.NackBackoff, true
+}
+
+// PageFault decides whether this TLB translation is forced to fault. The
+// signature matches mem.TLB's injection hook. Injection is capped, and the
+// recovery path maps the page, so a forced fault can never recur forever on
+// the same access.
+func (in *Injector) PageFault(addr uint64) bool {
+	if in.plan.PageFaultEvery <= 0 || in.Stats.PageFaults >= uint64(in.plan.MaxPageFaults) {
+		return false
+	}
+	in.translations++
+	if in.translations%uint64(in.plan.PageFaultEvery) != 0 {
+		return false
+	}
+	in.Stats.PageFaults++
+	return true
+}
+
+// DRAMDelay returns extra service latency for a DRAM request starting now.
+// The signature matches mem.DRAM's injection hook.
+func (in *Injector) DRAMDelay(now int64) int64 {
+	if !in.chance(in.plan.DRAMSpikePerMille) {
+		return 0
+	}
+	in.Stats.DRAMSpikes++
+	return in.plan.DRAMSpikeCycles
+}
+
+// SuspendAtDimBoundary decides whether a stream crossing a descriptor
+// dimension boundary pauses generation, and for how long.
+func (in *Injector) SuspendAtDimBoundary() (cycles int64, pause bool) {
+	if in.plan.SuspendEvery <= 0 {
+		return 0, false
+	}
+	in.boundaries++
+	if in.boundaries%uint64(in.plan.SuspendEvery) != 0 {
+		return 0, false
+	}
+	in.Stats.Suspends++
+	return in.plan.SuspendCycles, true
+}

@@ -1,0 +1,137 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// The injector must be a pure function of its Plan: two injectors built
+// from the same plan make identical decisions in identical order. This is
+// the property the whole resilience harness rests on.
+func TestInjectorDeterminism(t *testing.T) {
+	p := DefaultPlan(0xdeadbeef)
+	a, b := NewInjector(p), NewInjector(p)
+	for i := 0; i < 10_000; i++ {
+		ba, na := a.NackLine(i % 5)
+		bb, nb := b.NackLine(i % 5)
+		if ba != bb || na != nb {
+			t.Fatalf("NackLine diverged at step %d: (%d,%v) vs (%d,%v)", i, ba, na, bb, nb)
+		}
+		if a.PageFault(uint64(i)*64) != b.PageFault(uint64(i)*64) {
+			t.Fatalf("PageFault diverged at step %d", i)
+		}
+		if a.DRAMDelay(int64(i)) != b.DRAMDelay(int64(i)) {
+			t.Fatalf("DRAMDelay diverged at step %d", i)
+		}
+		ca, oa := a.SuspendAtDimBoundary()
+		cb, ob := b.SuspendAtDimBoundary()
+		if ca != cb || oa != ob {
+			t.Fatalf("SuspendAtDimBoundary diverged at step %d", i)
+		}
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.Stats.Total() == 0 {
+		t.Fatal("default plan injected nothing over 10k opportunities")
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a, b := NewInjector(DefaultPlan(1)), NewInjector(DefaultPlan(2))
+	same := true
+	for i := 0; i < 1000; i++ {
+		_, na := a.NackLine(0)
+		_, nb := b.NackLine(0)
+		if na != nb {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical NACK streams")
+	}
+}
+
+func TestInjectorBounds(t *testing.T) {
+	p := Plan{Seed: 9, NackPerMille: 1000, NackRetries: 3, NackBackoff: 5}
+	in := NewInjector(p)
+	// At the retry bound the injector must stop NACKing so the fetch
+	// eventually issues.
+	if _, nack := in.NackLine(3); nack {
+		t.Fatal("NackLine ignored the retry bound")
+	}
+	if _, nack := in.NackLine(0); !nack {
+		t.Fatal("certain NACK (1000‰) did not fire below the bound")
+	}
+
+	p = Plan{Seed: 9, PageFaultEvery: 1, MaxPageFaults: 2}
+	in = NewInjector(p)
+	n := 0
+	for i := 0; i < 100; i++ {
+		if in.PageFault(uint64(i) * 4096) {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("page-fault cap: got %d injections, want 2", n)
+	}
+
+	in = NewInjector(Plan{Seed: 9, DRAMSpikePerMille: 0})
+	for i := 0; i < 100; i++ {
+		if d := in.DRAMDelay(int64(i)); d != 0 {
+			t.Fatalf("disabled DRAM channel returned delay %d", d)
+		}
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=0x2a,nack=100,pf=50,max-pf=2,dram=5,suspend=3,suspend-cycles=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 0x2a || p.NackPerMille != 100 || p.PageFaultEvery != 50 ||
+		p.MaxPageFaults != 2 || p.DRAMSpikePerMille != 5 || p.SuspendEvery != 3 || p.SuspendCycles != 9 {
+		t.Fatalf("ParsePlan mismatch: %+v", p)
+	}
+
+	if _, err := ParsePlan("bogus=1"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown key not rejected: %v", err)
+	}
+	if _, err := ParsePlan("nack=1001"); err == nil {
+		t.Fatal("per-mille > 1000 not rejected")
+	}
+	if _, err := ParsePlan("seed=xyz"); err == nil {
+		t.Fatal("bad value not rejected")
+	}
+
+	// The empty spec is the default campaign plan.
+	p, err = ParsePlan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != DefaultPlan(1) {
+		t.Fatalf("empty spec: got %+v, want DefaultPlan(1)", p)
+	}
+	if !p.Enabled() {
+		t.Fatal("default plan reports disabled")
+	}
+	if (Plan{}).Enabled() {
+		t.Fatal("zero plan reports enabled")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	s := DefaultPlan(7).String()
+	for _, want := range []string{"seed=0x7", "nack=", "pf=", "dram=", "suspend="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Plan.String() %q missing %q", s, want)
+		}
+	}
+	st := Stats{Nacks: 1, PageFaults: 2, DRAMSpikes: 3, Suspends: 4}
+	if st.Total() != 10 {
+		t.Fatalf("Stats.Total() = %d, want 10", st.Total())
+	}
+	if got := st.String(); !strings.Contains(got, "1 nacks") || !strings.Contains(got, "4 suspends") {
+		t.Fatalf("Stats.String() = %q", got)
+	}
+}

@@ -37,6 +37,12 @@ type DRAM struct {
 	cfg   DRAMConfig
 	chans []dramChannel
 	Stats DRAMStats
+
+	// Inject, when non-nil, returns extra service latency for a request
+	// starting at now (deterministic transient-spike injection, modeling
+	// refresh/bank conflicts). Timing only: data and ordering are
+	// unaffected.
+	Inject func(now int64) int64
 }
 
 type dramChannel struct {
@@ -90,7 +96,11 @@ func (d *DRAM) Tick(now int64) {
 				break // in-order service per channel
 			}
 			dr.started = true
-			dr.doneAt = now + int64(d.cfg.AccessLatency)
+			lat := int64(d.cfg.AccessLatency)
+			if d.Inject != nil {
+				lat += d.Inject(now)
+			}
+			dr.doneAt = now + lat
 			ch.freeAt = now + int64(d.cfg.LineService)
 			d.Stats.BusyCycles += uint64(d.cfg.LineService)
 			if dr.req.Write {

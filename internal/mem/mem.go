@@ -83,6 +83,25 @@ func (m *Memory) Extents() []Extent {
 	return append([]Extent(nil), m.extents...)
 }
 
+// HashExtents fingerprints the content of every allocated extent with
+// FNV-1a — the architectural-state digest the resilience oracle compares
+// between faulted and fault-free runs.
+func (m *Memory) HashExtents() uint64 {
+	const prime = 0x100000001b3
+	h := uint64(0xcbf29ce484222325)
+	for _, e := range m.extents {
+		for i := int64(0); i < e.Size; i++ {
+			var b byte
+			if a := e.Base + uint64(i); a >= m.base && a-m.base < uint64(len(m.data)) {
+				b = m.data[a-m.base]
+			}
+			h ^= uint64(b)
+			h *= prime
+		}
+	}
+	return h
+}
+
 // MapPage marks the page containing addr as mapped (used by the page-fault
 // handler path in tests and by the OS model).
 func (m *Memory) MapPage(addr uint64) { m.mapped[addr/arch.PageSize] = true }
@@ -160,6 +179,13 @@ type TLB struct {
 
 	WalkPenalty int // cycles added on a TLB miss
 
+	// Inject, when non-nil, is consulted on every translation; returning
+	// true forces the access to report a page fault regardless of the page
+	// table (deterministic fault injection). The forced fault takes the
+	// real recovery path — precise squash at commit, page mapping, TLB
+	// flush — so architectural state is unaffected.
+	Inject func(addr uint64) bool
+
 	Hits, Misses, Faults uint64
 }
 
@@ -172,6 +198,11 @@ func NewTLB(m *Memory, size int) *TLB {
 // TLB hit) and whether the page is mapped; fault=true means a page fault
 // that must surface as a precise exception at commit (paper §IV-A).
 func (t *TLB) Translate(addr uint64) (extraLat int, fault bool) {
+	if t.Inject != nil && t.Inject(addr) {
+		t.Misses++
+		t.Faults++
+		return t.WalkPenalty, true
+	}
 	page := addr / arch.PageSize
 	if t.entries[page] {
 		t.Hits++

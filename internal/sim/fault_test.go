@@ -1,0 +1,240 @@
+package sim_test
+
+// The resilience oracle (the tentpole's acceptance property): every kernel,
+// on both the UVE machine and the SVE baseline, run under a grid of seeded
+// fault campaigns, must leave the final memory image byte-identical to the
+// fault-free run and still pass the kernel's own output check. Injection is
+// allowed to change *when* things happen, never *what* the program
+// computes. The external test package lets this file reuse bench.SizeFor's
+// per-kernel structural clamps without an import cycle.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+	"repro/internal/cpu"
+	"repro/internal/fault"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// oracleSize shrinks a kernel to test scale through the same clamps the
+// figure harness uses.
+func oracleSize(k *kernels.Kernel) int {
+	return bench.SizeFor(k, &bench.Options{Scale: 64})
+}
+
+func runOracle(t *testing.T, k *kernels.Kernel, v kernels.Variant, size int, plan *fault.Plan) *sim.Result {
+	t.Helper()
+	o := sim.DefaultOptions(v)
+	o.HashMem = true
+	o.Sanitize = v == kernels.UVE
+	if plan != nil {
+		o.Faults = plan
+		// An injection-induced livelock must become a diagnostic, not a
+		// hung test run.
+		o.MaxCycles = 100_000_000
+	}
+	r, err := sim.Run(k, v, size, &o)
+	if err != nil {
+		t.Fatalf("%s/%s faults=%v: %v", k.ID, v, plan, err)
+	}
+	return r
+}
+
+// collisionPairs projects the sanitizer's observations onto accessor pairs.
+// Some kernels legitimately collide (lockstep in-place idioms — the
+// sanitizer cross-check test admits them against the static analyzer);
+// injection must neither create new pairs nor hide existing ones. The
+// first-observed address may shift with timing, so pairs, not addresses,
+// are the invariant.
+// Pairs are unordered: replay can make either stream the second toucher
+// of the shared byte, so the same overlap may be recorded in both
+// directions.
+func collisionPairs(r *sim.Result) string {
+	seen := map[string]bool{}
+	var ps []string
+	for _, c := range r.Collisions {
+		a, b := c.StreamA, c.StreamB
+		if b >= 0 && b < a {
+			a, b = b, a
+		}
+		key := fmt.Sprintf("%d/%d/%d", a, b, c.ScalarPC)
+		if !seen[key] {
+			seen[key] = true
+			ps = append(ps, key)
+		}
+	}
+	sort.Strings(ps)
+	return strings.Join(ps, ",")
+}
+
+// TestFaultOracle sweeps all kernels x {UVE, SVE} x seeded campaigns.
+func TestFaultOracle(t *testing.T) {
+	seeds := []uint64{3, 7}
+	var injected uint64
+	for _, k := range kernels.All {
+		for _, v := range []kernels.Variant{kernels.UVE, kernels.SVE} {
+			size := oracleSize(k)
+			base := runOracle(t, k, v, size, nil)
+			if base.Faults.Total() != 0 {
+				t.Fatalf("%s/%s: fault-free run reported injections: %v", k.ID, v, base.Faults)
+			}
+			for _, seed := range seeds {
+				plan := fault.DefaultPlan(seed)
+				r := runOracle(t, k, v, size, &plan)
+				if r.MemHash != base.MemHash {
+					t.Errorf("%s/%s seed=%d: memory image diverged from fault-free run (%#x vs %#x; %s)",
+						k.ID, v, seed, r.MemHash, base.MemHash, r.Faults.String())
+				}
+				if got, want := collisionPairs(r), collisionPairs(base); got != want {
+					t.Errorf("%s/%s seed=%d: collision pairs changed under faults: %q vs %q", k.ID, v, seed, got, want)
+				}
+				injected += r.Faults.Total()
+			}
+		}
+	}
+	if injected == 0 {
+		t.Fatal("fault campaigns injected nothing across the whole sweep")
+	}
+}
+
+// TestFaultDeterminism: the same plan must reproduce the exact run —
+// cycle count, injection counts, and memory image.
+func TestFaultDeterminism(t *testing.T) {
+	k := kernels.ByID("C")
+	if k == nil {
+		t.Fatal("kernel C not registered")
+	}
+	plan := fault.DefaultPlan(0x5eed)
+	plan.NackPerMille = 200
+	plan.PageFaultEvery = 60
+	a := runOracle(t, k, kernels.UVE, 4*oracleSize(k), &plan)
+	b := runOracle(t, k, kernels.UVE, 4*oracleSize(k), &plan)
+	if a.Cycles != b.Cycles || a.Faults != b.Faults || a.MemHash != b.MemHash {
+		t.Fatalf("same seed, different runs: cycles %d/%d, faults %v/%v, hash %#x/%#x",
+			a.Cycles, b.Cycles, a.Faults, b.Faults, a.MemHash, b.MemHash)
+	}
+	if a.Faults.Total() == 0 {
+		t.Fatal("campaign injected nothing on kernel C")
+	}
+}
+
+// TestFaultAggressiveSuspend forces a squash-or-pause decision at every
+// descriptor dimension boundary plus frequent page faults and NACKs — the
+// property test for engine suspend/resume and replay of speculative FIFO
+// state at adversarial points.
+func TestFaultAggressiveSuspend(t *testing.T) {
+	plan := fault.Plan{
+		Seed:              1,
+		NackPerMille:      200,
+		NackRetries:       4,
+		NackBackoff:       9,
+		PageFaultEvery:    40,
+		MaxPageFaults:     16,
+		DRAMSpikePerMille: 100,
+		DRAMSpikeCycles:   60,
+		SuspendEvery:      1, // pause at every non-terminal dim boundary
+		SuspendCycles:     25,
+	}
+	var injected uint64
+	for _, k := range kernels.All {
+		size := oracleSize(k)
+		base := runOracle(t, k, kernels.UVE, size, nil)
+		r := runOracle(t, k, kernels.UVE, size, &plan)
+		if r.MemHash != base.MemHash {
+			t.Errorf("%s: aggressive plan diverged memory image (%s)", k.ID, r.Faults.String())
+		}
+		if got, want := collisionPairs(r), collisionPairs(base); got != want {
+			t.Errorf("%s: collision pairs changed under aggressive plan: %q vs %q", k.ID, got, want)
+		}
+		if r.Cycles < base.Cycles {
+			t.Errorf("%s: faulted run finished earlier than fault-free (%d < %d)", k.ID, r.Cycles, base.Cycles)
+		}
+		injected += r.Faults.Total()
+	}
+	if injected == 0 {
+		t.Fatal("aggressive plan injected nothing")
+	}
+}
+
+// TestFaultFreeUnperturbed: passing a nil or disabled plan must leave
+// timing byte-identical to an options struct that never mentions faults —
+// the hooks stay uninstalled.
+func TestFaultFreeUnperturbed(t *testing.T) {
+	k := kernels.ByID("A")
+	if k == nil {
+		t.Fatal("kernel A not registered")
+	}
+	size := oracleSize(k)
+	plain := runOracle(t, k, kernels.UVE, size, nil)
+	zero := fault.Plan{}
+	o := sim.DefaultOptions(kernels.UVE)
+	o.HashMem = true
+	o.Faults = &zero
+	r, err := sim.Run(k, kernels.UVE, size, &o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != plain.Cycles || r.MemHash != plain.MemHash {
+		t.Fatalf("disabled plan perturbed the run: cycles %d vs %d", r.Cycles, plain.Cycles)
+	}
+}
+
+// TestWatchdogDiagnostic: a run bounded to fewer cycles than it needs must
+// return a structured watchdog error carrying the stream dump and the
+// trace tail, not hang and not panic through Run.
+func TestWatchdogDiagnostic(t *testing.T) {
+	k := kernels.ByID("C")
+	if k == nil {
+		t.Fatal("kernel C not registered")
+	}
+	// Bound the run to far fewer cycles than the kernel needs, but enough
+	// that the streams are configured by the trip point (so the dump has
+	// content).
+	o := sim.DefaultOptions(kernels.UVE)
+	o.MaxCycles = 2000
+	o.Trace = trace.NewCollector(64, 0)
+	_, err := sim.Run(k, kernels.UVE, 1<<16, &o)
+	if err == nil {
+		t.Fatal("2000-cycle bound did not trip the watchdog")
+	}
+	var w *cpu.WatchdogError
+	if !errors.As(err, &w) {
+		t.Fatalf("watchdog error not structured: %v", err)
+	}
+	if w.Cycle < 2000 || w.StreamDump == "" {
+		t.Fatalf("diagnostic incomplete: cycle=%d dump=%q", w.Cycle, w.StreamDump)
+	}
+	msg := err.Error()
+	for _, want := range []string{"watchdog", "stream table", "trace events"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("diagnostic %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestOptionsCloneNoAlias guards the DefaultOptions aliasing fix: cloning
+// must deep-copy pointer fields so post-clone mutation cannot leak.
+func TestOptionsCloneNoAlias(t *testing.T) {
+	lv := arch.CacheLevel(1)
+	plan := fault.DefaultPlan(4)
+	o := sim.DefaultOptions(kernels.UVE)
+	o.Eng.ForceLevel = &lv
+	o.Faults = &plan
+	c := o.Clone()
+	*o.Eng.ForceLevel = arch.CacheLevel(2)
+	o.Faults.Seed = 99
+	if *c.Eng.ForceLevel != arch.CacheLevel(1) {
+		t.Fatal("Clone shares ForceLevel")
+	}
+	if c.Faults.Seed != 4 {
+		t.Fatal("Clone shares Faults plan")
+	}
+}

@@ -5,9 +5,11 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cpu"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/kernels"
 	"repro/internal/mem"
 	"repro/internal/trace"
@@ -30,6 +32,41 @@ type Options struct {
 	// core and (UVE) the streaming engine. Timing is unaffected: the same
 	// cycles are simulated with or without a recorder.
 	Trace trace.Recorder
+	// Faults, when non-nil and enabled, runs the instance under the seeded
+	// deterministic fault injectors (NACKed line fetches, mid-stream page
+	// faults, DRAM latency spikes, forced generation pauses at dimension
+	// boundaries). Injection perturbs timing only; architectural results
+	// must match the fault-free run — the resilience oracle in
+	// fault_test.go enforces it. A fresh Injector is built per run, so the
+	// same Plan always yields the same cycle count.
+	Faults *fault.Plan
+	// Watchdog, when positive, overrides Core.Watchdog (forward-progress
+	// bound in cycles without a commit).
+	Watchdog int64
+	// MaxCycles, when positive, overrides Core.MaxCycles (hard cycle bound
+	// for fault campaigns; livelock becomes a *cpu.WatchdogError).
+	MaxCycles int64
+	// HashMem records an FNV-1a digest of the final memory image in
+	// Result.MemHash — the architectural-state oracle fault campaigns
+	// compare against the fault-free run.
+	HashMem bool
+}
+
+// Clone returns a deep copy: shared pointer fields (Eng.ForceLevel, Faults)
+// are duplicated so mutating the copy — or the original, as bench jobs do
+// between submit and execution — cannot alias. Trace recorders are shared
+// by reference; a recorder is a sink, not configuration.
+func (o *Options) Clone() Options {
+	c := *o
+	if o.Eng.ForceLevel != nil {
+		lv := *o.Eng.ForceLevel
+		c.Eng.ForceLevel = &lv
+	}
+	if o.Faults != nil {
+		p := *o.Faults
+		c.Faults = &p
+	}
+	return c
 }
 
 // DefaultOptions returns the Table I machine for the given variant.
@@ -60,6 +97,10 @@ type Result struct {
 	BusUtil float64
 	// Collisions holds the stream sanitizer's observations (Options.Sanitize).
 	Collisions []engine.Collision
+	// Faults counts the injections actually fired (Options.Faults).
+	Faults fault.Stats
+	// MemHash is the final memory-image digest (Options.HashMem).
+	MemHash uint64
 }
 
 // IPC returns committed instructions per cycle.
@@ -101,9 +142,15 @@ func Run(k *kernels.Kernel, v kernels.Variant, size int, opts *Options) (*Result
 func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(h *mem.Hierarchy) *kernels.Instance) (*Result, error) {
 	var o Options
 	if opts != nil {
-		o = *opts
+		o = opts.Clone()
 	} else {
 		o = DefaultOptions(v)
+	}
+	if o.Watchdog > 0 {
+		o.Core.Watchdog = o.Watchdog
+	}
+	if o.MaxCycles > 0 {
+		o.Core.MaxCycles = o.MaxCycles
 	}
 	h := mem.NewHierarchy(o.Hier)
 	inst := build(h)
@@ -111,6 +158,12 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 		return nil, fmt.Errorf("%s/%s: %w", id, v, inst.Err)
 	}
 
+	var inj *fault.Injector
+	if o.Faults != nil && o.Faults.Enabled() {
+		inj = fault.NewInjector(*o.Faults)
+		h.TLB.Inject = inj.PageFault
+		h.DRAM.Inject = inj.DRAMDelay
+	}
 	var eng *engine.Engine
 	if v == kernels.UVE {
 		eng = engine.New(o.Eng, h)
@@ -119,6 +172,9 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 		}
 		if o.Trace != nil {
 			eng.SetRecorder(o.Trace)
+		}
+		if inj != nil {
+			eng.SetInjector(inj)
 		}
 	}
 	core := cpu.New(o.Core, inst.Prog, h, eng)
@@ -131,7 +187,10 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 	for r, a := range inst.FPArgs {
 		core.SetFPReg(r, a.W, a.V)
 	}
-	cycles := core.Run()
+	cycles, runErr := runCore(core, &o)
+	if runErr != nil {
+		return nil, fmt.Errorf("%s/%s: %w", id, v, runErr)
+	}
 
 	res := &Result{
 		Variant:   v,
@@ -149,12 +208,61 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 		res.Eng = eng.Stats
 		res.Collisions = eng.Collisions()
 	}
+	if inj != nil {
+		res.Faults = inj.Stats
+	}
+	if o.HashMem {
+		res.MemHash = h.Mem.HashExtents()
+	}
 	if !o.SkipCheck && inst.Check != nil {
 		if err := inst.Check(); err != nil {
 			return res, fmt.Errorf("output mismatch: %w", err)
 		}
 	}
 	return res, nil
+}
+
+// runCore executes the core, converting a watchdog abort (livelock or
+// cycle-bound trip, expected under adversarial fault plans) into an error
+// that carries the structured diagnostic — and, when the run was traced
+// into a Collector, the tail of the event ring for post-mortem context.
+// Other panics are modeling bugs and propagate.
+func runCore(core *cpu.Core, o *Options) (cycles int64, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		w, ok := r.(*cpu.WatchdogError)
+		if !ok {
+			panic(r)
+		}
+		err = fmt.Errorf("%w%s", w, traceTail(o.Trace))
+	}()
+	return core.Run(), nil
+}
+
+// traceTail renders the last few retained trace events for the watchdog
+// diagnostic (empty unless the run recorded into a *trace.Collector).
+func traceTail(r trace.Recorder) string {
+	const tail = 12
+	c, ok := r.(*trace.Collector)
+	if !ok || c == nil {
+		return ""
+	}
+	evs := c.Events()
+	if len(evs) == 0 {
+		return ""
+	}
+	if len(evs) > tail {
+		evs = evs[len(evs)-tail:]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nlast %d trace events:\n", len(evs))
+	for _, e := range evs {
+		fmt.Fprintf(&b, "  cycle %d: %s (%d, %d, %d)\n", e.Cycle, e.Kind, e.Arg0, e.Arg1, e.Arg2)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // MustRun is Run that fails the calling benchmark/test via panic on error.

@@ -66,6 +66,8 @@ func chromeArgs(e Event) map[string]int64 {
 		return map[string]int64{"slot": e.Arg0, "chunk": e.Arg1}
 	case EvLineRequest:
 		return map[string]int64{"slot": e.Arg0, "line": e.Arg1}
+	case EvInject:
+		return map[string]int64{"type": e.Arg0, "slot": e.Arg1, "arg": e.Arg2}
 	}
 	return nil
 }

@@ -41,7 +41,17 @@ const (
 	EvDimSwitch     // one-cycle dimension-switch penalty taken
 	EvLineRequest   // Arg1 = cache-line address requested
 
+	// EvInject marks one injected fault (internal/fault). Arg0 is the
+	// injection type (Inj* constants); Arg1/Arg2 depend on the type.
+	EvInject
+
 	EventKindCount
+)
+
+// Injection types carried in EvInject's Arg0.
+const (
+	InjNack    int64 = iota // Arg1 = stream slot, Arg2 = line address
+	InjSuspend              // Arg1 = stream slot, Arg2 = pause cycles
 )
 
 var eventKindNames = [EventKindCount]string{
@@ -64,6 +74,7 @@ var eventKindNames = [EventKindCount]string{
 	EvOriginStall:   "origin-stall",
 	EvDimSwitch:     "dim-switch",
 	EvLineRequest:   "line-request",
+	EvInject:        "inject",
 }
 
 func (k EventKind) String() string {

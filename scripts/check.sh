@@ -1,8 +1,9 @@
 #!/bin/sh
 # PR gate without make: formatting, vet, static kernel verification, build,
 # race-detected tests (exercising the parallel experiment runner), a short
-# fuzz smoke over the descriptor iterator and footprint abstraction, and a
-# one-shot Fig 8 benchmark smoke.
+# fuzz smoke over the descriptor iterator and footprint abstraction, a
+# one-shot Fig 8 benchmark smoke, trace/fault determinism smokes and the
+# watchdog no-hang smoke.
 set -eux
 cd "$(dirname "$0")/.."
 
@@ -36,3 +37,24 @@ cmp "$tracedir/plain.txt" "$tracedir/traced.txt"
 go run ./cmd/uvebench -exp fig8 -scale 256 -j 1 > "$tracedir/fig8-seq.txt"
 go run ./cmd/uvebench -exp fig8 -scale 256 > "$tracedir/fig8-par.txt"
 cmp "$tracedir/fig8-seq.txt" "$tracedir/fig8-par.txt"
+# Fault smoke: seeded injection is deterministic — the same seed must give
+# byte-identical output for a single faulted run and for the full campaign
+# table (every kernel × {UVE,SVE} × seed grid, each checked against the
+# fault-free memory image) — and the campaign paths run race-detected.
+go run ./cmd/uvesim -kernel C -size 512 -faults seed=7 > "$tracedir/fault1.txt"
+go run ./cmd/uvesim -kernel C -size 512 -faults seed=7 > "$tracedir/fault2.txt"
+cmp "$tracedir/fault1.txt" "$tracedir/fault2.txt"
+go run ./cmd/uvebench -exp faults -scale 512 > "$tracedir/campaign1.txt"
+go run ./cmd/uvebench -exp faults -scale 512 > "$tracedir/campaign2.txt"
+cmp "$tracedir/campaign1.txt" "$tracedir/campaign2.txt"
+go test -race -run Fault ./internal/fault ./internal/sim ./internal/bench
+# Watchdog smoke: an intentionally starved run (every line fetch NACKed
+# into long back-offs, tight no-commit bound) must exit non-zero with the
+# structured diagnostic — never hang.
+if go run ./cmd/uvesim -kernel C -size 65536 \
+    -faults seed=7,nack=900,nack-backoff=200 -watchdog 150 > "$tracedir/wd.txt" 2>&1; then
+    echo "watchdog smoke: starved run exited zero" >&2
+    exit 1
+fi
+grep -q watchdog "$tracedir/wd.txt"
+grep -q "stream table" "$tracedir/wd.txt"

@@ -27,8 +27,10 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cpu"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/program"
+	"repro/internal/trace"
 )
 
 // Element widths (bytes) of stream and vector elements.
@@ -100,6 +102,39 @@ func NEONConfig() Config {
 	return c
 }
 
+// TraceCollector retains a window of instrumentation events plus the full
+// per-cycle stall attribution; pass it to WithTrace.
+type TraceCollector = trace.Collector
+
+// NewTraceCollector builds a collector keeping up to ringSize recent events
+// with the stall attribution folded over intervals of the given cycle count
+// (<= 0 folds the whole run into one interval).
+func NewTraceCollector(ringSize int, interval int64) *TraceCollector {
+	return trace.NewCollector(ringSize, interval)
+}
+
+// FaultPlan configures the deterministic fault injectors (see WithFaults).
+type FaultPlan = fault.Plan
+
+// FaultStats counts the injections that actually fired during a run.
+type FaultStats = fault.Stats
+
+// DefaultFaultPlan is a moderate all-channel campaign for the given seed.
+func DefaultFaultPlan(seed uint64) FaultPlan { return fault.DefaultPlan(seed) }
+
+// ParseFaultPlan parses a comma-separated key=value campaign spec
+// (e.g. "seed=7,nack=100,pf=50"); the empty spec is DefaultFaultPlan(1).
+func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.ParsePlan(spec) }
+
+// Collision is one runtime overlap observed by the stream sanitizer.
+type Collision = engine.Collision
+
+// WatchdogError is the structured diagnostic a run fails with when it
+// stops making progress (see WithWatchdog and FaultPlan-induced livelock
+// conversion): it carries the cycle, the ROB head, and the engine's
+// stream-table dump.
+type WatchdogError = cpu.WatchdogError
+
 // Result carries the measurements of one run.
 type Result struct {
 	// Cycles to commit the program's halt (the paper's performance metric).
@@ -114,6 +149,10 @@ type Result struct {
 	L2     mem.CacheStats
 	// BusUtil is (read+write bandwidth)/peak DRAM bandwidth over the run.
 	BusUtil float64
+	// Collisions holds the stream sanitizer's observations (WithSanitize).
+	Collisions []Collision
+	// Faults counts the injections that fired (WithFaults).
+	Faults FaultStats
 }
 
 // IPC returns committed instructions per cycle.
@@ -128,13 +167,69 @@ func (r *Result) IPC() float64 {
 // Engine. Allocate data with Alloc/Float32s/Uint64s, then Run programs.
 type Machine struct {
 	cfg  Config
+	opts machineOptions
 	hier *mem.Hierarchy
 }
 
+// machineOptions collects the cross-cutting run settings the functional
+// options configure; Config stays a plain hardware description.
+type machineOptions struct {
+	sanitize bool
+	trace    *TraceCollector
+	faults   *FaultPlan
+	watchdog int64
+	maxCyc   int64
+}
+
+// Option configures a Machine beyond its hardware Config.
+type Option func(*machineOptions)
+
+// WithSanitize enables the streaming engine's shadow address tracker:
+// every byte live streams touch is recorded and runtime collisions are
+// reported in Result.Collisions. Byte-granular — meant for verification
+// runs at test sizes, not timing experiments.
+func WithSanitize() Option { return func(o *machineOptions) { o.sanitize = true } }
+
+// WithTrace streams typed instrumentation events from the core and the
+// streaming engine into c. Timing is unaffected: the same cycles are
+// simulated with or without a recorder.
+func WithTrace(c *TraceCollector) Option { return func(o *machineOptions) { o.trace = c } }
+
+// WithFaults runs every program under the seeded deterministic fault
+// injectors: NACKed line fetches with bounded retry/backoff, page faults
+// raised mid-stream (squash + replay of speculative FIFO state), transient
+// DRAM latency spikes, and forced stream pauses at dimension boundaries.
+// Injection perturbs timing only — architectural results are unchanged —
+// and the same plan reproduces the same run, cycle for cycle. A fresh
+// injector is built per Run call.
+func WithFaults(p FaultPlan) Option {
+	return func(o *machineOptions) { o.faults = &p }
+}
+
+// WithWatchdog overrides the forward-progress bound: a run that commits
+// nothing for n cycles fails with a *WatchdogError instead of running
+// forever. WithFaults campaigns combine it with WithMaxCycles to convert
+// injection-induced livelock into a structured diagnostic.
+func WithWatchdog(n int64) Option { return func(o *machineOptions) { o.watchdog = n } }
+
+// WithMaxCycles aborts any run exceeding n cycles with a *WatchdogError —
+// a hard, wall-clock-free bound for adversarial campaigns.
+func WithMaxCycles(n int64) Option { return func(o *machineOptions) { o.maxCyc = n } }
+
 // NewMachine builds a machine.
-func NewMachine(cfg Config) *Machine {
+func NewMachine(cfg Config, opts ...Option) *Machine {
 	cfg.Engine.VecBytes = cfg.Core.VecBytes
-	return &Machine{cfg: cfg, hier: mem.NewHierarchy(cfg.Memory)}
+	m := &Machine{cfg: cfg, hier: mem.NewHierarchy(cfg.Memory)}
+	for _, o := range opts {
+		o(&m.opts)
+	}
+	if m.opts.watchdog > 0 {
+		m.cfg.Core.Watchdog = m.opts.watchdog
+	}
+	if m.opts.maxCyc > 0 {
+		m.cfg.Core.MaxCycles = m.opts.maxCyc
+	}
+	return m
 }
 
 // VecBytes returns the machine's vector register width in bytes.
@@ -159,11 +254,35 @@ func (m *Machine) Uint64s(n int) *U64Array {
 // Run executes a program to completion and returns its measurements.
 // args preset architectural registers before the run (kernel arguments).
 func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
+	var inj *fault.Injector
+	if m.opts.faults != nil && m.opts.faults.Enabled() {
+		// A fresh injector per run: the campaign replays identically on
+		// every Run call with the same plan.
+		inj = fault.NewInjector(*m.opts.faults)
+		m.hier.TLB.Inject = inj.PageFault
+		m.hier.DRAM.Inject = inj.DRAMDelay
+		defer func() {
+			m.hier.TLB.Inject = nil
+			m.hier.DRAM.Inject = nil
+		}()
+	}
 	var eng *engine.Engine
 	if m.cfg.Streaming {
 		eng = engine.New(m.cfg.Engine, m.hier)
+		if m.opts.sanitize {
+			eng.EnableSanitizer()
+		}
+		if m.opts.trace != nil {
+			eng.SetRecorder(m.opts.trace)
+		}
+		if inj != nil {
+			eng.SetInjector(inj)
+		}
 	}
 	core := cpu.New(m.cfg.Core, p, m.hier, eng)
+	if m.opts.trace != nil {
+		core.SetRecorder(m.opts.trace)
+	}
 	for _, a := range args {
 		a.apply(core)
 	}
@@ -172,6 +291,10 @@ func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
+				if w, ok := r.(*cpu.WatchdogError); ok {
+					err = w
+					return
+				}
 				err = fmt.Errorf("uve: simulation aborted: %v", r)
 			}
 		}()
@@ -191,6 +314,10 @@ func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
 	}
 	if eng != nil {
 		res.Engine = eng.Stats
+		res.Collisions = eng.Collisions()
+	}
+	if inj != nil {
+		res.Faults = inj.Stats
 	}
 	return res, nil
 }

@@ -1,0 +1,163 @@
+package uve_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	uve "repro"
+)
+
+// The tests below exercise the functional options on NewMachine — the
+// public surface for sanitizing, tracing, fault injection and watchdog
+// bounds — without importing any internal package.
+
+// saxpyMachine builds a fresh UVE machine (with the given options), the
+// saxpy program and its inputs. The fills are deterministic, so two
+// machines built by this helper run on identical data.
+func saxpyMachine(n int, opts ...uve.Option) (*uve.Machine, *uve.Program, *uve.F32Array) {
+	m := uve.NewMachine(uve.DefaultConfig(), opts...)
+	x := m.Float32s(n)
+	y := m.Float32s(n)
+	x.Fill(func(i int) float64 { return float64(i) })
+	y.Fill(func(i int) float64 { return float64(2 * i) })
+
+	b := uve.NewProgram("saxpy")
+	b.ConfigStream(0, uve.NewLoadStream(x.Base, uve.W4).Linear(int64(n), 1).MustBuild())
+	b.ConfigStream(1, uve.NewLoadStream(y.Base, uve.W4).Linear(int64(n), 1).MustBuild())
+	b.ConfigStream(2, uve.NewStoreStream(y.Base, uve.W4).Linear(int64(n), 1).MustBuild())
+	b.I(uve.VDup(uve.W4, uve.V(3), uve.F(1)))
+	b.Label("loop")
+	b.I(uve.VFMul(uve.W4, uve.V(4), uve.V(3), uve.V(0), uve.None))
+	b.I(uve.VFAdd(uve.W4, uve.V(2), uve.V(4), uve.V(1), uve.None))
+	b.I(uve.BranchStreamNotEnd(0, "loop"))
+	b.I(uve.Halt())
+	return m, b.MustBuild(), y
+}
+
+// TestWithFaultsPreservesOutput is the public-API face of the resilience
+// oracle: a seeded fault campaign perturbs timing, injects real adversity,
+// and still produces byte-for-byte the output of the fault-free run.
+func TestWithFaultsPreservesOutput(t *testing.T) {
+	const n, a = 4096, 2.5
+
+	clean, cleanProg, cleanY := saxpyMachine(n)
+	cleanRes, err := clean.Run(cleanProg, uve.FloatArg(1, uve.W4, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanRes.Faults.Total() != 0 {
+		t.Fatalf("fault-free run reported injections: %v", cleanRes.Faults)
+	}
+
+	plan := uve.DefaultFaultPlan(7)
+	faulted, faultedProg, faultedY := saxpyMachine(n, uve.WithFaults(plan))
+	faultedRes, err := faulted.Run(faultedProg, uve.FloatArg(1, uve.W4, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultedRes.Faults.Total() == 0 {
+		t.Fatalf("plan %v injected nothing at n=%d", plan, n)
+	}
+
+	want := cleanY.Slice()
+	got := faultedY.Slice()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("y[%d] = %v under faults, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Same plan ⇒ the same run, cycle for cycle.
+	again, againProg, _ := saxpyMachine(n, uve.WithFaults(plan))
+	againRes, err := again.Run(againProg, uve.FloatArg(1, uve.W4, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if againRes.Cycles != faultedRes.Cycles || againRes.Faults != faultedRes.Faults {
+		t.Fatalf("replay diverged: %d cycles %v, want %d cycles %v",
+			againRes.Cycles, againRes.Faults, faultedRes.Cycles, faultedRes.Faults)
+	}
+}
+
+// TestWithMaxCyclesWatchdog bounds a run far below its natural length and
+// expects the structured diagnostic, not a hang and not a bare string.
+func TestWithMaxCyclesWatchdog(t *testing.T) {
+	const n = 1 << 14
+	m, p, _ := saxpyMachine(n, uve.WithMaxCycles(500))
+	_, err := m.Run(p, uve.FloatArg(1, uve.W4, 2.5))
+	if err == nil {
+		t.Fatal("bounded run succeeded")
+	}
+	var w *uve.WatchdogError
+	if !errors.As(err, &w) {
+		t.Fatalf("error is %T, want *uve.WatchdogError: %v", err, err)
+	}
+	if w.Cycle < 500 {
+		t.Fatalf("tripped at cycle %d, bound was 500", w.Cycle)
+	}
+	if !strings.Contains(err.Error(), "watchdog") || !strings.Contains(err.Error(), "stream table") {
+		t.Fatalf("diagnostic lacks watchdog/stream-table detail: %v", err)
+	}
+}
+
+// TestWithWatchdogHealthyRun checks a generous forward-progress bound does
+// not perturb a healthy run.
+func TestWithWatchdogHealthyRun(t *testing.T) {
+	const n = 1024
+	base, baseProg, _ := saxpyMachine(n)
+	baseRes, err := base.Run(baseProg, uve.FloatArg(1, uve.W4, 2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, p, _ := saxpyMachine(n, uve.WithWatchdog(1_000_000), uve.WithMaxCycles(100_000_000))
+	res, err := m.Run(p, uve.FloatArg(1, uve.W4, 2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != baseRes.Cycles {
+		t.Fatalf("watchdog changed timing: %d cycles, want %d", res.Cycles, baseRes.Cycles)
+	}
+}
+
+// TestWithTraceAndSanitize runs traced + sanitized and checks the collector
+// saw the run, the sanitizer stayed quiet on a disjoint kernel, and timing
+// matched the plain run.
+func TestWithTraceAndSanitize(t *testing.T) {
+	const n = 1024
+	base, baseProg, _ := saxpyMachine(n)
+	baseRes, err := base.Run(baseProg, uve.FloatArg(1, uve.W4, 2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col := uve.NewTraceCollector(1<<12, 1000)
+	m, p, y := saxpyMachine(n, uve.WithTrace(col), uve.WithSanitize())
+	res, err := m.Run(p, uve.FloatArg(1, uve.W4, 2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != baseRes.Cycles {
+		t.Fatalf("tracing changed timing: %d cycles, want %d", res.Cycles, baseRes.Cycles)
+	}
+	if len(col.Events()) == 0 {
+		t.Fatal("collector saw no events")
+	}
+	if got := col.Attribution().AttributedExcludingDrain(); got != res.Cycles {
+		t.Fatalf("attributed %d cycles, run took %d", got, res.Cycles)
+	}
+	// saxpy's in-place y update is lockstep load/store over the same array:
+	// the only tolerated overlap is stream 1 (load y) vs 2 (store y).
+	for _, c := range res.Collisions {
+		a, b := c.StreamA, c.StreamB
+		if a > b {
+			a, b = b, a
+		}
+		if a != 1 || b != 2 {
+			t.Errorf("unexpected sanitizer collision: %v", c)
+		}
+	}
+	if y.At(3) != float64(float32(2.5)*3+6) {
+		t.Fatalf("y[3] = %v", y.At(3))
+	}
+}
