@@ -2,13 +2,14 @@
 # vets, builds, statically verifies every kernel program (uvelint), runs the
 # full test suite under the race detector (which exercises the parallel
 # experiment runner), smoke-runs the Fig 8 benchmark once, and checks the
-# trace, fault-campaign and watchdog smokes.
+# execution-tier, trace, fault-campaign and watchdog smokes, and gates
+# wall-clock against the committed BENCH_simwall.json baseline.
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke trace-smoke fault-smoke watchdog-smoke bench experiments
+.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke perf-smoke perf-baseline bench experiments
 
-check: fmt vet build lint race fuzz-smoke bench-smoke trace-smoke fault-smoke watchdog-smoke
+check: fmt vet build lint race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke perf-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on: $$out"; exit 1; fi
@@ -40,6 +41,28 @@ fuzz-smoke:
 # the full kernel × machine matrix still assembles, runs and validates.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^BenchmarkFig8$$' -benchtime 1x .
+
+# Execution-tier smoke: the functional/cycle differential oracle and the
+# event-skip bit-equivalence suite race-detected (the functional sweep
+# fans out over the worker pool), a short differential fuzz pass, and one
+# race-detected end-to-end functional sweep through the uvebench CLI.
+tier-smoke:
+	$(GO) test -race -run 'TestFunctionalDifferential|TestEventSkipEquivalence' ./internal/sim
+	$(GO) test -run '^$$' -fuzz '^FuzzTierDifferential$$' -fuzztime 5s ./internal/sim
+	$(GO) run -race ./cmd/uvebench -fidelity functional -scale 64 > /dev/null
+
+# Wall-clock trajectory gate: re-measures the BenchmarkSimWall cells and
+# fails on >2x regression vs the committed BENCH_simwall.json. Absolute
+# numbers are host-dependent (the baseline names its host) and shared CI
+# machines are noisy, hence the deliberately loose 2x threshold; after an
+# intentional perf change, regenerate with `make perf-baseline`.
+perf-smoke:
+	./scripts/perfsmoke.sh
+
+# Regenerate BENCH_simwall.json on this host, including the timed
+# detailed-vs-functional uvebench comparisons.
+perf-baseline:
+	./scripts/perfsmoke.sh -update
 
 # Trace smoke: a traced saxpy run must emit a valid Chrome trace file, the
 # tracing machinery (compiled in but disabled) must leave uvesim's stdout

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
 	"repro/internal/kernels"
+	"repro/internal/sim"
 )
 
 // The benchmarks below regenerate every table and figure of the paper's
@@ -156,4 +158,73 @@ func BenchmarkSPMSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*maxDev, "%max-SPM-variation")
+}
+
+// simWallCells are the representative kernel×variant cells for the
+// wall-clock trajectory (BENCH_simwall.json): a streaming BLAS kernel, an
+// irregular gather, and a 3-D stencil, each on the machines where their
+// behavior differs most, plus a fault-starved run (heavy NACK backoffs)
+// where the machine spends most cycles provably idle — the workload class
+// event-driven skipping exists for. scripts/perfsmoke.sh gates regressions
+// on these.
+var simWallCells = []struct {
+	id     string
+	v      kernels.Variant
+	faults string // fault.ParsePlan spec; cycle tiers only
+}{
+	{"C", kernels.UVE, ""},
+	{"C", kernels.SVE, ""},
+	{"C", kernels.NEON, ""},
+	{"I", kernels.UVE, ""},
+	{"I", kernels.SVE, ""},
+	{"K", kernels.UVE, ""},
+	{"C", kernels.UVE, "seed=7,nack=900,nack-backoff=200"},
+}
+
+// BenchmarkSimWall measures simulator wall-clock per run in three modes:
+// the detailed model with event-driven cycle skipping (the default), the
+// same model ticking every cycle, and the functional tier. ns/op is the
+// trajectory metric; cycles (zero on the functional tier) confirms the
+// workload is identical. Faulted cells run only on the cycle tiers — the
+// functional tier rejects fault plans (nothing to perturb).
+func BenchmarkSimWall(b *testing.B) {
+	for _, mode := range []string{"skip", "noskip", "functional"} {
+		for _, c := range simWallCells {
+			if mode == "functional" && c.faults != "" {
+				continue
+			}
+			k := kernels.ByID(c.id)
+			size := bench.SizeFor(k, benchOpts())
+			name := fmt.Sprintf("%s/%s-%s", mode, c.id, c.v)
+			var plan *fault.Plan
+			if c.faults != "" {
+				p, err := fault.ParsePlan(c.faults)
+				if err != nil {
+					b.Fatal(err)
+				}
+				plan = &p
+				name += "-starved"
+			}
+			b.Run(name, func(b *testing.B) {
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					o := sim.DefaultOptions(c.v)
+					o.SkipCheck = true
+					o.Faults = plan
+					switch mode {
+					case "noskip":
+						o.Core.EventSkip = false
+					case "functional":
+						o.Fidelity = sim.Functional
+					}
+					res, err := sim.Run(k, c.v, size, &o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Cycles
+				}
+				b.ReportMetric(float64(cycles), "cycles")
+			})
+		}
+	}
 }

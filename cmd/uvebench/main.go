@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cliflags"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -53,6 +54,7 @@ func main() {
 	workers := cliflags.Workers(flag.CommandLine)
 	jsonOut := cliflags.JSON(flag.CommandLine)
 	faults := cliflags.AddFaults(flag.CommandLine)
+	fid := cliflags.AddFidelity(flag.CommandLine)
 	stalls := flag.Bool("stalls", false, "shorthand for -exp stalls")
 	flag.Parse()
 
@@ -61,10 +63,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var timingFlags []string
+	if *stalls {
+		timingFlags = append(timingFlags, "-stalls")
+	}
+	if err := fid.RejectTimingFlags(timingFlags...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fidelity, err := fid.Parse()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	o := &bench.Options{
 		Scale: *scale, Verbose: *verbose && !*jsonOut, Workers: *workers,
 		Faults: plan, Watchdog: faults.Watchdog,
+	}
+
+	if fidelity == sim.Functional {
+		runFunctionalSweep(o, *jsonOut)
+		return
 	}
 
 	ids := []string{*exp}
@@ -110,5 +130,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %s\n", d)
 		}
 		os.Exit(1)
+	}
+}
+
+// runFunctionalSweep is the -fidelity functional mode: the full
+// kernel×variant matrix through the program-order tier — output checks and
+// architectural digests, no cycle tables and no Degenerate gate (every
+// timing measurement is deliberately zero on this tier).
+func runFunctionalSweep(o *bench.Options, jsonOut bool) {
+	rows := bench.FunctionalSweep(o)
+	if jsonOut {
+		doc := struct {
+			Scale   int               `json:"scale"`
+			Workers int               `json:"workers"`
+			Runner  bench.RunnerStats `json:"runner"`
+			Rows    []bench.FuncRow   `json:"functional"`
+		}{o.Scale, o.Runner().Workers(), o.Runner().Stats(), rows}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println(bench.FormatFunctionalSweep(rows))
+	}
+	for _, r := range rows {
+		if r.Err != "" {
+			os.Exit(1)
+		}
 	}
 }

@@ -11,6 +11,11 @@
 //	uvelint -all                      # lint every kernel/variant pair
 //	uvelint -all -deps                # also print classified dependence pairs
 //	uvelint -all -max-footprint 4096  # cap footprint enumeration
+//	uvelint -all -fidelity functional # lint + execute on the fast tier
+//
+// -fidelity functional additionally interprets every clean program on the
+// functional tier and runs the kernel's output check — dynamic verification
+// without simulating cycles.
 //
 // Exit status: 0 when every linted program is clean (warnings allowed),
 // 1 when any program has lint errors, 2 on usage or build failure.
@@ -25,6 +30,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/lint"
 	"repro/internal/mem"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -36,9 +42,15 @@ func main() {
 	deps := flag.Bool("deps", false, "print every classified stream dependence pair")
 	maxFootprint := flag.Int64("max-footprint", 0,
 		"cap per-stream address enumeration in elements (0 = default 2^21); longer streams degrade to hull-only footprints")
+	fid := cliflags.AddFidelity(flag.CommandLine)
 	flag.Parse()
 	kernels.MaxFootprintElems = *maxFootprint
 
+	fidelity, err := fid.Parse()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	variants, err := cliflags.Variants(*variant)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -86,7 +98,27 @@ func main() {
 			}
 			if lint.HasErrors(inst.Diags) {
 				status = max(status, 1)
-			} else if *verbose {
+				continue
+			}
+			if fidelity == sim.Functional {
+				// Dynamic verification rides the fast tier: interpret the
+				// program and run the kernel's own output check — static
+				// lint plus actual execution, still without a single
+				// simulated cycle of the detailed machine.
+				o := sim.DefaultOptions(v)
+				o.Fidelity = sim.Functional
+				if _, err := sim.Run(k, v, n, &o); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: functional execution failed: %v\n", name, err)
+					status = max(status, 1)
+					continue
+				}
+				if *verbose {
+					fmt.Printf("%s: ok (%d insts, %d warnings, functional check passed)\n",
+						name, inst.Prog.Len(), len(inst.Diags))
+				}
+				continue
+			}
+			if *verbose {
 				fmt.Printf("%s: ok (%d insts, %d warnings)\n", name, inst.Prog.Len(), len(inst.Diags))
 			}
 		}

@@ -7,6 +7,7 @@
 //	uvesim -kernel C -trace saxpy.json              # Chrome trace_event file
 //	uvesim -kernel C -stalls                        # cycle attribution table
 //	uvesim -kernel C -faults seed=7                 # seeded fault campaign
+//	uvesim -kernel C -fidelity functional           # fast tier: results, no timing
 //	uvesim -list
 //
 // -trace writes a cycle-level event trace (about:tracing / Perfetto JSON by
@@ -21,6 +22,10 @@
 // cycle, and the kernel's output check still passes — injection perturbs
 // timing only. -watchdog bounds forward progress so an injection-induced
 // livelock exits with a diagnostic instead of hanging.
+//
+// -fidelity functional runs the program-order interpreter instead of the
+// detailed machine: final memory, committed counts and sanitizer collisions,
+// but no cycles — so combining it with -trace or -stalls is a usage error.
 package main
 
 import (
@@ -47,6 +52,7 @@ func main() {
 	sanitize := cliflags.Sanitize(flag.CommandLine)
 	tr := cliflags.AddTrace(flag.CommandLine)
 	faults := cliflags.AddFaults(flag.CommandLine)
+	fid := cliflags.AddFidelity(flag.CommandLine)
 	stalls := flag.Bool("stalls", false, "print the per-class stall attribution after the stats")
 	flag.Parse()
 
@@ -58,6 +64,24 @@ func main() {
 		return
 	}
 	if err := tr.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Timing-only flags are usage errors on the functional tier, not
+	// silent no-ops: a functional run has no cycles to trace or attribute.
+	var timingFlags []string
+	if tr.File != "" {
+		timingFlags = append(timingFlags, "-trace")
+	}
+	if *stalls {
+		timingFlags = append(timingFlags, "-stalls")
+	}
+	if err := fid.RejectTimingFlags(timingFlags...); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fidelity, err := fid.Parse()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -80,8 +104,9 @@ func main() {
 	col := tr.Collector(traceRingSize, *stalls)
 
 	var opts *sim.Options
-	if *sanitize || col != nil || plan != nil || faults.Watchdog > 0 {
+	if *sanitize || col != nil || plan != nil || faults.Watchdog > 0 || fidelity != sim.Cycle {
 		o := sim.DefaultOptions(v)
+		o.Fidelity = fidelity
 		o.Sanitize = *sanitize
 		if col != nil {
 			o.Trace = col
@@ -94,6 +119,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if fidelity == sim.Functional {
+		// The functional tier answers "what did the program compute"; only
+		// the architectural lines of the report apply.
+		fmt.Printf("%s (%s) on %s, n=%d [functional]\n", k.Name, k.Domain, v, res.Size)
+		fmt.Printf("  committed insts:   %d\n", res.Committed)
+		fmt.Printf("  output check:      ok\n")
+		if *sanitize {
+			fmt.Printf("  sanitizer:         %d collisions\n", len(res.Collisions))
+			for _, c := range res.Collisions {
+				fmt.Printf("                     %s\n", c)
+			}
+		}
+		return
 	}
 	fmt.Printf("%s (%s) on %s, n=%d\n", k.Name, k.Domain, v, res.Size)
 	fmt.Printf("  cycles:            %d\n", res.Cycles)

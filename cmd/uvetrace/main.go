@@ -55,12 +55,19 @@ func main() {
 	width := flag.Int("width", 4, "element width in bytes (1,2,4,8)")
 	max := flag.Int("max", 256, "print at most this many addresses")
 	jsonOut := cliflags.JSON(flag.CommandLine)
+	// uvetrace never simulates — the walk is purely functional already —
+	// but the flag is shared across the tools, so an invalid spelling is
+	// still a usage error here.
+	fid := cliflags.AddFidelity(flag.CommandLine)
 	var parts dimFlag
 	flag.Var(&parts, "dim", "dimension offset:size:stride (repeatable, innermost first)")
 	flag.Var(modFlag{&parts}, "mod", "static modifier target:behavior:disp:count (attaches to the preceding -dim)")
 	flag.Var(indFlag{&parts}, "indirect", "indirect modifier target:behavior:v0,v1,... (attaches to the preceding -dim)")
 	flag.Parse()
 
+	if _, err := fid.Parse(); err != nil {
+		fatal("%v", err)
+	}
 	baseAddr, err := strconv.ParseUint(strings.TrimPrefix(*base, "0x"), chooseBase(*base), 64)
 	if err != nil {
 		fatal("bad -base: %v", err)

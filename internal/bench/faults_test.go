@@ -35,6 +35,7 @@ func TestBenchMemoKeyCoversOptions(t *testing.T) {
 		"Trace":     func(o *sim.Options) { o.Trace = trace.NewCollector(8, 0) },
 		"Core":      func(o *sim.Options) { o.Core.ROBSize++ },
 		"Eng":       func(o *sim.Options) { o.Eng.FIFODepth++ },
+		"Fidelity":  func(o *sim.Options) { o.Fidelity = sim.Functional },
 	}
 	for name, mut := range mutations {
 		o := base()

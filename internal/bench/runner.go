@@ -62,6 +62,11 @@ type configFP struct {
 	faults     fault.Plan
 	hasFaults  bool
 	rec        trace.Recorder
+	// fidelity separates the execution tiers: a functional result carries
+	// no timing, so it must never satisfy a cycle-tier lookup (and vice
+	// versa — a cycle result is a valid answer but the memo stays
+	// tier-exact so hit accounting and result shapes are predictable).
+	fidelity sim.Fidelity
 }
 
 // memoKey canonically identifies a (kernel, variant, size, config)
@@ -84,6 +89,7 @@ func keyOf(j Job) memoKey {
 		core: o.Core, hier: o.Hier, eng: o.Eng,
 		skipCheck: o.SkipCheck, sanitize: o.Sanitize, hashMem: o.HashMem,
 		watchdog: o.Watchdog, maxCycles: o.MaxCycles, rec: o.Trace,
+		fidelity: o.Fidelity,
 	}
 	if o.Eng.ForceLevel != nil {
 		fp.hasForce = true

@@ -169,3 +169,61 @@ func TestScaleExtremes(t *testing.T) {
 		}
 	}
 }
+
+// TestRunnerNoCrossTierMemoSharing: the same (kernel, variant, size) matrix
+// submitted at both fidelities must simulate every cell twice — a
+// functional result (no timing) can never satisfy a cycle-tier lookup, and
+// resubmitting either tier hits only its own entry.
+func TestRunnerNoCrossTierMemoSharing(t *testing.T) {
+	r := NewRunner(2)
+	matrix := []struct {
+		id   string
+		v    kernels.Variant
+		size int
+	}{
+		{"C", kernels.UVE, 64},
+		{"C", kernels.SVE, 64},
+		{"A", kernels.UVE, 64},
+	}
+	mkJobs := func(f sim.Fidelity) []Job {
+		var jobs []Job
+		for _, m := range matrix {
+			o := sim.DefaultOptions(m.v)
+			o.Fidelity = f
+			o.HashMem = true
+			jobs = append(jobs, Job{Kernel: kernels.ByID(m.id), Variant: m.v, Size: m.size, Opts: &o})
+		}
+		return jobs
+	}
+
+	cyc, err := r.RunAll(mkJobs(sim.Cycle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fun, err := r.RunAll(mkJobs(sim.Functional))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Simulated != 2*len(matrix) || st.MemoHits != 0 {
+		t.Fatalf("cross-tier memo sharing: %+v (want %d simulated, 0 hits)", st, 2*len(matrix))
+	}
+	for i := range matrix {
+		if cyc[i].Cycles == 0 {
+			t.Errorf("cell %d: cycle-tier result has no cycles", i)
+		}
+		if fun[i].Cycles != 0 {
+			t.Errorf("cell %d: functional result reports %d cycles", i, fun[i].Cycles)
+		}
+		if cyc[i].MemHash != fun[i].MemHash {
+			t.Errorf("cell %d: tiers disagree on final memory (%#x vs %#x)", i, cyc[i].MemHash, fun[i].MemHash)
+		}
+	}
+
+	// Resubmission at each tier hits only its own memo entries.
+	if _, err := r.RunAll(mkJobs(sim.Functional)); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Simulated != 2*len(matrix) || st.MemoHits != len(matrix) {
+		t.Fatalf("functional resubmission missed its own memo: %+v", st)
+	}
+}

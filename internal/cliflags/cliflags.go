@@ -9,9 +9,11 @@ package cliflags
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/kernels"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -58,6 +60,40 @@ func Variants(s string) ([]kernels.Variant, error) {
 		return nil, err
 	}
 	return []kernels.Variant{v}, nil
+}
+
+// Fidelity bundles the -fidelity flag: which execution tier a run uses.
+type Fidelity struct {
+	Name string
+}
+
+// AddFidelity registers -fidelity on fs.
+func AddFidelity(fs *flag.FlagSet) *Fidelity {
+	f := &Fidelity{}
+	fs.StringVar(&f.Name, "fidelity", "cycle",
+		"execution tier: cycle (detailed machine) or functional (program-order interpretation, no timing)")
+	return f
+}
+
+// Parse resolves the tier, rejecting unknown spellings as a hard error.
+func (f *Fidelity) Parse() (sim.Fidelity, error) {
+	return sim.ParseFidelity(f.Name)
+}
+
+// RejectTimingFlags hard-errors when -fidelity functional is combined with
+// flags that only mean something on the cycle tier (mirroring the unknown
+// -trace-format handling: a usage error, not a silent no-op). Callers pass
+// the names of the timing flags the user actually set.
+func (f *Fidelity) RejectTimingFlags(active ...string) error {
+	fid, err := f.Parse()
+	if err != nil {
+		return err
+	}
+	if fid == sim.Functional && len(active) > 0 {
+		return fmt.Errorf("-fidelity functional cannot be combined with %s: functional runs have no cycles to trace or attribute",
+			strings.Join(active, ", "))
+	}
+	return nil
 }
 
 // Trace bundles the -trace flag family.

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/kernels"
+	"repro/internal/sim"
 )
 
 func newFS() *flag.FlagSet {
@@ -103,5 +104,54 @@ func TestFaultsFlag(t *testing.T) {
 	AddFaults(fs)
 	if err := fs.Parse([]string{"-faults", "bogus=1"}); err == nil {
 		t.Error("bad spec accepted at parse time")
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		timing  []string // timing flags the tool saw set
+		wantFid sim.Fidelity
+		wantErr string // substring of the expected error, "" = success
+	}{
+		{name: "default-cycle", args: nil, wantFid: sim.Cycle},
+		{name: "explicit-cycle", args: []string{"-fidelity", "cycle"}, wantFid: sim.Cycle},
+		{name: "functional", args: []string{"-fidelity", "functional"}, wantFid: sim.Functional},
+		{name: "unknown-tier", args: []string{"-fidelity", "approximate"}, wantErr: "unknown fidelity"},
+		{name: "functional-with-trace", args: []string{"-fidelity", "functional"},
+			timing: []string{"-trace"}, wantErr: "-fidelity functional cannot be combined with -trace"},
+		{name: "functional-with-stalls", args: []string{"-fidelity", "functional"},
+			timing: []string{"-stalls"}, wantErr: "cannot be combined with -stalls"},
+		{name: "functional-with-both", args: []string{"-fidelity", "functional"},
+			timing: []string{"-trace", "-stalls"}, wantErr: "-trace, -stalls"},
+		{name: "cycle-with-trace-ok", args: []string{"-fidelity", "cycle"}, timing: []string{"-trace"}},
+		{name: "default-with-stalls-ok", args: nil, timing: []string{"-stalls"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := newFS()
+			f := AddFidelity(fs)
+			if err := fs.Parse(tc.args); err != nil {
+				t.Fatalf("flag parse: %v", err)
+			}
+			err := f.RejectTimingFlags(tc.timing...)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			fid, err := f.Parse()
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if fid != tc.wantFid {
+				t.Fatalf("fidelity = %v, want %v", fid, tc.wantFid)
+			}
+		})
 	}
 }

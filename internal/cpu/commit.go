@@ -57,6 +57,7 @@ func (c *Core) commit() {
 		}
 
 		c.rob = c.rob[1:]
+		c.activity++
 		c.Stats.Committed++
 		c.Stats.CommittedByKind[in.Op.Kind()]++
 		c.lastCommit = c.cycle

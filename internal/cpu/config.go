@@ -58,6 +58,15 @@ type Config struct {
 	// campaigns set it so an injection-induced livelock can never hang a
 	// test harness.
 	MaxCycles int64
+
+	// EventSkip enables event-driven cycle skipping: when every unit proves
+	// itself quiescent, Run advances the clock directly to the earliest
+	// reported next event instead of ticking through dead cycles. Purely a
+	// wall-clock optimization — all statistics, cycle counts and results are
+	// bit-identical with it on or off (the equivalence test enforces this).
+	// Automatically disabled while a trace recorder is attached, since
+	// tracing observes every cycle.
+	EventSkip bool
 }
 
 // DefaultConfig returns the Table I core.
@@ -89,6 +98,8 @@ func DefaultConfig() Config {
 		MispredictPenalty: 8,
 		FaultPenalty:      300,
 		Watchdog:          2_000_000,
+
+		EventSkip: true,
 	}
 }
 

@@ -193,6 +193,19 @@ type Core struct {
 	tracing   bool
 	lastBlock BlockCause
 
+	// Event-driven cycle skipping (Config.EventSkip): activity counts every
+	// state-changing step the core takes; stepQuiet records whether the last
+	// Step changed anything (core, engine or memory hierarchy). When a quiet
+	// step leaves only future events behind, Run advances the clock directly to the earliest
+	// one (see maybeSkip). None of this state is in Stats: skipping must be
+	// invisible in every reported number.
+	activity   uint64
+	stepQuiet  bool
+	skipOK     bool
+	skipReason string
+	skipLog    func(string)
+	skipped    int64
+
 	Stats Stats
 }
 
@@ -292,8 +305,16 @@ func (c *Core) Halted() bool { return c.halted }
 // drained) and returns the cycle count at halt commit — the performance
 // figure used throughout §VI.
 func (c *Core) Run() int64 {
+	c.skipOK = c.cfg.EventSkip && !c.tracing
+	if c.cfg.EventSkip && c.tracing {
+		c.skipReason = "event skipping disabled: per-cycle trace recorder attached"
+		if c.skipLog != nil {
+			c.skipLog(c.skipReason)
+		}
+	}
 	for !c.halted {
 		c.Step()
+		c.maybeSkip()
 	}
 	// Drain timing: outstanding stores and stream stores flow to memory.
 	drained := false
@@ -307,6 +328,7 @@ func (c *Core) Run() int64 {
 			break
 		}
 		c.Step()
+		c.maybeSkip()
 	}
 	if !drained {
 		panic(c.watchdogError("post-halt store drain stalled"))
@@ -326,6 +348,10 @@ func (c *Core) Step() {
 	wasHalted := c.halted
 	committedBefore := c.Stats.Committed
 	c.lastBlock = BlockNone
+	actBefore := c.activity + c.hier.Activity()
+	if c.eng != nil {
+		actBefore += c.eng.Activity()
+	}
 	if c.tracing && c.eng != nil {
 		// Engine methods called from rename (ConsumeChunk/ReserveStore) run
 		// before the engine's own Tick; keep its event clock current.
@@ -344,6 +370,12 @@ func (c *Core) Step() {
 		c.eng.Tick(c.cycle)
 	}
 	c.hier.Tick(c.cycle)
+
+	actAfter := c.activity + c.hier.Activity()
+	if c.eng != nil {
+		actAfter += c.eng.Activity()
+	}
+	c.stepQuiet = actAfter == actBefore
 
 	if c.tracing {
 		c.rec.Emit(trace.Event{

@@ -1,0 +1,144 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// slowLoadProgram builds a pointer-walk over uncached memory: each load
+// misses to DRAM, leaving long dead windows the event scheduler should
+// elide.
+func slowLoadProgram(t *testing.T) (*program.Program, func(h *mem.Hierarchy)) {
+	t.Helper()
+	const n = 64
+	const base = 0x1_0000
+	const stride = 4096 // one line per page: misses all the way down
+	p := program.NewBuilder("slowloads").
+		I(isa.Li(isa.X(1), base)).
+		I(isa.Li(isa.X(2), 0)). // sum
+		I(isa.Li(isa.X(3), 0)). // i
+		I(isa.Li(isa.X(4), n)).
+		Label("loop").
+		I(isa.Load(arch.W8, isa.X(5), isa.X(1), 0)).
+		I(isa.Add(isa.X(2), isa.X(2), isa.X(5))).
+		I(isa.AddI(isa.X(1), isa.X(1), stride)).
+		I(isa.AddI(isa.X(3), isa.X(3), 1)).
+		I(isa.Blt(isa.X(3), isa.X(4), "loop")).
+		I(isa.Halt()).
+		MustBuild()
+	init := func(h *mem.Hierarchy) {
+		for i := 0; i < n; i++ {
+			h.Mem.Write(uint64(base+i*stride), 8, uint64(i+1))
+		}
+	}
+	return p, init
+}
+
+// TestEventSkipSoundnessHook runs a miss-heavy workload with the skip hook
+// installed and asserts, for every skip taken: the target never passes any
+// unit's reported next event (no unit misses a wake-up), and the skip
+// actually elided at least one cycle. It also requires that skipping fired
+// at all — the equivalence sweep would be vacuous against a scheduler that
+// never skips.
+func TestEventSkipSoundnessHook(t *testing.T) {
+	p, init := slowLoadProgram(t)
+	m := newMachine(t, p, false)
+	init(m.hier)
+
+	type skip struct{ from, to, coreEv, engEv, hierEv int64 }
+	var skips []skip
+	skipHook = func(from, to, coreEv, engEv, hierEv int64) {
+		skips = append(skips, skip{from, to, coreEv, engEv, hierEv})
+	}
+	defer func() { skipHook = nil }()
+
+	m.core.Run()
+	if got := m.core.IntReg(2); got != 64*65/2 {
+		t.Fatalf("sum = %d, want %d", got, 64*65/2)
+	}
+	if m.core.SkippedCycles() == 0 {
+		t.Fatal("miss-heavy run skipped no cycles; the event scheduler never fired")
+	}
+	for _, s := range skips {
+		if s.to <= s.from+1 {
+			t.Fatalf("skip from %d to %d elides nothing", s.from, s.to)
+		}
+		for _, ev := range []int64{s.coreEv, s.engEv, s.hierEv} {
+			if s.to > ev {
+				t.Fatalf("skip from %d to %d passes a unit event at %d (bounds core=%d eng=%d hier=%d)",
+					s.from, s.to, ev, s.coreEv, s.engEv, s.hierEv)
+			}
+		}
+	}
+	t.Logf("skips=%d cycles-elided=%d of %d total", len(skips), m.core.SkippedCycles(), m.core.Cycle())
+}
+
+// TestEventSkipUVEFires: the skip path must also engage on a streaming
+// machine, where the engine's NextEventAt gates every decision.
+func TestEventSkipUVEFires(t *testing.T) {
+	const n = 1 << 12
+	hc := mem.DefaultHierarchyConfig()
+	hc.Prefetchers = false
+	h := mem.NewHierarchy(hc)
+	xb := h.Mem.Alloc(4*n, 64)
+	yb := h.Mem.Alloc(4*n, 64)
+	for i := 0; i < n; i++ {
+		h.Mem.WriteFloat(xb+uint64(4*i), arch.W4, float64(i))
+		h.Mem.WriteFloat(yb+uint64(4*i), arch.W4, float64(2*i))
+	}
+	p := saxpyUVE(arch.W4, n, xb, yb)
+	e := engine.New(engine.DefaultConfig(), h)
+	cfg := DefaultConfig()
+	cfg.Watchdog = 200_000
+	core := New(cfg, p, h, e)
+	core.SetFPReg(1, arch.W4, 1.5)
+	core.Run()
+	if core.SkippedCycles() == 0 {
+		t.Fatal("UVE run skipped no cycles")
+	}
+	t.Logf("UVE saxpy: elided %d of %d cycles", core.SkippedCycles(), core.Cycle())
+}
+
+// TestTracingDisablesEventSkip: a per-cycle trace recorder observes every
+// cycle, so skipping must force itself off — with a logged reason — and
+// elide nothing.
+func TestTracingDisablesEventSkip(t *testing.T) {
+	p, init := slowLoadProgram(t)
+	m := newMachine(t, p, false)
+	init(m.hier)
+	m.core.SetRecorder(trace.NewCollector(256, 0))
+	var logged string
+	m.core.SetSkipLogger(func(s string) { logged = s })
+	m.core.Run()
+	if m.core.SkippedCycles() != 0 {
+		t.Fatalf("traced run skipped %d cycles; skipping must be disabled under tracing", m.core.SkippedCycles())
+	}
+	if m.core.SkipDisabledReason() == "" {
+		t.Fatal("SkipDisabledReason empty for a traced run")
+	}
+	if logged == "" {
+		t.Fatal("skip logger not invoked for a traced run")
+	}
+}
+
+// TestEventSkipOffByConfig: EventSkip=false elides nothing and reports no
+// disabled-reason (off by choice is not a forced disable).
+func TestEventSkipOffByConfig(t *testing.T) {
+	p, init := slowLoadProgram(t)
+	m := newMachine(t, p, false)
+	init(m.hier)
+	m.core.cfg.EventSkip = false
+	m.core.Run()
+	if m.core.SkippedCycles() != 0 {
+		t.Fatalf("EventSkip=false run skipped %d cycles", m.core.SkippedCycles())
+	}
+	if m.core.SkipDisabledReason() != "" {
+		t.Fatalf("unexpected disabled reason %q", m.core.SkipDisabledReason())
+	}
+}

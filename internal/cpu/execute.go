@@ -52,6 +52,7 @@ func (c *Core) issue() {
 		c.schedCnt[e.group]--
 		used[e.group]++
 		issued++
+		c.activity++
 		if c.tracing {
 			c.rec.Emit(trace.Event{Cycle: c.cycle, Kind: trace.EvIssue, Arg0: int64(e.pc), Arg1: e.seq})
 		}
@@ -290,49 +291,71 @@ func lineSpan(addr uint64, bytes int) []uint64 {
 	return lines
 }
 
+// loadEligible reports whether a ROB entry is a load the memory phase still
+// has to drive (issued, address generated, not yet complete or faulted).
+func loadEligible(e *robEntry) bool {
+	return e.isLoad && e.issued && !e.squashed && !e.memDone && e.agDone && !e.fault
+}
+
+// loadConflict runs the LSQ memory-dependence scan for a load. All older
+// store addresses must be known (conservative memory dependence policy).
+// Among resolved overlapping older stores the YOUNGEST one supplies the
+// value: an exact scalar match forwards (fwd non-nil), anything else holds
+// the load until that store commits (conflict true). memPhase acts on the
+// result; memPhaseBusy uses the same scan so the skip decision can never
+// disagree with the pipeline.
+func (c *Core) loadConflict(e *robEntry) (conflict bool, fwd *sqEntry) {
+	for _, s := range c.sq { // ordered oldest→youngest
+		if s.seq >= e.seq || !s.live {
+			continue
+		}
+		if !s.resolved {
+			return true, nil
+		}
+		if s.bytes > 0 && overlaps(e.addr, e.memBytes, s.addr, s.bytes) {
+			if e.memLanes == 1 && s.addr == e.addr && s.w == e.memW && len(s.lanes) == 1 && e.linesIssued == 0 {
+				fwd = s // keep scanning: a younger store supersedes
+			} else {
+				return true, nil
+			}
+		}
+		if e.inst.Op == isa.OpVLoadG && s.bytes > 0 {
+			for _, a := range e.laneAddrs {
+				if overlaps(a, int(e.memW), s.addr, s.bytes) {
+					return true, nil
+				}
+			}
+		}
+	}
+	return false, fwd
+}
+
+// loadStreamBlocked reports whether an output stream draining to the load's
+// range blocks its first line issue (core-side coherence, paper §IV-A).
+func (c *Core) loadStreamBlocked(e *robEntry) bool {
+	if c.eng == nil || e.linesIssued != 0 {
+		return false
+	}
+	if e.inst.Op == isa.OpVLoadG && len(e.laneAddrs) > 0 {
+		for _, a := range e.laneAddrs {
+			if c.eng.StoreMayOverlap(a, int(e.memW), e.storeStamp) {
+				return true
+			}
+		}
+		return false
+	}
+	return c.eng.StoreMayOverlap(e.addr, e.memBytes, e.storeStamp)
+}
+
 // memPhase drives issued loads through the LSQ: memory-dependence checks,
 // stream-store overlap checks, translation, and line requests.
 func (c *Core) memPhase() {
 	ports := c.cfg.LoadPorts // line requests issuable this cycle
 	for _, e := range c.rob {
-		if !e.isLoad || !e.issued || e.squashed || e.memDone || !e.agDone || e.fault {
+		if !loadEligible(e) {
 			continue
 		}
-		// All older store addresses must be known (conservative memory
-		// dependence policy). Among resolved overlapping older stores the
-		// YOUNGEST one supplies the value: an exact scalar match forwards,
-		// anything else holds the load until that store commits.
-		conflict := false
-		var fwd *sqEntry
-		for _, s := range c.sq { // ordered oldest→youngest
-			if s.seq >= e.seq || !s.live {
-				continue
-			}
-			if !s.resolved {
-				conflict = true
-				break
-			}
-			if s.bytes > 0 && overlaps(e.addr, e.memBytes, s.addr, s.bytes) {
-				if e.memLanes == 1 && s.addr == e.addr && s.w == e.memW && len(s.lanes) == 1 && e.linesIssued == 0 {
-					fwd = s // keep scanning: a younger store supersedes
-				} else {
-					fwd = nil
-					conflict = true
-					break
-				}
-			}
-			if e.inst.Op == isa.OpVLoadG && s.bytes > 0 {
-				for _, a := range e.laneAddrs {
-					if overlaps(a, int(e.memW), s.addr, s.bytes) {
-						conflict = true
-						break
-					}
-				}
-				if conflict {
-					break
-				}
-			}
-		}
+		conflict, fwd := c.loadConflict(e)
 		if !conflict && fwd != nil {
 			e.resVal = fwd.lanes[0]
 			e.resVec = isa.VecFrom(e.memW, fwd.lanes)
@@ -340,35 +363,21 @@ func (c *Core) memPhase() {
 			e.fwdLatency = true
 			e.execDoneAt = c.cycle + 4
 			c.Stats.LoadsExecuted++
+			c.activity++
 			continue
 		}
-		if conflict || e.memDone {
+		if conflict {
 			continue
 		}
-		// Output streams draining to the same range block scalar loads
-		// (core-side coherence, paper §IV-A).
-		if c.eng != nil && e.linesIssued == 0 {
-			lo := e.addr
-			if e.inst.Op == isa.OpVLoadG && len(e.laneAddrs) > 0 {
-				over := false
-				for _, a := range e.laneAddrs {
-					if c.eng.StoreMayOverlap(a, int(e.memW), e.storeStamp) {
-						over = true
-						break
-					}
-				}
-				if over {
-					continue
-				}
-			} else if c.eng.StoreMayOverlap(lo, e.memBytes, e.storeStamp) {
-				continue
-			}
+		if c.loadStreamBlocked(e) {
+			continue
 		}
 		if e.linesIssued == 0 {
 			if _, fault := c.hier.TLB.Translate(e.addr); fault {
 				e.fault = true
 				e.faultAddr = e.addr
 				e.execDoneAt = c.cycle + 1
+				c.activity++
 				continue
 			}
 		}
@@ -377,7 +386,9 @@ func (c *Core) memPhase() {
 			line := e.lines[e.linesIssued]
 			ee := e
 			req := &mem.Req{Line: line, PC: e.pc, Done: func(at int64) { c.loadLineArrived(ee, at) }}
-			if !c.hier.Access(c.cycle, req) {
+			ok := c.hier.Access(c.cycle, req)
+			c.activity++ // both outcomes mutate: issue, or a reject tally below
+			if !ok {
 				break
 			}
 			e.linesIssued++
@@ -394,6 +405,7 @@ func overlaps(a uint64, an int, b uint64, bn int) bool {
 // loadLineArrived completes one line of a load; when all lines are in, the
 // value is read functionally and writeback scheduled.
 func (c *Core) loadLineArrived(e *robEntry, now int64) {
+	c.activity++
 	if e.squashed || e.memDone {
 		return
 	}
@@ -441,6 +453,7 @@ func (c *Core) complete() {
 			continue // configuration still queued in the SCROB
 		}
 		e.done = true
+		c.activity++
 		if e.dstClass != isa.ClassNone {
 			c.writePhys(e.dstClass, e.newPhys, e.resVal, e.resVec, e.resPred)
 		}
@@ -476,7 +489,9 @@ func (c *Core) drainStores() {
 	for n := 0; n < c.cfg.StorePorts && len(c.drainQ) > 0; n++ {
 		line := c.drainQ[0]
 		req := &mem.Req{Line: line, Write: true}
-		if !c.hier.Access(c.cycle, req) {
+		ok := c.hier.Access(c.cycle, req)
+		c.activity++ // both outcomes mutate: a drained line, or a reject tally
+		if !ok {
 			return
 		}
 		c.drainQ = c.drainQ[1:]

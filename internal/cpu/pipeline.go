@@ -68,9 +68,12 @@ func (c *Core) fetchLineReady(pc int) bool {
 	if c.hier.L1I.Contains(line) {
 		c.ifetchHaveLine = true
 		c.ifetchReadyLine = line
+		c.activity++
 		return true
 	}
 	if c.ifetchBusy {
+		// Pure stall: nothing changes until the fill's Done fires. maybeSkip
+		// compensates this tally for skipped cycles (fetchWouldStall).
 		c.Stats.FetchStallCycles++
 		if c.tracing {
 			c.rec.Emit(trace.Event{Cycle: c.cycle, Kind: trace.EvFetchStall})
@@ -78,7 +81,9 @@ func (c *Core) fetchLineReady(pc int) bool {
 		return false
 	}
 	c.ifetchBusy = true
+	c.activity++ // request issue (or the reject tally it triggers below)
 	req := &mem.Req{Line: line, Done: func(int64) {
+		c.activity++
 		c.ifetchBusy = false
 		c.ifetchHaveLine = true
 		c.ifetchReadyLine = line
@@ -112,6 +117,7 @@ func (c *Core) fetch() {
 		}
 		c.decodeQ = append(c.decodeQ, fetchedInst{pc: c.fetchPC, predTaken: pred})
 		c.fetchPC = next
+		c.activity++
 		if in.Op == isa.OpHalt {
 			// Stop fetching past a (possibly speculative) halt; a squash
 			// clears this when the halt was on the wrong path.
@@ -123,6 +129,7 @@ func (c *Core) fetch() {
 
 // redirect points fetch at pc after a mispredict or exception.
 func (c *Core) redirect(pc int, penalty int) {
+	c.activity++
 	c.fetchPC = pc
 	c.fetchHoldTo = c.cycle + int64(penalty)
 	c.fetchHalted = false
@@ -159,6 +166,7 @@ func (c *Core) rename() {
 		}
 		c.decodeQ = c.decodeQ[1:]
 		c.Stats.Renamed++
+		c.activity++
 	}
 	if blocked != BlockNone {
 		c.Stats.RenameBlockCause[blocked]++

@@ -317,6 +317,12 @@ type Engine struct {
 	tracing bool
 	now     int64
 
+	// activity counts state-changing steps the engine took on its own clock
+	// (SCROB processing, generation, line arrivals, store drains, chunk
+	// commits, releases). The event-driven scheduler compares snapshots of it
+	// across a cycle to prove the engine quiescent; see NextEventAt.
+	activity uint64
+
 	Stats Stats
 }
 
@@ -570,6 +576,7 @@ func (e *Engine) processSCROB() {
 				}
 			}
 			ent.processed = true
+			e.activity++
 			ent.restoreBuilding = e.building[slot]
 			delete(e.building, slot)
 			d, err := isa.RebuildDescriptor(parts)
@@ -580,6 +587,7 @@ func (e *Engine) processSCROB() {
 			return
 		}
 		ent.processed = true
+		e.activity++
 		e.building[slot] = append(e.building[slot], part)
 		if debugSCROB {
 			fmt.Printf("scrob: part u%d slot=%d start=%v end=%v building=%d\n", part.Stream, slot, part.Start, part.End, len(e.building[slot]))

@@ -51,6 +51,8 @@ func (s *stream) wantsGen(now int64) bool {
 // line, a one-cycle stall on dimension switches.
 func (e *Engine) genStep(s *stream, now int64) {
 	if s.dimSwitch {
+		// Clearing the dim-switch stall is a real state change.
+		e.activity++
 		s.dimSwitch = false
 		e.Stats.DimSwitchStalls++
 		if e.tracing {
@@ -58,6 +60,12 @@ func (e *Engine) genStep(s *stream, now int64) {
 		}
 		return
 	}
+	// The two tally-only stall states deliberately do NOT count as engine
+	// activity: a full FIFO (or an MRQ with no room for the next line)
+	// freezes the stream, and the charge per stalled cycle is a pure
+	// function of that frozen state. The event scheduler may therefore
+	// skip these cycles; SkipStallTallies adds the charges the elided
+	// genSteps would have made.
 	if s.genPos-s.commitPos >= int64(len(s.fifo)) {
 		e.Stats.FIFOFullCycles++
 		if e.tracing {
@@ -65,6 +73,14 @@ func (e *Engine) genStep(s *stream, now int64) {
 		}
 		return
 	}
+	if e.genBlockedOnMRQ(s) {
+		e.Stats.MRQFullCycles++
+		if e.tracing {
+			e.rec.Emit(trace.Event{Cycle: now, Kind: trace.EvMRQFull, Arg0: int64(s.slot)})
+		}
+		return
+	}
+	e.activity++
 	c := &s.fifo[s.genPos%int64(len(s.fifo))]
 	if !s.genStarted {
 		if _, ok := s.peek(); !ok {
@@ -106,6 +122,86 @@ func (e *Engine) genStep(s *stream, now int64) {
 			return
 		}
 	}
+}
+
+// genBlockedOnMRQ reports whether genStep on this stream would do nothing
+// but charge one MRQFullCycles tally: generation is mid-pattern, the next
+// element needs a line the stream cannot coalesce onto its last fetch, and
+// the MRQ has no room. It mirrors exactly the first ensureLine call of
+// genStep's line loop.
+func (e *Engine) genBlockedOnMRQ(s *stream) bool {
+	if !s.genStarted || s.kind != descriptor.Load || len(e.mrq) < e.cfg.MRQSize {
+		return false
+	}
+	el, ok := s.peek()
+	if !ok {
+		return false
+	}
+	line := arch.LineOf(el.Addr)
+	return !(s.lastLineState != 0 && s.lastLine == line)
+}
+
+// genFrozenKind classifies a wantsGen stream's tally-only frozen states.
+type genFrozenKind int
+
+const (
+	genActive     genFrozenKind = iota // genStep would mutate real state
+	genFrozenFIFO                      // full FIFO: tallies FIFOFullCycles
+	genFrozenMRQ                       // full MRQ: tallies MRQFullCycles
+)
+
+// genFrozen classifies what genStep would do to this stream next cycle,
+// following genStep's own check order (a pending dim-switch stall clears
+// itself, so it is real work).
+func (e *Engine) genFrozen(s *stream) genFrozenKind {
+	if s.dimSwitch {
+		return genActive
+	}
+	if s.genPos-s.commitPos >= int64(len(s.fifo)) {
+		return genFrozenFIFO
+	}
+	if e.genBlockedOnMRQ(s) {
+		return genFrozenMRQ
+	}
+	return genActive
+}
+
+// SkipStallTallies charges k more cycles of the engine's tally-only frozen
+// generation states — what the elided Ticks' genSteps would have charged.
+// Exact because the scheduler only skips when every candidate stream is
+// frozen (NextEventAt), the frozen set cannot change without core, engine
+// or hierarchy activity, and the per-cycle charge is a pure function of
+// that set: all candidates charge when they fit in NumModules, otherwise
+// NumModules of a single kind charge (mixed oversubscription is reported
+// busy instead). The round-robin cursor advances too — schedule rotates it
+// every cycle it sees candidates, frozen or not.
+func (e *Engine) SkipStallTallies(now, k int64) {
+	var fifoFrozen, mrqFrozen int64
+	for _, s := range e.entries {
+		if s == nil || s.released || s.desc == nil || !s.wantsGen(now) {
+			continue
+		}
+		switch e.genFrozen(s) {
+		case genFrozenFIFO:
+			fifoFrozen++
+		case genFrozenMRQ:
+			mrqFrozen++
+		}
+	}
+	total := fifoFrozen + mrqFrozen
+	if total == 0 {
+		return
+	}
+	if m := int64(e.cfg.NumModules); total > m {
+		if fifoFrozen > 0 {
+			fifoFrozen = m
+		} else {
+			mrqFrozen = m
+		}
+	}
+	e.Stats.FIFOFullCycles += uint64(fifoFrozen * k)
+	e.Stats.MRQFullCycles += uint64(mrqFrozen * k)
+	e.rr += int(k)
 }
 
 // elemsGenerated counts elements placed into closed chunks so far.
@@ -684,24 +780,32 @@ func (e *Engine) Tick(now int64) {
 // Stats.OriginStallCycles was declared but never incremented.)
 func (e *Engine) tallyOriginStalls(now int64) {
 	for _, s := range e.entries {
-		if s == nil || s.released || s.desc == nil || len(s.originRefs) == 0 {
+		if !e.originStalled(s) {
 			continue
 		}
-		if s.specPos >= s.genPos {
-			continue
-		}
-		c := &s.fifo[s.specPos%int64(len(s.fifo))]
-		ready := c.closed
-		if s.kind == descriptor.Load {
-			ready = c.loadReady()
-		}
-		if ready && !e.originsDelivered(s, c) {
-			e.Stats.OriginStallCycles++
-			if e.tracing {
-				e.rec.Emit(trace.Event{Cycle: now, Kind: trace.EvOriginStall, Arg0: int64(s.slot)})
-			}
+		e.Stats.OriginStallCycles++
+		if e.tracing {
+			e.rec.Emit(trace.Event{Cycle: now, Kind: trace.EvOriginStall, Arg0: int64(s.slot)})
 		}
 	}
+}
+
+// originStalled reports whether the stream's head chunk is ready but waiting
+// on origin delivery — the condition tallyOriginStalls charges each cycle.
+// NextEventAt shares it so cycles that would tally are never skipped.
+func (e *Engine) originStalled(s *stream) bool {
+	if s == nil || s.released || s.desc == nil || len(s.originRefs) == 0 {
+		return false
+	}
+	if s.specPos >= s.genPos {
+		return false
+	}
+	c := &s.fifo[s.specPos%int64(len(s.fifo))]
+	ready := c.closed
+	if s.kind == descriptor.Load {
+		ready = c.loadReady()
+	}
+	return ready && !e.originsDelivered(s, c)
 }
 
 // schedule picks the NumModules streams with the lowest FIFO occupancy
@@ -773,6 +877,7 @@ func (e *Engine) issueMRQ(now int64) {
 }
 
 func (e *Engine) lineArrived(f *lineFetch, now int64) {
+	e.activity++
 	for i, q := range e.mrq {
 		if q == f {
 			e.mrq = append(e.mrq[:i], e.mrq[i+1:]...)
@@ -812,6 +917,7 @@ func (e *Engine) drainStore(now int64) {
 	}
 	e.storeQ = e.storeQ[1:]
 	sl.s.pendingStoreLines--
+	e.activity++
 }
 
 // storeLevel maps a stream's configured level onto the store path. The
@@ -836,6 +942,7 @@ func (e *Engine) advanceEngineConsumed() {
 				s.coreSawEnd = true
 			}
 			s.commitPos++
+			e.activity++
 			if s.specPos < s.commitPos {
 				s.specPos = s.commitPos
 			}
@@ -862,6 +969,7 @@ func (e *Engine) autoRelease() {
 			e.sat[s.u] = -1
 		}
 		e.releaseSlot(s.slot)
+		e.activity++
 	}
 }
 

@@ -84,7 +84,12 @@ func (e *Engine) Collisions() []Collision {
 	if e.san == nil {
 		return nil
 	}
-	out := append([]Collision(nil), e.san.colls...)
+	return e.san.collisions()
+}
+
+// collisions snapshots the observations, sorted for stable reporting.
+func (sz *sanitizer) collisions() []Collision {
+	out := append([]Collision(nil), sz.colls...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.StreamA != b.StreamA {
@@ -174,18 +179,27 @@ func (e *Engine) sanEndSlot(s *stream) {
 // stores are not themselves recorded: streams configured later are ordered
 // behind them by the engine's store-sync stall.
 func (e *Engine) NoteScalarStore(pc int, addr uint64, n int) {
-	if e.san == nil || n <= 0 {
+	if e.san == nil {
+		return
+	}
+	e.san.noteScalarStore(pc, addr, n)
+}
+
+// noteScalarStore checks a committed scalar store's bytes against every live
+// stream's recorded accesses without recording the store's own bytes.
+func (sz *sanitizer) noteScalarStore(pc int, addr uint64, n int) {
+	if n <= 0 {
 		return
 	}
 	for b := addr; b < addr+uint64(n); b++ {
-		t := e.san.touched[b]
+		t := sz.touched[b]
 		others := t.readers() | t.writers()
 		for v := 0; others != 0; v++ {
 			if others&(1<<uint(v)) == 0 {
 				continue
 			}
 			others &^= 1 << uint(v)
-			e.san.record(Collision{
+			sz.record(Collision{
 				StreamA: v, StreamB: -1, ScalarPC: pc, Addr: b,
 				AWrites: t.writers()&(1<<uint(v)) != 0, BWrites: true,
 			})

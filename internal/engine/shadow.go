@@ -1,0 +1,37 @@
+package engine
+
+// Shadow exposes the stream sanitizer's byte-granular shadow tracker to
+// execution tiers that do not instantiate a full Engine — the functional
+// interpreter records the same touches the cycle engine's placeElem hook
+// would, against the same collision rules (read/read benign, same logical
+// register exempt, scalar stores checked but not recorded). Sharing the
+// sanitizer implementation keeps the two tiers' collision semantics from
+// drifting: a differential test compares their pair sets directly.
+type Shadow struct {
+	sz *sanitizer
+}
+
+// NewShadow builds an empty shadow tracker.
+func NewShadow() *Shadow { return &Shadow{sz: newSanitizer()} }
+
+// Touch records stream u (instance slot) accessing [addr, addr+w) and
+// reports any collision with other live streams' recorded accesses. The
+// slot distinguishes instances of the same logical register; callers must
+// keep it unique per configured instance.
+func (s *Shadow) Touch(u, slot int, addr uint64, w int64, writes bool) {
+	s.sz.touch(u, slot, addr, w, writes)
+}
+
+// End clears a released instance's bytes: later touches of the same
+// addresses no longer overlap it in time.
+func (s *Shadow) End(slot, u int) { s.sz.end(slot, u) }
+
+// NoteScalarStore checks a committed scalar store's bytes against every
+// live stream's recorded accesses (the store itself is not recorded).
+func (s *Shadow) NoteScalarStore(pc int, addr uint64, n int) {
+	s.sz.noteScalarStore(pc, addr, n)
+}
+
+// Collisions returns the observed collisions, deduplicated per accessor
+// pair and sorted for stable reporting.
+func (s *Shadow) Collisions() []Collision { return s.sz.collisions() }

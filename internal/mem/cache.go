@@ -104,6 +104,7 @@ type Cache struct {
 	pending  []timedDone
 	accepted int
 	lastTick int64
+	activity uint64
 
 	Stats CacheStats
 }
@@ -167,6 +168,7 @@ func (c *Cache) StateOf(line uint64) LineState {
 
 // Access implements Port.
 func (c *Cache) Access(now int64, r *Req) bool {
+	c.activity++ // every outcome mutates: an allocation, a hit update, or a reject tally
 	if now != c.lastTick {
 		// Defensive: budget is normally reset in Tick; handle out-of-order
 		// first use within a cycle.
@@ -380,10 +382,12 @@ func (c *Cache) Tick(now int64) {
 	// Retry unissued fills and queued writebacks.
 	for _, ms := range c.mshrs {
 		if !ms.issued {
+			c.activity++ // issue, or the lower level's reject tally
 			c.issueFill(now, ms)
 		}
 	}
 	for len(c.wbQueue) > 0 {
+		c.activity++
 		if !c.lower.Access(now, c.wbQueue[0]) {
 			break
 		}
@@ -391,6 +395,7 @@ func (c *Cache) Tick(now int64) {
 	}
 	// Issue queued prefetches with leftover capacity.
 	for len(c.pfQueue) > 0 && c.accepted < c.cfg.AcceptsPerCycle && len(c.mshrs) < c.cfg.MSHRs {
+		c.activity++
 		line := c.pfQueue[0]
 		if c.lookup(line) != nil {
 			c.pfQueue = c.pfQueue[1:]
@@ -415,6 +420,7 @@ func (c *Cache) Tick(now int64) {
 	kept := c.pending[:0]
 	for _, p := range c.pending {
 		if p.at <= now {
+			c.activity++
 			p.fn(now)
 		} else {
 			kept = append(kept, p)
@@ -426,6 +432,31 @@ func (c *Cache) Tick(now int64) {
 // PendingOps reports outstanding internal work (for drain detection).
 func (c *Cache) PendingOps() int {
 	return len(c.mshrs) + len(c.wbQueue) + len(c.pending)
+}
+
+// NextEventAt returns a lower bound on the cycle of this cache's next state
+// change, assuming no new requests arrive: now+1 while any retry work could
+// run in the next Tick (unissued fills, queued writebacks or prefetches —
+// those retries also mutate reject counters below, so they are never
+// skippable), the earliest matured completion otherwise, or NoEvent when
+// the cache is fully quiescent. The event-driven scheduler may advance time
+// directly to the minimum such bound; Ticks before it are provable no-ops.
+func (c *Cache) NextEventAt(now int64) int64 {
+	for _, ms := range c.mshrs {
+		if !ms.issued {
+			return now + 1
+		}
+	}
+	if len(c.wbQueue) > 0 || len(c.pfQueue) > 0 {
+		return now + 1
+	}
+	next := int64(NoEvent)
+	for _, p := range c.pending {
+		if p.at < next {
+			next = p.at
+		}
+	}
+	return next
 }
 
 func (c *Cache) String() string {

@@ -34,9 +34,10 @@ type DRAMStats struct {
 
 // DRAM is the dual-channel memory model.
 type DRAM struct {
-	cfg   DRAMConfig
-	chans []dramChannel
-	Stats DRAMStats
+	cfg      DRAMConfig
+	chans    []dramChannel
+	activity uint64
+	Stats    DRAMStats
 
 	// Inject, when non-nil, returns extra service latency for a request
 	// starting at now (deterministic transient-spike injection, modeling
@@ -71,6 +72,7 @@ func (d *DRAM) channelOf(line uint64) int {
 
 // Access implements Port.
 func (d *DRAM) Access(now int64, r *Req) bool {
+	d.activity++ // enqueue, or the queue-full tally
 	ch := &d.chans[d.channelOf(r.Line)]
 	if ch.queue.Len() >= d.cfg.QueueDepth {
 		d.Stats.QueueFullStalls++
@@ -100,6 +102,7 @@ func (d *DRAM) Tick(now int64) {
 			if d.Inject != nil {
 				lat += d.Inject(now)
 			}
+			d.activity++
 			dr.doneAt = now + lat
 			ch.freeAt = now + int64(d.cfg.LineService)
 			d.Stats.BusyCycles += uint64(d.cfg.LineService)
@@ -117,6 +120,7 @@ func (d *DRAM) Tick(now int64) {
 			next := e.Next()
 			dr := e.Value.(*dramReq)
 			if dr.started && dr.doneAt <= now {
+				d.activity++
 				ch.queue.Remove(e)
 				if dr.req.Done != nil {
 					dr.req.Done(now)

@@ -57,7 +57,11 @@ func TestSanitizerCrossCheck(t *testing.T) {
 			if size == 0 {
 				size = 16
 			}
+			// The cross-check compares accessor pairs, not timing, so the
+			// sweep runs on the functional tier: the sanitizer observes the
+			// same byte addresses an order of magnitude faster.
 			opts := DefaultOptions(kernels.UVE)
+			opts.Fidelity = Functional
 			opts.Sanitize = true
 			var inst *kernels.Instance
 			res, err := RunBuilt(k.ID, kernels.UVE, size, &opts, func(h *mem.Hierarchy) *kernels.Instance {

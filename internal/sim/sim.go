@@ -20,6 +20,11 @@ type Options struct {
 	Core cpu.Config
 	Eng  engine.Config
 	Hier mem.HierarchyConfig
+	// Fidelity selects the execution tier: Cycle (default) runs the
+	// detailed machine; Functional interprets the program in program order
+	// for architectural results only (no cycles, no timing stats, and
+	// incompatible with Trace and Faults).
+	Fidelity Fidelity
 	// SkipCheck skips output validation (benchmark loops that re-run the
 	// same instance's timing many times).
 	SkipCheck bool
@@ -156,6 +161,9 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 	inst := build(h)
 	if inst.Err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", id, v, inst.Err)
+	}
+	if o.Fidelity == Functional {
+		return runFunctional(id, v, size, &o, h, inst)
 	}
 
 	var inj *fault.Injector

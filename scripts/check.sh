@@ -2,8 +2,9 @@
 # PR gate without make: formatting, vet, static kernel verification, build,
 # race-detected tests (exercising the parallel experiment runner), a short
 # fuzz smoke over the descriptor iterator and footprint abstraction, a
-# one-shot Fig 8 benchmark smoke, trace/fault determinism smokes and the
-# watchdog no-hang smoke.
+# one-shot Fig 8 benchmark smoke, execution-tier differential smokes,
+# trace/fault determinism smokes, the watchdog no-hang smoke and the
+# wall-clock perf gate against the committed BENCH_simwall.json.
 set -eux
 cd "$(dirname "$0")/.."
 
@@ -24,6 +25,13 @@ go test -race ./...
 go test -run '^$' -fuzz '^FuzzIterator$' -fuzztime 5s ./internal/descriptor
 go test -run '^$' -fuzz '^FuzzFootprint$' -fuzztime 5s ./internal/descriptor
 go test -run '^$' -bench '^BenchmarkFig8$' -benchtime 1x .
+# Execution-tier smoke: the functional/cycle differential oracle and the
+# event-skip bit-equivalence suite race-detected, a short differential
+# fuzz pass, and one race-detected end-to-end functional sweep through
+# the uvebench CLI.
+go test -race -run 'TestFunctionalDifferential|TestEventSkipEquivalence' ./internal/sim
+go test -run '^$' -fuzz '^FuzzTierDifferential$' -fuzztime 5s ./internal/sim
+go run -race ./cmd/uvebench -fidelity functional -scale 64 > /dev/null
 # Trace smoke: a traced saxpy run must emit a valid Chrome trace file, and
 # the tracing machinery — compiled in but disabled — must leave uvesim's
 # stdout byte-identical to the traced run's, and uvebench's figure output
@@ -58,3 +66,8 @@ if go run ./cmd/uvesim -kernel C -size 65536 \
 fi
 grep -q watchdog "$tracedir/wd.txt"
 grep -q "stream table" "$tracedir/wd.txt"
+# Wall-clock trajectory gate: BenchmarkSimWall cells vs the committed
+# baseline, >2x regression fails (loose on purpose: absolute numbers are
+# host-dependent; regenerate with `scripts/perfsmoke.sh -update` after an
+# intentional perf change).
+./scripts/perfsmoke.sh

@@ -1,0 +1,251 @@
+// Command perfcmp maintains BENCH_simwall.json, the simulator's wall-clock
+// trajectory file. It reads `go test -bench` output for BenchmarkSimWall on
+// stdin and either:
+//
+//	perfcmp -update BENCH_simwall.json   # rewrite the committed baseline
+//	perfcmp -baseline BENCH_simwall.json # gate: fail on >2x regression
+//
+// In -update mode it also times the uvebench tier comparison (the detailed
+// model regenerating the full kernel x variant matrix vs the functional
+// sweep over the same matrix, at figure scale and at fuzz/fault-campaign
+// scale) and records the measured speedups. In gate mode only the
+// per-cell ns/op figures are re-measured and compared — the committed
+// baseline's absolute numbers are from the machine named in its "host"
+// field, so the default threshold is a deliberately loose 2x.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Cell is one BenchmarkSimWall sub-benchmark measurement.
+type Cell struct {
+	Name    string  `json:"name"` // mode/kernel-variant, e.g. "skip/C-UVE"
+	NsPerOp float64 `json:"ns_per_op"`
+	Cycles  int64   `json:"cycles"` // simulated cycles (0 on the functional tier)
+}
+
+// TierComparison is one timed uvebench invocation pair.
+type TierComparison struct {
+	CycleCmd     string  `json:"cycle_cmd"`
+	CycleSeconds float64 `json:"cycle_seconds"`
+	FuncCmd      string  `json:"functional_cmd"`
+	FuncSeconds  float64 `json:"functional_seconds"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// Baseline is the BENCH_simwall.json document.
+type Baseline struct {
+	Host      string `json:"host"`
+	Benchmark string `json:"benchmark"`
+	Gate      string `json:"gate"`
+	Cells     []Cell `json:"cells"`
+	// Summary ratios computed from Cells: aggregate cycle-tier (skip) time
+	// over functional-tier time for the unfaulted cells, aggregate noskip
+	// over skip, and the starved cell's noskip/skip ratio.
+	FunctionalSpeedup  float64 `json:"functional_vs_cycle_speedup"`
+	SkipSpeedup        float64 `json:"skip_vs_noskip_speedup"`
+	SkipSpeedupStarved float64 `json:"skip_vs_noskip_speedup_starved"`
+	// Measured once at -update time, not re-run by the gate.
+	ExpAll     *TierComparison `json:"exp_all,omitempty"`
+	FigMatrix  *TierComparison `json:"figure_matrix,omitempty"`
+	FaultScale *TierComparison `json:"fault_fuzz_scale,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^BenchmarkSimWall/(\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(?:\s+(\d+(?:\.\d+)?) cycles)?`)
+var cpuLine = regexp.MustCompile(`^cpu: (.+)$`)
+
+func main() {
+	update := flag.String("update", "", "rewrite this baseline file from the bench output on stdin")
+	baseline := flag.String("baseline", "", "gate the bench output on stdin against this baseline file")
+	maxRatio := flag.Float64("max-ratio", 2.0, "gate threshold: fail when current ns/op exceeds baseline*ratio")
+	flag.Parse()
+	if (*update == "") == (*baseline == "") {
+		fail("exactly one of -update or -baseline is required")
+	}
+
+	host := ""
+	var cells []Cell
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if m := cpuLine.FindStringSubmatch(sc.Text()); m != nil {
+			host = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		var cyc float64
+		if m[3] != "" {
+			cyc, _ = strconv.ParseFloat(m[3], 64)
+		}
+		cells = append(cells, Cell{Name: m[1], NsPerOp: ns, Cycles: int64(cyc)})
+	}
+	if err := sc.Err(); err != nil {
+		fail("reading stdin: %v", err)
+	}
+	if len(cells) == 0 {
+		fail("no BenchmarkSimWall lines found on stdin")
+	}
+
+	if *update != "" {
+		writeBaseline(*update, host, cells)
+		return
+	}
+	gate(*baseline, cells, *maxRatio)
+}
+
+// gate compares freshly measured cells against the committed baseline.
+func gate(path string, cur []Cell, maxRatio float64) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fail("%s: %v", path, err)
+	}
+	curByName := map[string]Cell{}
+	for _, c := range cur {
+		curByName[c.Name] = c
+	}
+	bad := 0
+	for _, b := range base.Cells {
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "perfcmp: cell %s missing from current run\n", b.Name)
+			bad++
+			continue
+		}
+		if c.Cycles != b.Cycles {
+			// A cycle-count change is a model change, not a perf regression;
+			// the equivalence suite owns that. Report it for visibility only.
+			fmt.Fprintf(os.Stderr, "perfcmp: note: %s simulates %d cycles (baseline %d) — regenerate with -update\n",
+				b.Name, c.Cycles, b.Cycles)
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > maxRatio {
+			status = "REGRESSION"
+			bad++
+		}
+		fmt.Printf("%-28s %12.0f ns/op  baseline %12.0f  ratio %.2fx  %s\n",
+			b.Name, c.NsPerOp, b.NsPerOp, ratio, status)
+	}
+	if bad > 0 {
+		fail("%d cell(s) regressed past %.1fx (baseline host: %s)", bad, maxRatio, base.Host)
+	}
+}
+
+// writeBaseline measures the uvebench tier comparisons and writes the full
+// trajectory document.
+func writeBaseline(path, host string, cells []Cell) {
+	doc := Baseline{
+		Host:      host,
+		Benchmark: "BenchmarkSimWall (go test -run '^$' -bench '^BenchmarkSimWall$' -benchtime 3x .)",
+		Gate:      "scripts/perfsmoke.sh fails when any cell's ns/op exceeds 2x this baseline",
+		Cells:     cells,
+	}
+	sum := func(pred func(Cell) bool) float64 {
+		var t float64
+		for _, c := range cells {
+			if pred(c) {
+				t += c.NsPerOp
+			}
+		}
+		return t
+	}
+	isMode := func(mode string) func(Cell) bool {
+		return func(c Cell) bool {
+			return strings.HasPrefix(c.Name, mode+"/") && !strings.HasSuffix(c.Name, "-starved")
+		}
+	}
+	if fn := sum(isMode("functional")); fn > 0 {
+		doc.FunctionalSpeedup = round2(sum(isMode("skip")) / fn)
+	}
+	if sk := sum(isMode("skip")); sk > 0 {
+		doc.SkipSpeedup = round2(sum(isMode("noskip")) / sk)
+	}
+	var skStarved, noStarved float64
+	for _, c := range cells {
+		switch c.Name {
+		case "skip/C-UVE-starved":
+			skStarved = c.NsPerOp
+		case "noskip/C-UVE-starved":
+			noStarved = c.NsPerOp
+		}
+	}
+	if skStarved > 0 {
+		doc.SkipSpeedupStarved = round2(noStarved / skStarved)
+	}
+
+	doc.ExpAll = timePair(
+		[]string{"-exp", "all", "-scale", "4"},
+		[]string{"-fidelity", "functional", "-scale", "4"})
+	doc.FigMatrix = timePair(
+		[]string{"-exp", "fig8", "-scale", "4"},
+		[]string{"-fidelity", "functional", "-scale", "4"})
+	doc.FaultScale = timePair(
+		[]string{"-exp", "fig8", "-scale", "64"},
+		[]string{"-fidelity", "functional", "-scale", "64"})
+
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fail("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("perfcmp: wrote %s (%d cells, functional %vx, skip %vx, starved skip %vx)\n",
+		path, len(cells), doc.FunctionalSpeedup, doc.SkipSpeedup, doc.SkipSpeedupStarved)
+}
+
+// timePair times one cycle-tier and one functional-tier uvebench run.
+// uvebench must already be built at ./uvebench.bin (perfsmoke.sh does this)
+// so process start-up cost is identical on both sides.
+func timePair(cycleArgs, funcArgs []string) *TierComparison {
+	run := func(args []string) float64 {
+		start := time.Now()
+		cmd := exec.Command("./uvebench.bin", args...)
+		cmd.Stdout = nil
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fail("uvebench %v: %v", args, err)
+		}
+		return time.Since(start).Seconds()
+	}
+	tc := &TierComparison{
+		CycleCmd: fmt.Sprint("uvebench ", cycleArgs),
+		FuncCmd:  fmt.Sprint("uvebench ", funcArgs),
+	}
+	tc.CycleSeconds = round3(run(cycleArgs))
+	tc.FuncSeconds = round3(run(funcArgs))
+	if tc.FuncSeconds > 0 {
+		tc.Speedup = round2(tc.CycleSeconds / tc.FuncSeconds)
+	}
+	return tc
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+func round3(v float64) float64 { return float64(int(v*1000+0.5)) / 1000 }
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "perfcmp: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Wall-clock trajectory gate: re-measures the BenchmarkSimWall cells and
+# fails when any of them runs more than 2x slower than the committed
+# BENCH_simwall.json baseline. `perfsmoke.sh -update` instead regenerates
+# the baseline, including the timed uvebench tier comparisons (detailed
+# model vs functional tier) whose speedups the JSON records.
+set -eu
+cd "$(dirname "$0")/.."
+
+benchout=$(mktemp)
+trap 'rm -f "$benchout" uvebench.bin' EXIT
+
+go test -run '^$' -bench '^BenchmarkSimWall$' -benchtime 3x -count 1 . | tee "$benchout"
+
+if [ "${1:-}" = "-update" ]; then
+    go build -o uvebench.bin ./cmd/uvebench
+    go run ./scripts/perfcmp -update BENCH_simwall.json < "$benchout"
+else
+    go run ./scripts/perfcmp -baseline BENCH_simwall.json < "$benchout"
+fi

@@ -28,8 +28,10 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/funcsim"
 	"repro/internal/mem"
 	"repro/internal/program"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -179,6 +181,7 @@ type machineOptions struct {
 	faults   *FaultPlan
 	watchdog int64
 	maxCyc   int64
+	fidelity Fidelity
 }
 
 // Option configures a Machine beyond its hardware Config.
@@ -215,6 +218,26 @@ func WithWatchdog(n int64) Option { return func(o *machineOptions) { o.watchdog 
 // WithMaxCycles aborts any run exceeding n cycles with a *WatchdogError —
 // a hard, wall-clock-free bound for adversarial campaigns.
 func WithMaxCycles(n int64) Option { return func(o *machineOptions) { o.maxCyc = n } }
+
+// Fidelity selects the execution tier a Machine runs programs on.
+type Fidelity = sim.Fidelity
+
+const (
+	// Cycle is the detailed tier: the out-of-order core, streaming engine
+	// and memory hierarchy simulated cycle by cycle. The default.
+	Cycle = sim.Cycle
+	// Functional is the fast tier: program-order interpretation with eager
+	// stream iteration. Produces final memory, committed counts and
+	// sanitizer collisions, but Result.Cycles and every timing statistic
+	// stay zero. Incompatible with WithTrace and WithFaults.
+	Functional = sim.Functional
+)
+
+// WithFidelity selects the execution tier (default Cycle). The functional
+// tier answers "what did the program compute" one to two orders of
+// magnitude faster than the detailed machine; use it for correctness
+// loops, sanitizer sweeps and test baselines, never for timing.
+func WithFidelity(f Fidelity) Option { return func(o *machineOptions) { o.fidelity = f } }
 
 // NewMachine builds a machine.
 func NewMachine(cfg Config, opts ...Option) *Machine {
@@ -254,6 +277,9 @@ func (m *Machine) Uint64s(n int) *U64Array {
 // Run executes a program to completion and returns its measurements.
 // args preset architectural registers before the run (kernel arguments).
 func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
+	if m.opts.fidelity == Functional {
+		return m.runFunctional(p, args)
+	}
 	var inj *fault.Injector
 	if m.opts.faults != nil && m.opts.faults.Enabled() {
 		// A fresh injector per run: the campaign replays identically on
@@ -322,19 +348,60 @@ func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
 	return res, nil
 }
 
+// runFunctional is Run's Functional-tier path: program-order interpretation
+// against the machine's memory, filling only the architectural fields of
+// Result. Stream descriptors iterate through the same engine address logic
+// the detailed model uses, so descriptor semantics cannot drift.
+func (m *Machine) runFunctional(p *Program, args []Arg) (*Result, error) {
+	if m.opts.trace != nil {
+		return nil, fmt.Errorf("uve: WithFidelity(Functional) cannot record traces (no cycles to attribute events to)")
+	}
+	if m.opts.faults != nil && m.opts.faults.Enabled() {
+		return nil, fmt.Errorf("uve: WithFidelity(Functional) cannot inject faults (injectors perturb timing, which the tier does not model)")
+	}
+	cfg := funcsim.Config{
+		VecBytes: m.cfg.Core.VecBytes,
+		Sanitize: m.opts.sanitize && m.cfg.Streaming,
+	}
+	if m.cfg.Core.MaxCycles > 0 {
+		cfg.MaxInsts = m.cfg.Core.MaxCycles * int64(m.cfg.Core.CommitWidth)
+	}
+	fm := funcsim.New(cfg, p, m.hier.Mem)
+	for _, a := range args {
+		a.applyFunc(fm)
+	}
+	if err := fm.Run(); err != nil {
+		return nil, fmt.Errorf("uve: %w", err)
+	}
+	res := &Result{
+		Committed:  fm.Committed(),
+		Collisions: fm.Collisions(),
+	}
+	res.Core.Committed = fm.Committed()
+	res.Core.CommittedByKind = fm.CommittedByKind()
+	return res, nil
+}
+
 // Arg presets an architectural register before a run.
 type Arg struct {
-	apply func(c *cpu.Core)
+	apply     func(c *cpu.Core)
+	applyFunc func(f *funcsim.Machine)
 }
 
 // IntArg places v in integer register xN.
 func IntArg(n int, v uint64) Arg {
-	return Arg{apply: func(c *cpu.Core) { c.SetIntReg(n, v) }}
+	return Arg{
+		apply:     func(c *cpu.Core) { c.SetIntReg(n, v) },
+		applyFunc: func(f *funcsim.Machine) { f.SetIntReg(n, v) },
+	}
 }
 
 // FloatArg places v (width w) in FP register fN.
 func FloatArg(n int, w ElemWidth, v float64) Arg {
-	return Arg{apply: func(c *cpu.Core) { c.SetFPReg(n, w, v) }}
+	return Arg{
+		apply:     func(c *cpu.Core) { c.SetFPReg(n, w, v) },
+		applyFunc: func(f *funcsim.Machine) { f.SetFPReg(n, w, v) },
+	}
 }
 
 // F32Array is a float32 array in simulated memory.

@@ -161,3 +161,46 @@ func TestWithTraceAndSanitize(t *testing.T) {
 		t.Fatalf("y[3] = %v", y.At(3))
 	}
 }
+
+// TestWithFidelityFunctional: the fast tier computes exactly what the
+// detailed machine computes — identical output bytes and committed counts —
+// while reporting no cycles, and rejects the timing-only options.
+func TestWithFidelityFunctional(t *testing.T) {
+	const n, a = 4096, 1.5
+
+	cyc, cycProg, cycY := saxpyMachine(n)
+	cycRes, err := cyc.Run(cycProg, uve.FloatArg(1, uve.W4, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fn, fnProg, fnY := saxpyMachine(n, uve.WithFidelity(uve.Functional))
+	fnRes, err := fn.Run(fnProg, uve.FloatArg(1, uve.W4, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fnRes.Cycles != 0 {
+		t.Fatalf("functional run reported %d cycles", fnRes.Cycles)
+	}
+	if cycRes.Cycles == 0 {
+		t.Fatal("cycle run reported no cycles")
+	}
+	if fnRes.Committed != cycRes.Committed {
+		t.Fatalf("committed diverged: functional %d vs cycle %d", fnRes.Committed, cycRes.Committed)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := fnY.At(i), cycY.At(i); got != want {
+			t.Fatalf("y[%d] = %v on the functional tier, %v on the cycle tier", i, got, want)
+		}
+	}
+
+	// Timing-only options are configuration errors, not silent no-ops.
+	tm, tmProg, _ := saxpyMachine(n, uve.WithFidelity(uve.Functional), uve.WithTrace(uve.NewTraceCollector(64, 0)))
+	if _, err := tm.Run(tmProg); err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Fatalf("functional+trace error = %v, want trace conflict", err)
+	}
+	fm, fmProg, _ := saxpyMachine(n, uve.WithFidelity(uve.Functional), uve.WithFaults(uve.DefaultFaultPlan(1)))
+	if _, err := fm.Run(fmProg); err == nil || !strings.Contains(err.Error(), "fault") {
+		t.Fatalf("functional+faults error = %v, want faults conflict", err)
+	}
+}
