@@ -7,15 +7,19 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke perf-smoke perf-baseline bench experiments
+.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke model-smoke perf-smoke perf-baseline bench experiments
 
-check: fmt vet build lint race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke perf-smoke
+check: fmt vet build lint race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke model-smoke perf-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on: $$out"; exit 1; fi
 
+# go vet plus the repo's own determinism vet (cmd/uvevet): no wall-clock
+# reads, no global math/rand draws, no map iteration order leaking into
+# rendered reports in the simulation packages.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/uvevet
 
 # Static stream/program verification of all 19 kernels × 3 ISA variants.
 lint:
@@ -36,6 +40,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzIterator$$' -fuzztime 5s ./internal/descriptor
 	$(GO) test -run '^$$' -fuzz '^FuzzFootprint$$' -fuzztime 5s ./internal/descriptor
+	$(GO) test -run '^$$' -fuzz '^FuzzClosedFormWalk$$' -fuzztime 5s ./internal/cost
 
 # One Fig 8 regeneration through the benchmark harness — cheap proof that
 # the full kernel × machine matrix still assembles, runs and validates.
@@ -101,6 +106,15 @@ watchdog-smoke:
 	    echo "watchdog smoke: starved run exited zero"; exit 1; \
 	fi; \
 	grep -q watchdog "$$dir/wd.txt" && grep -q "stream table" "$$dir/wd.txt"
+
+# Cost-model validation sweep: the static model's exact traffic predictions
+# must match the simulator's committed counters and every cycle lower bound
+# must hold across the full kernel × variant matrix (the degeneracy gate
+# fails the run on any violation); the -json lint+cost report must be valid
+# machine-readable JSON.
+model-smoke:
+	$(GO) run ./cmd/uvebench -exp model -scale 256 > /dev/null
+	$(GO) run ./cmd/uvelint -all -cost -json | $(GO) run ./scripts/jsonvalid
 
 # Full custom-metric benchmark sweep (§VI figures as benchmark units).
 bench:

@@ -12,26 +12,96 @@
 //	uvelint -all -deps                # also print classified dependence pairs
 //	uvelint -all -max-footprint 4096  # cap footprint enumeration
 //	uvelint -all -fidelity functional # lint + execute on the fast tier
+//	uvelint -kernel C -cost           # static cost model: exact traffic + bounds
+//	uvelint -all -cost -json          # machine-readable diagnostics + cost
 //
 // -fidelity functional additionally interprets every clean program on the
 // functional tier and runs the kernel's output check — dynamic verification
 // without simulating cycles.
+//
+// -cost runs the internal/cost static model over each clean program and
+// prints the per-stream traffic prediction and cycle lower bounds. -json
+// replaces the text output with a JSON array holding one object per linted
+// program (kernel, variant, size, diagnostics and, with -cost, the full
+// estimate); field names are stable for downstream tooling.
 //
 // Exit status: 0 when every linted program is clean (warnings allowed),
 // 1 when any program has lint errors, 2 on usage or build failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cliflags"
+	"repro/internal/cost"
 	"repro/internal/kernels"
 	"repro/internal/lint"
 	"repro/internal/mem"
 	"repro/internal/sim"
 )
+
+// progReport is the -json element for one linted program. Field names are
+// stable: downstream tooling parses them.
+type progReport struct {
+	Kernel  string     `json:"kernel"`
+	Name    string     `json:"name"`
+	Variant string     `json:"variant"`
+	Size    int        `json:"size"`
+	Insts   int        `json:"insts"`
+	Clean   bool       `json:"clean"`
+	Diags   []progDiag `json:"diags"`
+	// Cost is the static cost model's estimate (with -cost, clean programs
+	// only).
+	Cost *cost.Estimate `json:"cost,omitempty"`
+}
+
+type progDiag struct {
+	PC       int    `json:"pc"`
+	Op       string `json:"op,omitempty"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+func severityName(s lint.Severity) string {
+	if s == lint.Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// buildReport assembles, lints and (optionally) cost-analyzes one program.
+// It is the shared core of the text and -json paths; the golden-file test
+// pins its JSON rendering.
+func buildReport(k *kernels.Kernel, v kernels.Variant, n int, withCost bool) (progReport, *kernels.Instance, error) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	inst := k.Build(h, v, n)
+	if inst.Err != nil && len(inst.Diags) == 0 {
+		return progReport{}, inst, fmt.Errorf("build failed: %w", inst.Err)
+	}
+	rep := progReport{
+		Kernel: k.ID, Name: k.Name, Variant: v.String(), Size: n,
+		Insts: inst.Prog.Len(), Clean: !lint.HasErrors(inst.Diags),
+		Diags: []progDiag{},
+	}
+	for _, d := range inst.Diags {
+		rep.Diags = append(rep.Diags, progDiag{
+			PC: d.PC, Op: d.Op, Severity: severityName(d.Severity), Message: d.Message,
+		})
+	}
+	if withCost && rep.Clean {
+		params := cost.DefaultParams(v.VecBytes())
+		params.IntArgs = inst.IntArgs
+		est, err := cost.Analyze(inst.Prog, params)
+		if err != nil {
+			return rep, inst, fmt.Errorf("cost analysis failed: %w", err)
+		}
+		rep.Cost = est
+	}
+	return rep, inst, nil
+}
 
 func main() {
 	kid := flag.String("kernel", "", "kernel ID or name (see uvesim -list)")
@@ -40,6 +110,8 @@ func main() {
 	all := flag.Bool("all", false, "lint every kernel")
 	verbose := flag.Bool("v", false, "print a line for clean programs too")
 	deps := flag.Bool("deps", false, "print every classified stream dependence pair")
+	costFlag := flag.Bool("cost", false, "run the static cost model (exact traffic prediction + cycle lower bounds)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per program instead of text")
 	maxFootprint := flag.Int64("max-footprint", 0,
 		"cap per-stream address enumeration in elements (0 = default 2^21); longer streams degrade to hull-only footprints")
 	fid := cliflags.AddFidelity(flag.CommandLine)
@@ -73,33 +145,44 @@ func main() {
 	}
 
 	status := 0
+	var reports []progReport
 	for _, k := range targets {
 		n := *size
 		if n <= 0 {
 			n = k.DefaultSize
 		}
 		for _, v := range variants {
-			h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
-			inst := k.Build(h, v, n)
 			name := fmt.Sprintf("%s-%s/%s n=%d", k.ID, k.Name, v, n)
-			if inst.Err != nil && len(inst.Diags) == 0 {
-				// Assembly failed before verification could run.
-				fmt.Fprintf(os.Stderr, "%s: build failed: %v\n", name, inst.Err)
+			rep, inst, err := buildReport(k, v, n, *costFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 				status = max(status, 2)
+				if inst.Err == nil {
+					// Assembly succeeded; only the cost analysis failed.
+					reports = append(reports, rep)
+				}
 				continue
 			}
-			for _, d := range inst.Diags {
-				fmt.Printf("%s:%s\n", name, d)
-			}
-			if *deps {
-				for _, d := range inst.Deps {
-					fmt.Printf("%s: dep: %s\n", name, d)
+			if !*jsonOut {
+				for _, d := range inst.Diags {
+					fmt.Printf("%s:%s\n", name, d)
+				}
+				if *deps {
+					for _, d := range inst.Deps {
+						fmt.Printf("%s: dep: %s\n", name, d)
+					}
 				}
 			}
-			if lint.HasErrors(inst.Diags) {
+			if !rep.Clean {
 				status = max(status, 1)
+				reports = append(reports, rep)
 				continue
 			}
+			if rep.Cost != nil && !*jsonOut {
+				fmt.Printf("%s: cost model:\n", name)
+				fmt.Print(rep.Cost.Render())
+			}
+			reports = append(reports, rep)
 			if fidelity == sim.Functional {
 				// Dynamic verification rides the fast tier: interpret the
 				// program and run the kernel's own output check — static
@@ -112,15 +195,23 @@ func main() {
 					status = max(status, 1)
 					continue
 				}
-				if *verbose {
+				if *verbose && !*jsonOut {
 					fmt.Printf("%s: ok (%d insts, %d warnings, functional check passed)\n",
 						name, inst.Prog.Len(), len(inst.Diags))
 				}
 				continue
 			}
-			if *verbose {
+			if *verbose && !*jsonOut {
 				fmt.Printf("%s: ok (%d insts, %d warnings)\n", name, inst.Prog.Len(), len(inst.Diags))
 			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
 	}
 	os.Exit(status)

@@ -1,0 +1,86 @@
+package main
+
+// Golden-file pin of the -json report: the field names and shapes are a
+// stable machine-readable surface (scripts/check.sh pipes them through
+// jsonvalid; downstream tooling parses them). Regenerate the golden file
+// with `go test ./cmd/uvelint -run TestJSONGolden -update` after an
+// intentional schema or model change.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/kernels"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestJSONGolden(t *testing.T) {
+	k := kernels.ByID("C") // SAXPY: three streams, pure affine, fully exact
+	if k == nil {
+		t.Fatal("kernel C not registered")
+	}
+	const size = 512
+	rep, _, err := buildReport(k, kernels.UVE, size, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode([]progReport{rep}); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "saxpy_uve_cost.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from %s\n-- got --\n%s\n-- want --\n%s\n(regenerate with -update after an intentional change)",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestJSONReportShape guards the invariants the golden file alone cannot:
+// every program in the full sweep produces valid JSON with the required
+// fields, and clean programs carry a cost estimate when requested.
+func TestJSONReportShape(t *testing.T) {
+	for _, k := range kernels.All {
+		rep, _, err := buildReport(k, kernels.UVE, bench.SizeFor(k, &bench.Options{Scale: 64}), true)
+		if err != nil {
+			t.Fatalf("%s: %v", k.ID, err)
+		}
+		if rep.Kernel != k.ID || rep.Variant != "UVE" || rep.Insts <= 0 {
+			t.Errorf("%s: malformed report %+v", k.ID, rep)
+		}
+		if rep.Diags == nil {
+			t.Errorf("%s: diags must marshal as [], not null", k.ID)
+		}
+		if rep.Clean && rep.Cost == nil {
+			t.Errorf("%s: clean program missing cost estimate", k.ID)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", k.ID, err)
+		}
+		if !json.Valid(b) {
+			t.Fatalf("%s: invalid JSON", k.ID)
+		}
+	}
+}

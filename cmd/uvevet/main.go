@@ -1,0 +1,312 @@
+// Command uvevet is the repo's determinism vet: the simulator must be a
+// pure function of (program, configuration, seed), so its packages may not
+// observe wall-clock time, draw from the global (unseeded) math/rand
+// source, or let Go's randomized map iteration order leak into rendered
+// reports. go vet has no such checks and golang.org/x/tools is not a
+// dependency, so this is a small stdlib-only AST walk.
+//
+// Checks:
+//
+//  1. time.Now (and time.Since/time.Until, which call it) — wall-clock
+//     reads make runs unreproducible.
+//  2. Global math/rand draws (rand.Intn, rand.Float64, rand.Shuffle, …) —
+//     the process-global source is unseeded; use rand.New(rand.NewSource(seed)).
+//  3. Map iteration that prints or formats inside the loop body — the
+//     canonical fix is collecting the keys, sorting, then ranging the
+//     slice. Map detection is package-local and allowlist-shaped (local
+//     make/literal/var declarations and struct fields declared in the
+//     scanned package), so it cannot false-positive on slices.
+//
+// Usage: uvevet [dir ...] — defaults to the simulation packages. Exit 1
+// when any finding is reported, 0 when clean.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// defaultDirs are the determinism-critical packages: everything that
+// executes programs or renders measurement reports.
+var defaultDirs = []string{
+	"internal/sim", "internal/cpu", "internal/engine",
+	"internal/mem", "internal/bench", "internal/funcsim",
+}
+
+// globalRandFuncs are the math/rand top-level draws backed by the
+// process-global source. Constructors (New, NewSource, NewZipf) are fine.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// fmtOutputFuncs format or print — inside a map-range body they serialize
+// the nondeterministic iteration order.
+var fmtOutputFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+	"Errorf": true, "Appendf": true,
+}
+
+// writerMethods are the io/strings.Builder sinks that serialize order.
+var writerMethods = map[string]bool{
+	"WriteString": true, "WriteByte": true, "WriteRune": true, "Write": true,
+	"Encode": true,
+}
+
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = defaultDirs
+	}
+	var findings []finding
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uvevet: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, pkg := range pkgs {
+			var files []*ast.File
+			var names []string
+			for name := range pkg.Files {
+				names = append(names, name)
+			}
+			// Sorted order: the vet's own output must be deterministic.
+			sortStrings(names)
+			for _, name := range names {
+				files = append(files, pkg.Files[name])
+			}
+			findings = append(findings, vetFiles(fset, files)...)
+		}
+	}
+	for _, f := range findings {
+		rel := f.pos.Filename
+		if wd, err := os.Getwd(); err == nil {
+			if r, err := filepath.Rel(wd, rel); err == nil {
+				rel = r
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s\n", rel, f.pos.Line, f.pos.Column, f.msg)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// vetFiles runs every check over one package's files.
+func vetFiles(fset *token.FileSet, files []*ast.File) []finding {
+	mapFields := collectMapFields(files)
+	var out []finding
+	for _, f := range files {
+		timeName, randName := importNames(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if pkg, ok := sel.X.(*ast.Ident); ok {
+					if timeName != "" && pkg.Name == timeName &&
+						(sel.Sel.Name == "Now" || sel.Sel.Name == "Since" || sel.Sel.Name == "Until") {
+						out = append(out, finding{fset.Position(n.Pos()),
+							fmt.Sprintf("time.%s: wall-clock read in a deterministic package", sel.Sel.Name)})
+					}
+					if randName != "" && pkg.Name == randName && globalRandFuncs[sel.Sel.Name] {
+						out = append(out, finding{fset.Position(n.Pos()),
+							fmt.Sprintf("rand.%s: global math/rand source; use rand.New(rand.NewSource(seed))", sel.Sel.Name)})
+					}
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				out = append(out, vetMapRanges(fset, fn.Body, mapFields)...)
+			}
+		}
+	}
+	return out
+}
+
+// importNames returns the local names "time" and "math/rand" are imported
+// under ("" when not imported; "_"/"." imports are ignored).
+func importNames(f *ast.File) (timeName, randName string) {
+	for _, imp := range f.Imports {
+		path, _ := strconv.Unquote(imp.Path.Value)
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		}
+		switch path {
+		case "time":
+			if name == "" {
+				name = "time"
+			}
+			timeName = name
+		case "math/rand", "math/rand/v2":
+			if name == "" {
+				name = "rand"
+			}
+			randName = name
+		}
+	}
+	return
+}
+
+// collectMapFields gathers struct field names declared with a map type
+// anywhere in the package, so `x.Summary` ranges are recognized.
+func collectMapFields(files []*ast.File) map[string]bool {
+	fields := map[string]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if _, isMap := fld.Type.(*ast.MapType); isMap {
+					for _, name := range fld.Names {
+						fields[name.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// vetMapRanges flags map-range loops whose body formats or prints. Local
+// map variables are tracked per function body (make, literals, var decls).
+func vetMapRanges(fset *token.FileSet, body *ast.BlockStmt, mapFields map[string]bool) []finding {
+	localMaps := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isMapExpr(rhs) {
+					localMaps[id.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if _, isMap := n.Type.(*ast.MapType); isMap {
+				for _, id := range n.Names {
+					localMaps[id.Name] = true
+				}
+			}
+			for i, v := range n.Values {
+				if i < len(n.Names) && isMapExpr(v) {
+					localMaps[n.Names[i].Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var out []finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !rangesOverMap(rng.X, localMaps, mapFields) {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, isSink := outputSink(call); isSink {
+				out = append(out, finding{fset.Position(call.Pos()),
+					fmt.Sprintf("%s inside a map-range loop: iteration order leaks into output (collect keys, sort, then range the slice)", name)})
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// isMapExpr reports whether an expression definitely yields a map:
+// make(map[...]), a map literal, or a conversion to a map type.
+func isMapExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			_, isMap := e.Args[0].(*ast.MapType)
+			return isMap
+		}
+	case *ast.CompositeLit:
+		_, isMap := e.Type.(*ast.MapType)
+		return isMap
+	}
+	return false
+}
+
+func rangesOverMap(x ast.Expr, localMaps, mapFields map[string]bool) bool {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return localMaps[x.Name]
+	case *ast.SelectorExpr:
+		return mapFields[x.Sel.Name]
+	}
+	return isMapExpr(x)
+}
+
+// outputSink reports whether a call formats or writes ordered output.
+func outputSink(call *ast.CallExpr) (string, bool) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" && fmtOutputFuncs[sel.Sel.Name] {
+			return "fmt." + sel.Sel.Name, true
+		}
+		if writerMethods[sel.Sel.Name] {
+			return "." + sel.Sel.Name, true
+		}
+	}
+	// A direct format-string argument (e.g. a local printf-style helper):
+	// the formatted text still serializes the iteration order.
+	if len(call.Args) > 0 {
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING && strings.Contains(lit.Value, "%") {
+			return "formatted call", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func vetSource(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return vetFiles(fset, []*ast.File{f})
+}
+
+func wantFinding(t *testing.T, fs []finding, substr string) {
+	t.Helper()
+	for _, f := range fs {
+		if strings.Contains(f.msg, substr) {
+			return
+		}
+	}
+	t.Errorf("no finding containing %q in %v", substr, fs)
+}
+
+func TestTimeNow(t *testing.T) {
+	fs := vetSource(t, `package p
+import "time"
+func f() time.Time { return time.Now() }
+func g(s time.Time) time.Duration { return time.Since(s) }
+`)
+	if len(fs) != 2 {
+		t.Fatalf("want 2 findings, got %v", fs)
+	}
+	wantFinding(t, fs, "time.Now")
+	wantFinding(t, fs, "time.Since")
+}
+
+func TestGlobalRand(t *testing.T) {
+	fs := vetSource(t, `package p
+import "math/rand"
+func f() int { return rand.Intn(7) }
+func ok() *rand.Rand { return rand.New(rand.NewSource(1)) }
+`)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %v", fs)
+	}
+	wantFinding(t, fs, "rand.Intn")
+}
+
+func TestRenamedImports(t *testing.T) {
+	fs := vetSource(t, `package p
+import (
+	clock "time"
+	mrand "math/rand"
+)
+func f() { _ = clock.Now(); _ = mrand.Float64() }
+`)
+	if len(fs) != 2 {
+		t.Fatalf("want 2 findings, got %v", fs)
+	}
+}
+
+func TestMapRangePrint(t *testing.T) {
+	fs := vetSource(t, `package p
+import "fmt"
+func f(m map[string]int) {
+	x := map[string]int{}
+	for k, v := range x {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+`)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %v", fs)
+	}
+	wantFinding(t, fs, "map-range")
+}
+
+// The original Degenerate() shape: a printf-style closure called inside a
+// map-range over a struct's map field — the class of bug the check exists
+// for.
+func TestMapFieldRangeFormattedHelper(t *testing.T) {
+	fs := vetSource(t, `package p
+type Report struct{ Summary map[string]float64 }
+func f(rep Report, add func(string, ...any)) {
+	for k, v := range rep.Summary {
+		add("%s: summary %q is non-finite", k, v)
+	}
+}
+`)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %v", fs)
+	}
+	wantFinding(t, fs, "map-range")
+}
+
+// The canonical fix — collect, sort, range the slice — must stay clean,
+// as must map-ranges that only collect.
+func TestSortedIterationClean(t *testing.T) {
+	fs := vetSource(t, `package p
+import (
+	"fmt"
+	"sort"
+)
+func f(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	seen := make(map[string]bool)
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
+func TestLocalMakeMapDetected(t *testing.T) {
+	fs := vetSource(t, `package p
+import "fmt"
+func f() {
+	var m map[int]int
+	for k := range m {
+		fmt.Sprint(k)
+	}
+}
+`)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %v", fs)
+	}
+}

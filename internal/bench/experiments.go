@@ -3,12 +3,14 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // ExperimentIDs lists every experiment `uvebench -exp` accepts, in the
-// order `-exp all` runs them. The "faults" resilience campaign is also
-// accepted by id but excluded here: `-exp all` output stays byte-stable,
-// and the campaign is a correctness gate, not an evaluation figure.
+// order `-exp all` runs them. The "faults" resilience campaign and the
+// "model" cost-model validation sweep are also accepted by id but excluded
+// here: `-exp all` output stays byte-stable, and both are correctness
+// gates, not evaluation figures.
 var ExperimentIDs = []string{
 	"table1", "fig8table", "hw", "fig8", "fig8e",
 	"fig9", "fig10", "fig11", "spm", "ablate", "stalls",
@@ -62,6 +64,9 @@ func RunExperiment(id string, o *Options) (string, Report, error) {
 	case "faults":
 		rows := FaultCampaign(o)
 		return FormatFaultCampaign(rows), Report{Experiment: id, Faults: rows}, nil
+	case "model":
+		rows := Model(o)
+		return FormatModel(rows), Report{Experiment: id, Model: rows, Summary: ModelSummary(rows)}, nil
 	}
 	return "", Report{}, fmt.Errorf("unknown experiment %q", id)
 }
@@ -104,8 +109,28 @@ func Degenerate(reports []Report) []string {
 				add("%s: fault campaign %s/%s seed=%#x has a zero cycle count", rep.Experiment, r.ID, r.Variant, r.Seed)
 			}
 		}
-		for k, v := range rep.Summary {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
+		for _, r := range rep.Model {
+			if r.Cycles == 0 {
+				add("%s: model row %s/%s has a zero cycle count", rep.Experiment, r.ID, r.Variant)
+			}
+			if r.Bound > r.Cycles {
+				add("%s: model row %s/%s bound %d exceeds measured cycles %d",
+					rep.Experiment, r.ID, r.Variant, r.Bound, r.Cycles)
+			}
+			if r.PredCommitted.IsExact() && r.PredCommitted.Value() != r.Committed {
+				add("%s: model row %s/%s predicted %d committed, simulator measured %d",
+					rep.Experiment, r.ID, r.Variant, r.PredCommitted.Value(), r.Committed)
+			}
+		}
+		// Summary keys in sorted order: map iteration order must never
+		// leak into the report text.
+		keys := make([]string, 0, len(rep.Summary))
+		for k := range rep.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if v := rep.Summary[k]; math.IsNaN(v) || math.IsInf(v, 0) {
 				add("%s: summary %q is non-finite", rep.Experiment, k)
 			}
 		}

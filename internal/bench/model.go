@@ -1,0 +1,158 @@
+package bench
+
+// The cost-model validation experiment (`uvebench -exp model`): every
+// kernel × machine runs once on the cycle tier while the static analyzer
+// predicts its committed-instruction count and cycle lower bound from the
+// program text alone. The experiment reports prediction exactness and
+// per-kernel bound tightness (bound/measured); a bound exceeding the
+// measured cycle count or an exact prediction that disagrees with the
+// simulator is a model bug and surfaces through Degenerate. Like the fault
+// campaign, the experiment is addressable by id but excluded from
+// `-exp all`, whose output stays byte-stable.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+)
+
+// ModelRow is one kernel/variant cell of the validation table.
+type ModelRow struct {
+	ID      string          `json:"id"`
+	Name    string          `json:"name"`
+	Variant kernels.Variant `json:"variant"`
+	Size    int             `json:"size"`
+
+	// Exact reports whether every predicted quantity is a point value.
+	Exact bool `json:"exact"`
+	// PredCommitted is the statically predicted committed-instruction
+	// count; Committed is the simulator's.
+	PredCommitted cost.Quantity `json:"pred_committed"`
+	Committed     uint64        `json:"committed"`
+
+	// Bound is the best (largest) static cycle lower bound, BoundName its
+	// source, Cycles the measured count and Tightness Bound/Cycles.
+	Bound     int64   `json:"bound"`
+	BoundName string  `json:"bound_name"`
+	Cycles    int64   `json:"cycles"`
+	Tightness float64 `json:"tightness"`
+
+	// PredBusUtil is the bus utilization implied by the predicted traffic
+	// at the bound; BusUtil the measured one.
+	PredBusUtil float64 `json:"pred_bus_util"`
+	BusUtil     float64 `json:"bus_util"`
+}
+
+// modelVariants: the model is validated on all three machines — the bounds
+// only use committed-instruction structure and memory traffic, which every
+// variant has.
+var modelVariants = []kernels.Variant{kernels.UVE, kernels.SVE, kernels.NEON}
+
+// Model runs the validation sweep.
+func Model(o *Options) []ModelRow {
+	type cell struct {
+		k *kernels.Kernel
+		v kernels.Variant
+		n int
+	}
+	var cells []cell
+	var jobs []Job
+	for _, k := range kernels.All {
+		size := SizeFor(k, o)
+		for _, v := range modelVariants {
+			cells = append(cells, cell{k, v, size})
+			jobs = append(jobs, Job{Kernel: k, Variant: v, Size: size})
+		}
+	}
+	results := mustAll(o.Runner().RunAll(jobs))
+
+	var rows []ModelRow
+	for i, c := range cells {
+		res := results[i]
+		// Analysis runs against a fresh build: allocation is deterministic,
+		// so the analyzed addresses match the simulated ones.
+		h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		inst := c.k.Build(h, c.v, c.n)
+		if inst.Err != nil {
+			panic(fmt.Sprintf("%s/%s n=%d: build: %v", c.k.ID, c.v, c.n, inst.Err))
+		}
+		params := cost.DefaultParams(c.v.VecBytes())
+		params.IntArgs = inst.IntArgs
+		est, err := cost.Analyze(inst.Prog, params)
+		if err != nil {
+			panic(fmt.Sprintf("%s/%s n=%d: analyze: %v", c.k.ID, c.v, c.n, err))
+		}
+		row := ModelRow{
+			ID: c.k.ID, Name: c.k.Name, Variant: c.v, Size: c.n,
+			Exact:         est.Exact,
+			PredCommitted: est.Committed,
+			Committed:     res.Committed,
+			Bound:         est.Bounds.Best,
+			BoundName:     est.Bounds.BestName,
+			Cycles:        res.Cycles,
+			Tightness:     safeDiv(float64(est.Bounds.Best), float64(res.Cycles)),
+			PredBusUtil:   est.PredictedBusUtil,
+			BusUtil:       res.BusUtil,
+		}
+		rows = append(rows, row)
+		if o != nil && o.Verbose {
+			fmt.Printf("  %s/%s n=%d: bound %d (%s) vs %d cycles\n",
+				c.k.Name, c.v, c.n, row.Bound, row.BoundName, row.Cycles)
+		}
+	}
+	return rows
+}
+
+// ModelSummary aggregates the tightness ratios the sweep is judged by.
+func ModelSummary(rows []ModelRow) map[string]float64 {
+	sum := map[string]float64{}
+	cnt := map[string]int{}
+	exact := 0
+	for _, r := range rows {
+		key := "mean_tightness_" + strings.ToLower(r.Variant.String())
+		sum[key] += r.Tightness
+		cnt[key]++
+		sum["mean_tightness"] += r.Tightness
+		cnt["mean_tightness"]++
+		if r.Exact {
+			exact++
+		}
+	}
+	out := map[string]float64{}
+	for k, s := range sum {
+		out[k] = s / float64(cnt[k])
+	}
+	if len(rows) > 0 {
+		out["exact_fraction"] = float64(exact) / float64(len(rows))
+	}
+	return out
+}
+
+// FormatModel renders the validation table.
+func FormatModel(rows []ModelRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cost model validation — static lower bounds vs measured cycles\n")
+	fmt.Fprintf(&b, "%-2s %-15s %-4s %7s %12s %9s %9s %-13s %6s %6s %6s\n",
+		"ID", "kernel", "mach", "n", "committed", "cycles", "bound", "binding", "tight", "pbus", "bus")
+	for _, r := range rows {
+		com := r.PredCommitted.String()
+		if r.PredCommitted.IsExact() && r.PredCommitted.Value() == r.Committed {
+			com += "="
+		} else if r.PredCommitted.IsExact() {
+			com += "!"
+		}
+		fmt.Fprintf(&b, "%-2s %-15s %-4s %7d %12s %9d %9d %-13s %5.0f%% %5.1f%% %5.1f%%\n",
+			r.ID, r.Name, r.Variant, r.Size, com, r.Cycles, r.Bound, r.BoundName,
+			100*r.Tightness, 100*r.PredBusUtil, 100*r.BusUtil)
+	}
+	s := ModelSummary(rows)
+	fmt.Fprintf(&b, "\nmean tightness %.0f%% (uve %.0f%%, sve %.0f%%, neon %.0f%%), exact predictions %.0f%%\n",
+		100*s["mean_tightness"], 100*s["mean_tightness_uve"],
+		100*s["mean_tightness_sve"], 100*s["mean_tightness_neon"],
+		100*s["exact_fraction"])
+	fmt.Fprintf(&b, "(every bound is a proved lower bound: `=` marks committed counts the\nsimulator confirmed; bounds are loose on stall-dominated kernels, whose\ncycles are latency, not throughput)\n")
+	return b.String()
+}

@@ -12,6 +12,7 @@ type Report struct {
 	Sweep      []SweepPoint       `json:"sweep,omitempty"`
 	Stalls     []StallRow         `json:"stalls,omitempty"`
 	Faults     []FaultRow         `json:"faults,omitempty"`
+	Model      []ModelRow         `json:"model,omitempty"`
 	Summary    map[string]float64 `json:"summary,omitempty"`
 	Text       string             `json:"text,omitempty"`
 }

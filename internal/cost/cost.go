@@ -1,0 +1,476 @@
+// Package cost is the static descriptor cost model: given a verified
+// program and a machine configuration, it derives — without running the
+// simulator — exact per-stream work (elements, bytes, chunks, dimension
+// boundaries, line requests, store lines), unique cache-line footprints,
+// exact committed instruction counts, and a set of roofline-style cycle
+// lower bounds (commit/issue width, per-port-group throughput, per-channel
+// DRAM bandwidth, stream-engine generator throughput).
+//
+// Everything the analyzer reports is either exact or an explicit interval:
+// pure affine descriptors are solved in closed form, modifier and indirect
+// patterns fall back to a budgeted symbolic walk of the descriptor
+// iterator, and anything data-dependent (Size-target indirection,
+// data-dependent branches) degrades to an interval plus a diagnostic —
+// never a wrong point estimate. The differential tests in this package and
+// internal/sim enforce both halves: exact quantities equal the simulator's
+// counters, and every bound is ≤ the measured cycle count.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/descriptor"
+	"repro/internal/engine"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// Params configures an estimate: the machine the program would run on plus
+// the entry register arguments (sizes, base addresses) the analysis
+// resolves control flow and addresses from.
+type Params struct {
+	Core cpu.Config
+	Eng  engine.Config
+	Hier mem.HierarchyConfig
+
+	// IntArgs presets integer registers, exactly as sim presets them from
+	// kernels.Instance.IntArgs.
+	IntArgs map[int]uint64
+
+	// WalkBudget caps the symbolic per-stream walk in elements
+	// (DefaultWalkElems when zero). MaxSteps caps interpreted instructions
+	// (2^26 when zero).
+	WalkBudget int64
+	MaxSteps   int64
+}
+
+// DefaultParams returns Table I machine parameters for the given vector
+// width.
+func DefaultParams(vecBytes int) Params {
+	p := Params{
+		Core: cpu.DefaultConfig(),
+		Eng:  engine.DefaultConfig(),
+		Hier: mem.DefaultHierarchyConfig(),
+	}
+	p.Core.VecBytes = vecBytes
+	p.Eng.VecBytes = vecBytes
+	return p
+}
+
+// StreamCost is the statically derived work of one stream instance, in the
+// units the engine's committed StreamTraffic records use.
+type StreamCost struct {
+	U     int    `json:"u"`
+	Kind  string `json:"kind"`
+	Width int    `json:"width"`
+	Level string `json:"level"`
+	Desc  string `json:"desc"`
+	// Complete reports whether the program consumes the whole pattern; the
+	// gen-side LineRequests figure is exact only then.
+	Complete bool `json:"complete"`
+
+	Elems         Quantity `json:"elems"`
+	Bytes         Quantity `json:"bytes"`
+	Chunks        Quantity `json:"chunks"`
+	DimBoundaries Quantity `json:"dimBoundaries"`
+	LineRequests  Quantity `json:"lineRequests"`
+	StoreLines    Quantity `json:"storeLines"`
+	UniqueLines   Quantity `json:"uniqueLines"`
+
+	Note string `json:"note,omitempty"`
+}
+
+// Bounds are cycle lower bounds: the simulated Result.Cycles can never be
+// below any of them (the differential tests enforce it).
+type Bounds struct {
+	Commit       int64            `json:"commit"`
+	Issue        int64            `json:"issue"`
+	Ports        map[string]int64 `json:"ports"`
+	DRAM         int64            `json:"dram"`
+	EngineStream int64            `json:"engineStream"`
+	EngineTotal  int64            `json:"engineTotal"`
+	EngineStore  int64            `json:"engineStore"`
+	EngineMRQ    int64            `json:"engineMRQ"`
+	// Best is the tightest (largest) of the bounds above.
+	Best int64 `json:"best"`
+	// BestName names the binding constraint.
+	BestName string `json:"bestName"`
+}
+
+// Estimate is the full static model of one program run.
+type Estimate struct {
+	// Exact reports whether every quantity is a point value. When false,
+	// Diags explains what degraded and the committed counts are the exact
+	// prefix the analysis resolved (still sound as lower bounds).
+	Exact bool `json:"exact"`
+
+	Committed Quantity            `json:"committed"`
+	ByKind    map[string]Quantity `json:"byKind"`
+	Streams   []StreamCost        `json:"streams,omitempty"`
+
+	// ReadOnlyLines / WrittenLines are the statically proven unique line
+	// footprints (reads may be under-approximated, writes over-approximated
+	// — the directions that keep the DRAM bound sound).
+	ReadOnlyLines uint64 `json:"readOnlyLines"`
+	WrittenLines  uint64 `json:"writtenLines"`
+
+	Bounds Bounds `json:"bounds"`
+
+	// PredictedBusUtil estimates Fig 8.D bus utilization as mandatory line
+	// traffic over the best bound's cycles — an estimate, not a bound.
+	PredictedBusUtil float64 `json:"predictedBusUtil"`
+
+	Diags []string `json:"diags,omitempty"`
+}
+
+// Analyze runs the static cost model over a verified program.
+func Analyze(p *program.Program, params Params) (*Estimate, error) {
+	if p == nil {
+		return nil, fmt.Errorf("cost: nil program")
+	}
+	walk := params.WalkBudget
+	if walk <= 0 {
+		walk = DefaultWalkElems
+	}
+	steps := params.MaxSteps
+	if steps <= 0 {
+		steps = 1 << 26
+	}
+	if params.Core.VecBytes <= 0 {
+		return nil, fmt.Errorf("cost: Core.VecBytes must be positive")
+	}
+	in := newInterp(p, params.Core.VecBytes, walk, steps)
+	for r, v := range params.IntArgs {
+		in.setIntReg(r, v)
+	}
+	in.run()
+
+	est := &Estimate{Exact: !in.bailed, Diags: in.diags}
+	if in.bailed {
+		est.Diags = append(est.Diags, in.bailMsg)
+		est.Committed = Interval(in.committed, Unbounded)
+	} else {
+		est.Committed = Exact(in.committed)
+	}
+	est.ByKind = map[string]Quantity{}
+	for k := isa.Kind(0); k < isa.KindCount; k++ {
+		if in.byKind[k] == 0 {
+			continue
+		}
+		if in.bailed {
+			est.ByKind[k.String()] = Interval(in.byKind[k], Unbounded)
+		} else {
+			est.ByKind[k.String()] = Exact(in.byKind[k])
+		}
+	}
+
+	if in.unknownLoads > 0 {
+		in.diags = append(in.diags,
+			fmt.Sprintf("%d load(s) with data-dependent addresses: read footprint under-approximated", in.unknownLoads))
+		est.Diags = in.diags
+	}
+	est.Streams = streamCosts(in)
+	for _, sc := range est.Streams {
+		if !sc.Elems.IsExact() || !sc.LineRequests.IsExact() {
+			est.Exact = false
+		}
+	}
+	buildBounds(est, in, &params)
+	return est, nil
+}
+
+// streamCosts assembles the per-instance cost records, mirroring how the
+// engine's committed StreamTraffic snapshots count: committed chunks for
+// core-consumed streams, settled-prefix chunks for engine-consumed origins.
+func streamCosts(in *interp) []StreamCost {
+	var out []StreamCost
+	for _, s := range in.all {
+		if s.configuring || s.work == nil {
+			continue
+		}
+		w := s.work
+		sc := StreamCost{
+			U:     s.u,
+			Kind:  s.kind.String(),
+			Width: int(s.w),
+			Level: s.level.String(),
+			Desc:  w.desc.String(),
+			Note:  strings.TrimSpace(strings.Join([]string{w.note, w.addrNote}, "; ")),
+		}
+		sc.Note = strings.Trim(sc.Note, "; ")
+		if !w.exact || s.posUnknown || in.bailed {
+			sc.Elems = Interval(0, w.hi)
+			sc.Bytes = sc.Elems.scale(uint64(s.w))
+			sc.Chunks = Interval(0, Unbounded)
+			sc.DimBoundaries = Interval(0, Unbounded)
+			sc.LineRequests = Interval(0, Unbounded)
+			sc.StoreLines = Interval(0, Unbounded)
+			sc.UniqueLines = Interval(0, Unbounded)
+			if sc.Note == "" {
+				sc.Note = "analysis degraded before this stream settled"
+			}
+			out = append(out, sc)
+			continue
+		}
+		chunks := s.pos
+		if s.drained > 0 {
+			var cum, c int64
+			for c < w.chunks && cum+w.nAt(c) <= s.drained {
+				cum += w.nAt(c)
+				c++
+			}
+			if c > chunks {
+				chunks = c
+			}
+		}
+		elems, dimBounds := w.prefix(chunks)
+		sc.Complete = s.released && chunks == w.chunks
+		sc.Elems = Exact(uint64(elems))
+		sc.Bytes = Exact(uint64(elems) * uint64(s.w))
+		sc.Chunks = Exact(uint64(chunks))
+		sc.DimBoundaries = Exact(uint64(dimBounds))
+		switch {
+		case s.kind == descriptor.Load && w.addrExact && sc.Complete:
+			sc.LineRequests = Exact(uint64(w.lineReqs))
+		case s.kind == descriptor.Load && w.addrExact:
+			sc.LineRequests = Interval(0, uint64(w.lineReqs))
+		case s.kind == descriptor.Load:
+			sc.LineRequests = Interval(0, uint64(w.elems))
+		default:
+			sc.LineRequests = Exact(0)
+		}
+		switch {
+		case s.kind == descriptor.Store && w.addrExact && sc.Complete:
+			sc.StoreLines = Exact(uint64(w.storeLines))
+		case s.kind == descriptor.Store && w.addrExact:
+			sc.StoreLines = Interval(0, uint64(w.storeLines))
+		case s.kind == descriptor.Store:
+			sc.StoreLines = Interval(0, uint64(w.elems))
+		default:
+			sc.StoreLines = Exact(0)
+		}
+		if w.addrExact {
+			sc.UniqueLines = Exact(uint64(len(w.lines)))
+		} else {
+			sc.UniqueLines = Interval(0, uint64(w.elems))
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+func ceilDiv(n uint64, d int) int64 {
+	if d <= 0 || n == 0 {
+		return 0
+	}
+	return int64((n + uint64(d) - 1) / uint64(d))
+}
+
+// buildBounds composes the cycle lower bounds from the exact-prefix tallies
+// (sound even after a bail: the real run commits at least the resolved
+// prefix) and the settled stream works.
+func buildBounds(est *Estimate, in *interp, params *Params) {
+	b := &est.Bounds
+	b.Commit = ceilDiv(in.committed, params.Core.CommitWidth)
+	b.Issue = ceilDiv(in.committed, params.Core.IssueWidth)
+
+	// Per-port-group issue throughput, mirroring cpu.groupOf.
+	groups := map[string]struct {
+		n   uint64
+		cap int
+	}{
+		"int": {in.byKind[isa.KindIntALU] + in.byKind[isa.KindBranch] + in.byKind[isa.KindNop] +
+			in.byKind[isa.KindStreamCfg] + in.byKind[isa.KindStreamCtl], params.Core.IntALUs},
+		"vecfp": {in.byKind[isa.KindFPALU] + in.byKind[isa.KindVecALU], params.Core.VecFPUs},
+		"load":  {in.byKind[isa.KindLoad], params.Core.LoadPorts},
+		"store": {in.byKind[isa.KindStore], params.Core.StorePorts},
+	}
+	b.Ports = map[string]int64{}
+	for name, g := range groups {
+		b.Ports[name] = ceilDiv(g.n, g.cap)
+	}
+
+	// Streaming-engine generator throughput: each settled, fully consumed
+	// stream needs its generator steps (serialized per stream, shared across
+	// NumModules), every committed store line drains at one line per cycle,
+	// and every coalesced line request passes the engine's load-port budget.
+	var sumSteps, storeLines, lineReqs int64
+	for _, s := range in.all {
+		if s.configuring || s.work == nil || !s.work.exact || s.posUnknown || in.bailed {
+			continue
+		}
+		if !(s.released && (s.pos == s.work.chunks || s.drained >= s.work.elems)) {
+			continue
+		}
+		steps := s.work.genSteps()
+		if steps > b.EngineStream {
+			b.EngineStream = steps
+		}
+		sumSteps += steps
+		if s.work.addrExact {
+			if s.kind == descriptor.Store {
+				storeLines += s.work.storeLines
+			} else {
+				lineReqs += s.work.lineReqs
+			}
+		}
+	}
+	b.EngineTotal = ceilDiv(uint64(sumSteps), params.Eng.NumModules)
+	b.EngineStore = storeLines
+	b.EngineMRQ = ceilDiv(uint64(lineReqs), params.Eng.LoadPorts)
+
+	// DRAM bandwidth: every line that is read and provably never written
+	// must be fetched from a cold memory system exactly through its DRAM
+	// channel, which serializes one line per LineService cycles. Reads are
+	// under-approximated and writes over-approximated, so the bound stays
+	// sound; if any store's lines are unknown — or the interpretation
+	// bailed, leaving unanalyzed code that could store anywhere — no line
+	// is provably read-only and the bound is dropped.
+	writesUnknown := in.writesUnknown || in.bailed
+	read := map[uint64]struct{}{}
+	written := map[uint64]struct{}{}
+	for l := range in.readLines {
+		read[l] = struct{}{}
+	}
+	for l := range in.writeLines {
+		written[l] = struct{}{}
+	}
+	for _, s := range in.all {
+		if s.configuring || s.work == nil {
+			continue
+		}
+		if s.kind == descriptor.Store {
+			if s.work.addrExact {
+				for _, l := range s.work.lines {
+					written[l] = struct{}{}
+				}
+			} else {
+				writesUnknown = true
+			}
+			continue
+		}
+		if s.work.addrExact && s.work.exact && !s.posUnknown && !in.bailed &&
+			s.released && (s.pos == s.work.chunks || s.drained >= s.work.elems) {
+			for _, l := range s.work.lines {
+				read[l] = struct{}{}
+			}
+		}
+	}
+	perChan := make([]uint64, params.Hier.DRAM.Channels)
+	var readOnly uint64
+	if !writesUnknown {
+		for l := range read {
+			if _, w := written[l]; w {
+				continue
+			}
+			readOnly++
+			perChan[int(l/arch.LineSize)%len(perChan)]++
+		}
+		ls := int64(params.Hier.DRAM.LineService)
+		al := int64(params.Hier.DRAM.AccessLatency)
+		for _, k := range perChan {
+			if k == 0 {
+				continue
+			}
+			if bd := (int64(k)-1)*ls + al + 1; bd > b.DRAM {
+				b.DRAM = bd
+			}
+		}
+	} else {
+		est.Diags = append(est.Diags, "store footprint not statically bounded: DRAM bandwidth bound dropped")
+	}
+	est.ReadOnlyLines = readOnly
+	est.WrittenLines = uint64(len(written))
+
+	named := []struct {
+		name string
+		v    int64
+	}{
+		{"commit", b.Commit}, {"issue", b.Issue},
+		{"dram", b.DRAM},
+		{"engine-stream", b.EngineStream}, {"engine-total", b.EngineTotal},
+		{"engine-store", b.EngineStore}, {"engine-mrq", b.EngineMRQ},
+	}
+	var ports []string
+	for name := range b.Ports {
+		ports = append(ports, name)
+	}
+	sort.Strings(ports)
+	for _, name := range ports {
+		named = append(named, struct {
+			name string
+			v    int64
+		}{"port-" + name, b.Ports[name]})
+	}
+	for _, c := range named {
+		if c.v > b.Best {
+			b.Best, b.BestName = c.v, c.name
+		}
+	}
+
+	if b.Best > 0 {
+		peak := float64(params.Hier.DRAM.Channels) * arch.LineSize / float64(params.Hier.DRAM.LineService)
+		bytes := float64((readOnly + est.WrittenLines) * arch.LineSize)
+		est.PredictedBusUtil = bytes / (float64(b.Best) * peak)
+	}
+}
+
+// Render formats the estimate as the human-readable table uvelint -cost
+// prints.
+func (e *Estimate) Render() string {
+	var sb strings.Builder
+	status := "exact"
+	if !e.Exact {
+		status = "degraded (intervals)"
+	}
+	fmt.Fprintf(&sb, "committed %s (%s)\n", e.Committed, status)
+	var kinds []string
+	for k := range e.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "  %-10s %s\n", k, e.ByKind[k])
+	}
+	if len(e.Streams) > 0 {
+		fmt.Fprintf(&sb, "streams:\n")
+		fmt.Fprintf(&sb, "  %-3s %-5s %-4s %-9s %-11s %-8s %-8s %-9s %-9s %s\n",
+			"u", "kind", "lvl", "elems", "bytes", "chunks", "dims", "linereq", "stlines", "lines")
+		for _, s := range e.Streams {
+			fmt.Fprintf(&sb, "  %-3d %-5s %-4s %-9s %-11s %-8s %-8s %-9s %-9s %s",
+				s.U, s.Kind, s.Level, s.Elems, s.Bytes, s.Chunks, s.DimBoundaries,
+				s.LineRequests, s.StoreLines, s.UniqueLines)
+			if s.Note != "" {
+				fmt.Fprintf(&sb, "  ! %s", s.Note)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&sb, "cycle lower bounds: best %d (%s)\n", e.Bounds.Best, e.Bounds.BestName)
+	fmt.Fprintf(&sb, "  commit %d  issue %d  dram %d\n", e.Bounds.Commit, e.Bounds.Issue, e.Bounds.DRAM)
+	var ports []string
+	for p := range e.Bounds.Ports {
+		ports = append(ports, p)
+	}
+	sort.Strings(ports)
+	sb.WriteString("  ports:")
+	for _, p := range ports {
+		fmt.Fprintf(&sb, " %s %d", p, e.Bounds.Ports[p])
+	}
+	sb.WriteByte('\n')
+	if e.Bounds.EngineStream > 0 || e.Bounds.EngineTotal > 0 {
+		fmt.Fprintf(&sb, "  engine: stream %d  total %d  store %d  mrq %d\n",
+			e.Bounds.EngineStream, e.Bounds.EngineTotal, e.Bounds.EngineStore, e.Bounds.EngineMRQ)
+	}
+	fmt.Fprintf(&sb, "predicted bus utilization ≤ %.3f (lines: %d read-only, %d written)\n",
+		e.PredictedBusUtil, e.ReadOnlyLines, e.WrittenLines)
+	for _, d := range e.Diags {
+		fmt.Fprintf(&sb, "note: %s\n", d)
+	}
+	return sb.String()
+}

@@ -1,0 +1,48 @@
+package cost
+
+import "fmt"
+
+// Unbounded is the Hi value of a Quantity whose upper bound is statically
+// unknown (data-dependent descriptor sizes).
+const Unbounded = ^uint64(0)
+
+// Quantity is a statically derived count: an exact value when Lo == Hi, an
+// explicit interval otherwise. The analyzer never reports a wrong point
+// estimate — anything it cannot pin becomes an interval plus a diagnostic.
+type Quantity struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+// Exact builds a point quantity.
+func Exact(v uint64) Quantity { return Quantity{Lo: v, Hi: v} }
+
+// Interval builds an interval quantity.
+func Interval(lo, hi uint64) Quantity { return Quantity{Lo: lo, Hi: hi} }
+
+// IsExact reports whether the quantity is a point value.
+func (q Quantity) IsExact() bool { return q.Lo == q.Hi }
+
+// Value returns the point value of an exact quantity (Lo otherwise).
+func (q Quantity) Value() uint64 { return q.Lo }
+
+func (q Quantity) String() string {
+	if q.IsExact() {
+		return fmt.Sprintf("%d", q.Lo)
+	}
+	if q.Hi == Unbounded {
+		return fmt.Sprintf("[%d,∞)", q.Lo)
+	}
+	return fmt.Sprintf("[%d,%d]", q.Lo, q.Hi)
+}
+
+// scale multiplies both ends (saturating at Unbounded).
+func (q Quantity) scale(f uint64) Quantity {
+	mul := func(a uint64) uint64 {
+		if a == Unbounded || (a != 0 && f > Unbounded/a) {
+			return Unbounded
+		}
+		return a * f
+	}
+	return Quantity{Lo: mul(q.Lo), Hi: mul(q.Hi)}
+}

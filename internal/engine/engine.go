@@ -69,6 +69,39 @@ type Stats struct {
 	PageFaults        uint64
 	StreamsReleased   uint64
 	ConfigSyncStalls  uint64
+	// Regenerations counts streams whose End part was squashed after
+	// generation began: the stream regenerates from scratch, so gen-side
+	// tallies (ChunksLoaded, ElementsLoaded, LineRequests, CoalescedReuses)
+	// include the discarded work. Commit-side StreamTraffic does not.
+	Regenerations uint64
+}
+
+// StreamTraffic is the committed, replay-safe per-stream work record the
+// static cost model validates against. One record per stream configuration
+// instance (stream renaming can map the same logical register u to several
+// instances); counters cover committed chunks only, so miss-speculation and
+// configuration squashes never inflate them.
+type StreamTraffic struct {
+	U     int
+	Kind  descriptor.Kind
+	Width arch.ElemWidth
+	Level arch.CacheLevel
+	// Elems/Bytes are committed elements and their byte volume.
+	Elems uint64
+	Bytes uint64
+	// Chunks is the number of committed vector chunks; DimBoundaries counts
+	// committed chunks that end a non-innermost dimension without ending the
+	// stream (each costs one dimension-switch generation cycle).
+	Chunks        uint64
+	DimBoundaries uint64
+	// LineRequests counts distinct line fetches the stream's generation
+	// issued (maximal runs of consecutive same-line elements; loads only,
+	// fault-free). StoreLines counts unique lines per committed store chunk.
+	LineRequests uint64
+	StoreLines   uint64
+	// Complete reports the whole pattern committed (not stopped mid-way or
+	// still live at snapshot time).
+	Complete bool
 }
 
 // ChunkView is what the core receives when a stream register is consumed at
@@ -187,6 +220,11 @@ type stream struct {
 	// Origin-side bookkeeping for streams consumed by the engine itself.
 	engineConsumed bool
 	settledElems   int64
+
+	// Commit-side traffic tallies for the StreamTraffic export.
+	lineReqs     uint64 // gen-side but replay-safe: squash regenerates a fresh struct
+	storeLineCnt uint64
+	dimBounds    uint64
 
 	configuring       bool // SAT-mapped at rename, descriptor not yet final
 	suspended         bool
@@ -316,6 +354,10 @@ type Engine struct {
 	rec     trace.Recorder
 	tracing bool
 	now     int64
+
+	// traffic accumulates StreamTraffic records of released streams in
+	// release order; Traffic() extends it with live-stream snapshots.
+	traffic []StreamTraffic
 
 	// activity counts state-changing steps the engine took on its own clock
 	// (SCROB processing, generation, line arrivals, store drains, chunk
@@ -497,6 +539,7 @@ func (e *Engine) deconfigure(slot int, building []*isa.StreamCfgPart) {
 		return
 	}
 	e.sanEndSlot(s)
+	e.Stats.Regenerations++
 	e.entries[slot] = &stream{
 		slot: slot, epoch: s.epoch + 1, u: s.u,
 		kind: s.kind, w: s.w, level: s.level,
@@ -699,12 +742,44 @@ func (s *stream) computeFootprint() {
 	s.maxAddr = uint64(int64(s.desc.Base) + hi*w + w - 1)
 }
 
+// trafficOf snapshots a configured stream's committed work.
+func trafficOf(s *stream, released bool) StreamTraffic {
+	return StreamTraffic{
+		U: s.u, Kind: s.kind, Width: s.w, Level: s.level,
+		Elems:         uint64(s.committedElems),
+		Bytes:         uint64(s.committedElems) * uint64(s.w),
+		Chunks:        uint64(s.commitPos),
+		DimBoundaries: s.dimBounds,
+		LineRequests:  s.lineReqs,
+		StoreLines:    s.storeLineCnt,
+		Complete:      released && s.totalKnown && s.commitPos == s.totalChunks,
+	}
+}
+
+// Traffic returns the committed per-stream work records: released streams in
+// release order, then snapshots of still-live configured streams in slot
+// order. Idempotent — safe to call repeatedly or mid-run.
+func (e *Engine) Traffic() []StreamTraffic {
+	out := append([]StreamTraffic(nil), e.traffic...)
+	for _, s := range e.entries {
+		if s != nil && !s.released && s.desc != nil {
+			out = append(out, trafficOf(s, false))
+		}
+	}
+	return out
+}
+
 func (e *Engine) releaseSlot(slot int) {
 	s := e.entries[slot]
 	if s == nil || s.released {
 		return
 	}
 	e.sanEndSlot(s)
+	// A Start-part squash releases a rename-allocated entry that never got
+	// its descriptor (desc == nil): no work to record.
+	if s.desc != nil {
+		e.traffic = append(e.traffic, trafficOf(s, true))
+	}
 	s.released = true
 	s.epoch++ // invalidate in-flight callbacks
 	// Remove the slot's pending MRQ entries.

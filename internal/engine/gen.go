@@ -247,6 +247,7 @@ func (e *Engine) ensureLine(s *stream, line uint64, now int64) bool {
 	s.lastFault = false
 	e.mrq = append(e.mrq, f)
 	e.Stats.LineRequests++
+	s.lineReqs++
 	if e.tracing {
 		e.rec.Emit(trace.Event{Cycle: now, Kind: trace.EvLineRequest, Arg0: int64(s.slot), Arg1: int64(line)})
 	}
@@ -534,6 +535,9 @@ func (e *Engine) CommitConsume(slot int, seq int64) {
 	}
 	s.committedElems += int64(c.n)
 	s.commitEnd, s.commitLast = c.end, c.last
+	if c.end != 0 && !c.last {
+		s.dimBounds++
+	}
 	if c.last {
 		s.coreSawEnd = true
 	}
@@ -565,10 +569,14 @@ func (e *Engine) CommitStore(slot int, seq int64, now int64) {
 		e.storeQ = append(e.storeQ, storeLine{line: l, level: s.level, s: s})
 		s.pendingStoreLines++
 		e.Stats.StoreLines++
+		s.storeLineCnt++
 	}
 	e.Stats.ElementsStored += uint64(c.n)
 	s.committedElems += int64(c.n)
 	s.commitEnd, s.commitLast = c.end, c.last
+	if c.end != 0 && !c.last {
+		s.dimBounds++
+	}
 	if c.last {
 		s.coreSawEnd = true
 	}
@@ -938,6 +946,9 @@ func (e *Engine) advanceEngineConsumed() {
 				break
 			}
 			s.committedElems += int64(c.n)
+			if c.end != 0 && !c.last {
+				s.dimBounds++
+			}
 			if c.last {
 				s.coreSawEnd = true
 			}

@@ -102,6 +102,9 @@ type Result struct {
 	BusUtil float64
 	// Collisions holds the stream sanitizer's observations (Options.Sanitize).
 	Collisions []engine.Collision
+	// Traffic holds the committed per-stream work records (UVE cycle runs
+	// only) the static cost model validates against.
+	Traffic []engine.StreamTraffic
 	// Faults counts the injections actually fired (Options.Faults).
 	Faults fault.Stats
 	// MemHash is the final memory-image digest (Options.HashMem).
@@ -215,6 +218,7 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 	if eng != nil {
 		res.Eng = eng.Stats
 		res.Collisions = eng.Collisions()
+		res.Traffic = eng.Traffic()
 	}
 	if inj != nil {
 		res.Faults = inj.Stats

@@ -14,6 +14,10 @@ if [ -n "$fmt_diff" ]; then
     exit 1
 fi
 go vet ./...
+# Determinism vet: the simulation/report packages must not read the wall
+# clock, draw from the global math/rand source, or let map iteration order
+# leak into rendered output.
+go run ./cmd/uvevet
 go build ./...
 go run ./cmd/uvelint -all
 # Targeted race run for the PR-1 parallel experiment runner and the
@@ -24,6 +28,7 @@ go test -race ./...
 # iterator and symbolic footprint vs. the concrete oracle.
 go test -run '^$' -fuzz '^FuzzIterator$' -fuzztime 5s ./internal/descriptor
 go test -run '^$' -fuzz '^FuzzFootprint$' -fuzztime 5s ./internal/descriptor
+go test -run '^$' -fuzz '^FuzzClosedFormWalk$' -fuzztime 5s ./internal/cost
 go test -run '^$' -bench '^BenchmarkFig8$' -benchtime 1x .
 # Execution-tier smoke: the functional/cycle differential oracle and the
 # event-skip bit-equivalence suite race-detected, a short differential
@@ -45,6 +50,13 @@ cmp "$tracedir/plain.txt" "$tracedir/traced.txt"
 go run ./cmd/uvebench -exp fig8 -scale 256 -j 1 > "$tracedir/fig8-seq.txt"
 go run ./cmd/uvebench -exp fig8 -scale 256 > "$tracedir/fig8-par.txt"
 cmp "$tracedir/fig8-seq.txt" "$tracedir/fig8-par.txt"
+# Cost-model validation sweep: the static descriptor model's exact traffic
+# predictions must equal the simulator's committed counters and every cycle
+# lower bound must hold across the full kernel × variant matrix (-exp model
+# fails via the degeneracy gate on any violation); the machine-readable
+# lint+cost report must be valid JSON end to end.
+go run ./cmd/uvebench -exp model -scale 256 > /dev/null
+go run ./cmd/uvelint -all -cost -json | go run ./scripts/jsonvalid
 # Fault smoke: seeded injection is deterministic — the same seed must give
 # byte-identical output for a single faulted run and for the full campaign
 # table (every kernel × {UVE,SVE} × seed grid, each checked against the

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/cost"
 	"repro/internal/cpu"
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -386,6 +387,7 @@ func (m *Machine) runFunctional(p *Program, args []Arg) (*Result, error) {
 type Arg struct {
 	apply     func(c *cpu.Core)
 	applyFunc func(f *funcsim.Machine)
+	applyCost func(args map[int]uint64)
 }
 
 // IntArg places v in integer register xN.
@@ -393,6 +395,7 @@ func IntArg(n int, v uint64) Arg {
 	return Arg{
 		apply:     func(c *cpu.Core) { c.SetIntReg(n, v) },
 		applyFunc: func(f *funcsim.Machine) { f.SetIntReg(n, v) },
+		applyCost: func(args map[int]uint64) { args[n] = v },
 	}
 }
 
@@ -401,7 +404,44 @@ func FloatArg(n int, w ElemWidth, v float64) Arg {
 	return Arg{
 		apply:     func(c *cpu.Core) { c.SetFPReg(n, w, v) },
 		applyFunc: func(f *funcsim.Machine) { f.SetFPReg(n, w, v) },
+		// The cost model does not track FP values: they never reach
+		// control flow or addresses in this ISA.
 	}
+}
+
+// CostEstimate is the static cost model's result: exact (or explicitly
+// interval-valued) committed-instruction and per-stream traffic counts plus
+// a set of proved cycle lower bounds. See EstimateCost.
+type CostEstimate = cost.Estimate
+
+// CostQuantity is one statically derived count: a point value when the
+// analysis can prove it, an explicit [lo,hi] interval otherwise.
+type CostQuantity = cost.Quantity
+
+// EstimateCost runs the static descriptor cost model over p on this
+// machine's configuration, without simulating: exact per-stream element,
+// byte, chunk and cache-line counts (closed form for affine descriptors, a
+// budgeted symbolic walk otherwise), committed-instruction counts, and
+// roofline-style cycle lower bounds (commit/issue width, port groups, DRAM
+// bandwidth, stream-engine throughput). Every reported quantity is either
+// exact — differentially validated against the simulator's counters — or an
+// explicit interval with a diagnostic; simulated Result.Cycles can never be
+// below any reported bound. Only integer args matter (addresses and sizes);
+// FloatArgs are ignored.
+func (m *Machine) EstimateCost(p *Program, args ...Arg) (*CostEstimate, error) {
+	params := cost.Params{
+		Core:    m.cfg.Core,
+		Eng:     m.cfg.Engine,
+		Hier:    m.cfg.Memory,
+		IntArgs: map[int]uint64{},
+	}
+	params.Eng.VecBytes = m.cfg.Core.VecBytes
+	for _, a := range args {
+		if a.applyCost != nil {
+			a.applyCost(params.IntArgs)
+		}
+	}
+	return cost.Analyze(p, params)
 }
 
 // F32Array is a float32 array in simulated memory.

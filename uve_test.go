@@ -189,3 +189,58 @@ func TestUVEFasterThanBaseline(t *testing.T) {
 		t.Fatalf("UVE %d cycles ≥ SVE %d cycles", uveCycles, sveCycles)
 	}
 }
+
+// TestEstimateCostSaxpy validates the public static cost model entry point
+// against a real run: the exact committed-instruction prediction must equal
+// the measured count and every cycle bound must hold.
+func TestEstimateCostSaxpy(t *testing.T) {
+	const n, a = 1000, 2.5
+	m := uve.NewMachine(uve.DefaultConfig())
+	x := m.Float32s(n)
+	y := m.Float32s(n)
+	x.Fill(func(i int) float64 { return float64(i) })
+	y.Fill(func(i int) float64 { return float64(2 * i) })
+
+	b := uve.NewProgram("saxpy")
+	b.ConfigStream(0, uve.NewLoadStream(x.Base, uve.W4).Linear(n, 1).MustBuild())
+	b.ConfigStream(1, uve.NewLoadStream(y.Base, uve.W4).Linear(n, 1).MustBuild())
+	b.ConfigStream(2, uve.NewStoreStream(y.Base, uve.W4).Linear(n, 1).MustBuild())
+	b.I(uve.VDup(uve.W4, uve.V(3), uve.F(1)))
+	b.Label("loop")
+	b.I(uve.VFMul(uve.W4, uve.V(4), uve.V(3), uve.V(0), uve.None))
+	b.I(uve.VFAdd(uve.W4, uve.V(2), uve.V(4), uve.V(1), uve.None))
+	b.I(uve.BranchStreamNotEnd(0, "loop"))
+	b.I(uve.Halt())
+	p := b.MustBuild()
+
+	est, err := m.EstimateCost(p, uve.FloatArg(1, uve.W4, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Exact {
+		t.Fatalf("saxpy is pure affine; estimate must be exact: %v", est.Diags)
+	}
+	res, err := m.Run(p, uve.FloatArg(1, uve.W4, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Committed.IsExact() || est.Committed.Value() != res.Committed {
+		t.Fatalf("predicted committed %s, measured %d", est.Committed, res.Committed)
+	}
+	if est.Bounds.Best <= 0 || est.Bounds.Best > res.Cycles {
+		t.Fatalf("cycle lower bound %d (%s) exceeds measured %d cycles",
+			est.Bounds.Best, est.Bounds.BestName, res.Cycles)
+	}
+	// All three streams are length-n and fully consumed.
+	if len(est.Streams) != 3 {
+		t.Fatalf("want 3 streams, got %d", len(est.Streams))
+	}
+	for _, s := range est.Streams {
+		if !s.Elems.IsExact() || s.Elems.Value() != n {
+			t.Fatalf("u%d: elems %s, want exactly %d", s.U, s.Elems, n)
+		}
+		if !s.Complete {
+			t.Fatalf("u%d: stream not statically complete", s.U)
+		}
+	}
+}
