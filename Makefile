@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke model-smoke perf-smoke perf-baseline bench experiments
+.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke model-smoke prove-smoke perf-smoke perf-baseline bench experiments
 
-check: fmt vet build lint race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke model-smoke perf-smoke
+check: fmt vet build lint race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke model-smoke prove-smoke perf-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on: $$out"; exit 1; fi
@@ -41,6 +41,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzIterator$$' -fuzztime 5s ./internal/descriptor
 	$(GO) test -run '^$$' -fuzz '^FuzzFootprint$$' -fuzztime 5s ./internal/descriptor
 	$(GO) test -run '^$$' -fuzz '^FuzzClosedFormWalk$$' -fuzztime 5s ./internal/cost
+	$(GO) test -run '^$$' -fuzz '^FuzzAbsintSoundness$$' -fuzztime 5s ./internal/absint
 
 # One Fig 8 regeneration through the benchmark harness — cheap proof that
 # the full kernel × machine matrix still assembles, runs and validates.
@@ -115,6 +116,22 @@ watchdog-smoke:
 model-smoke:
 	$(GO) run ./cmd/uvebench -exp model -scale 256 > /dev/null
 	$(GO) run ./cmd/uvelint -all -cost -json | $(GO) run ./scripts/jsonvalid
+
+# Prove smoke: the abstract-interpretation prover must be deterministic
+# (two -prove sweeps render byte-identically, certificates included) and
+# effective (HACCmk's scalar-store pairs certify collision-free only with
+# the prover on; a certified kernel elides the sanitizer under
+# -sanitize=auto). The certified-elision wall clock is recorded by the
+# sanitize-on/sanitize-auto BenchmarkSimWall cells that perf-smoke gates
+# against BENCH_simwall.json.
+prove-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/uvelint -all -deps > "$$dir/prove1.txt" && \
+	$(GO) run ./cmd/uvelint -all -deps > "$$dir/prove2.txt" && \
+	cmp "$$dir/prove1.txt" "$$dir/prove2.txt" && \
+	grep -q "proven outside the stream footprint by value-range analysis" "$$dir/prove1.txt" && \
+	$(GO) run ./cmd/uvelint -kernel L -variant uve -deps -prove=false | grep -q "collision-free=false" && \
+	$(GO) run ./cmd/uvesim -kernel L -size 256 -fidelity functional -sanitize=auto | grep -q "sanitizer:         elided"
 
 # Full custom-metric benchmark sweep (§VI figures as benchmark units).
 bench:

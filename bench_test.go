@@ -187,7 +187,46 @@ var simWallCells = []struct {
 // trajectory metric; cycles (zero on the functional tier) confirms the
 // workload is identical. Faulted cells run only on the cycle tiers — the
 // functional tier rejects fault plans (nothing to perturb).
+// sanitizeWallCells are the certified-elision pairs: kernels whose safety
+// certificate proves every dependence pair disjoint (see
+// internal/sim/sanitizeauto_test.go), each measured on the functional tier
+// with the byte-granular sanitizer forced on and with SanitizeAuto eliding
+// it from the certificate. The on/auto ns gap is the wall-clock the static
+// proof buys; perfcmp records it as sanitize_elision_speedup.
+var sanitizeWallCells = []struct {
+	id   string
+	mode sim.SanitizeMode
+	name string
+}{
+	{"A", sim.SanitizeOn, "sanitize-on/A-UVE"},
+	{"A", sim.SanitizeAuto, "sanitize-auto/A-UVE"},
+	{"L", sim.SanitizeOn, "sanitize-on/L-UVE"},
+	{"L", sim.SanitizeAuto, "sanitize-auto/L-UVE"},
+}
+
 func BenchmarkSimWall(b *testing.B) {
+	for _, c := range sanitizeWallCells {
+		c := c
+		k := kernels.ByID(c.id)
+		size := bench.SizeFor(k, &bench.Options{Scale: 64})
+		b.Run(c.name, func(b *testing.B) {
+			elided := false
+			for i := 0; i < b.N; i++ {
+				o := sim.DefaultOptions(kernels.UVE)
+				o.Fidelity = sim.Functional
+				o.SkipCheck = true
+				o.Sanitize = c.mode
+				res, err := sim.Run(k, kernels.UVE, size, &o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elided = res.SanitizerElided
+			}
+			if want := c.mode == sim.SanitizeAuto; elided != want {
+				b.Fatalf("SanitizerElided=%v in mode %v", elided, c.mode)
+			}
+		})
+	}
 	for _, mode := range []string{"skip", "noskip", "functional"} {
 		for _, c := range simWallCells {
 			if mode == "functional" && c.faults != "" {

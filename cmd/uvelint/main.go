@@ -14,10 +14,18 @@
 //	uvelint -all -fidelity functional # lint + execute on the fast tier
 //	uvelint -kernel C -cost           # static cost model: exact traffic + bounds
 //	uvelint -all -cost -json          # machine-readable diagnostics + cost
+//	uvelint -kernel L -deps -prove=false  # baseline verdicts without the prover
 //
 // -fidelity functional additionally interprets every clean program on the
 // functional tier and runs the kernel's output check — dynamic verification
 // without simulating cycles.
+//
+// -prove (on by default) feeds each program through the abstract-
+// interpretation value-range prover (internal/absint) before dependence
+// classification, upgrading scalar-store verdicts the constant-propagation
+// pass alone leaves unknown. Every report carries a safety certificate
+// summarizing the verdicts; collision-free certificates let the simulator's
+// SanitizeAuto mode elide runtime shadow tracking.
 //
 // -cost runs the internal/cost static model over each clean program and
 // prints the per-stream traffic prediction and cycle lower bounds. -json
@@ -56,6 +64,9 @@ type progReport struct {
 	// Cost is the static cost model's estimate (with -cost, clean programs
 	// only).
 	Cost *cost.Estimate `json:"cost,omitempty"`
+	// Certificate summarizes the dependence verdicts: when CollisionFree,
+	// the runtime stream sanitizer may be elided (sim SanitizeAuto does).
+	Certificate lint.SafetyCertificate `json:"certificate"`
 }
 
 type progDiag struct {
@@ -84,7 +95,8 @@ func buildReport(k *kernels.Kernel, v kernels.Variant, n int, withCost bool) (pr
 	rep := progReport{
 		Kernel: k.ID, Name: k.Name, Variant: v.String(), Size: n,
 		Insts: inst.Prog.Len(), Clean: !lint.HasErrors(inst.Diags),
-		Diags: []progDiag{},
+		Diags:       []progDiag{},
+		Certificate: lint.Certify(inst.Diags, inst.Deps),
 	}
 	for _, d := range inst.Diags {
 		rep.Diags = append(rep.Diags, progDiag{
@@ -114,9 +126,12 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON object per program instead of text")
 	maxFootprint := flag.Int64("max-footprint", 0,
 		"cap per-stream address enumeration in elements (0 = default 2^21); longer streams degrade to hull-only footprints")
+	prove := flag.Bool("prove", true,
+		"run the abstract-interpretation value-range prover over scalar stores (upgrades unknown dependence verdicts; -prove=false shows the unproven baseline)")
 	fid := cliflags.AddFidelity(flag.CommandLine)
 	flag.Parse()
 	kernels.MaxFootprintElems = *maxFootprint
+	kernels.ProveDeps = *prove
 
 	fidelity, err := fid.Parse()
 	if err != nil {
@@ -171,6 +186,9 @@ func main() {
 					for _, d := range inst.Deps {
 						fmt.Printf("%s: dep: %s\n", name, d)
 					}
+					c := rep.Certificate
+					fmt.Printf("%s: certificate: safe=%v collision-free=%v (%d pairs: %d disjoint, %d ordered, %d unknown, %d hazard)\n",
+						name, c.Safe, c.CollisionFree, c.Pairs, c.Disjoint, c.Ordered, c.Unknown, c.Hazard)
 				}
 			}
 			if !rep.Clean {

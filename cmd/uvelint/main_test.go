@@ -75,6 +75,13 @@ func TestJSONReportShape(t *testing.T) {
 		if rep.Clean && rep.Cost == nil {
 			t.Errorf("%s: clean program missing cost estimate", k.ID)
 		}
+		if rep.Certificate.Pairs != rep.Certificate.Disjoint+rep.Certificate.Ordered+
+			rep.Certificate.Unknown+rep.Certificate.Hazard {
+			t.Errorf("%s: certificate counts do not add up: %+v", k.ID, rep.Certificate)
+		}
+		if rep.Certificate.CollisionFree && !rep.Certificate.Safe {
+			t.Errorf("%s: collision-free but not safe: %+v", k.ID, rep.Certificate)
+		}
 		b, err := json.Marshal(rep)
 		if err != nil {
 			t.Fatalf("%s: marshal: %v", k.ID, err)

@@ -55,6 +55,13 @@ func main() {
 	fid := cliflags.AddFidelity(flag.CommandLine)
 	stalls := flag.Bool("stalls", false, "print the per-class stall attribution after the stats")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// Catch `-sanitize auto` style misspellings: boolean-shaped flags
+		// need the -flag=value spelling, and a stray operand here would
+		// silently run the wrong mode.
+		fmt.Fprintf(os.Stderr, "unexpected arguments %q (mode-valued flags need -flag=value, e.g. -sanitize=auto)\n", flag.Args())
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Printf("%-3s %-16s %-14s %s\n", "ID", "name", "domain", "pattern")
@@ -104,10 +111,10 @@ func main() {
 	col := tr.Collector(traceRingSize, *stalls)
 
 	var opts *sim.Options
-	if *sanitize || col != nil || plan != nil || faults.Watchdog > 0 || fidelity != sim.Cycle {
+	if sanitize.Mode != sim.SanitizeOff || col != nil || plan != nil || faults.Watchdog > 0 || fidelity != sim.Cycle {
 		o := sim.DefaultOptions(v)
 		o.Fidelity = fidelity
-		o.Sanitize = *sanitize
+		o.Sanitize = sanitize.Mode
 		if col != nil {
 			o.Trace = col
 		}
@@ -126,12 +133,7 @@ func main() {
 		fmt.Printf("%s (%s) on %s, n=%d [functional]\n", k.Name, k.Domain, v, res.Size)
 		fmt.Printf("  committed insts:   %d\n", res.Committed)
 		fmt.Printf("  output check:      ok\n")
-		if *sanitize {
-			fmt.Printf("  sanitizer:         %d collisions\n", len(res.Collisions))
-			for _, c := range res.Collisions {
-				fmt.Printf("                     %s\n", c)
-			}
-		}
+		printSanitizer(sanitize, res)
 		return
 	}
 	fmt.Printf("%s (%s) on %s, n=%d\n", k.Name, k.Domain, v, res.Size)
@@ -155,12 +157,7 @@ func main() {
 		fmt.Printf("  faults:            plan %s\n", plan)
 		fmt.Printf("                     injected %s\n", res.Faults.String())
 	}
-	if *sanitize {
-		fmt.Printf("  sanitizer:         %d collisions\n", len(res.Collisions))
-		for _, c := range res.Collisions {
-			fmt.Printf("                     %s\n", c)
-		}
-	}
+	printSanitizer(sanitize, res)
 	if *stalls {
 		printStalls(col, res.Cycles)
 	}
@@ -171,6 +168,22 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace: %d events retained (%d dropped), wrote %s\n",
 			len(col.Events()), col.Dropped(), tr.File)
+	}
+}
+
+// printSanitizer renders the sanitizer line: the collision list, or the
+// elision note when -sanitize auto proved tracking redundant.
+func printSanitizer(f *cliflags.SanitizeFlag, res *sim.Result) {
+	if f.Mode == sim.SanitizeOff {
+		return
+	}
+	if res.SanitizerElided {
+		fmt.Printf("  sanitizer:         elided (safety certificate: all pairs disjoint)\n")
+		return
+	}
+	fmt.Printf("  sanitizer:         %d collisions\n", len(res.Collisions))
+	for _, c := range res.Collisions {
+		fmt.Printf("                     %s\n", c)
 	}
 }
 

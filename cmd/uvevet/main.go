@@ -16,6 +16,12 @@
 //     slice. Map detection is package-local and allowlist-shaped (local
 //     make/literal/var declarations and struct fields declared in the
 //     scanned package), so it cannot false-positive on slices.
+//  4. Slice/map parameters captured into a returned composite literal
+//     without copying — returned diagnostics and reports must own their
+//     storage, or a caller mutating its buffer retroactively rewrites
+//     them. The fix is an explicit copy (append(nil, s...), maps.Clone).
+//  5. fmt.Errorf calls that format an error-shaped operand with %v/%s and
+//     wrap nothing — %w keeps the chain visible to errors.Is/As.
 //
 // Usage: uvevet [dir ...] — defaults to the simulation packages. Exit 1
 // when any finding is reported, 0 when clean.
@@ -32,11 +38,13 @@ import (
 	"strings"
 )
 
-// defaultDirs are the determinism-critical packages: everything that
-// executes programs or renders measurement reports.
+// defaultDirs are the determinism-critical packages — everything that
+// executes programs or renders measurement reports — plus the static
+// analyzers, whose returned diagnostics the capture check (4) guards.
 var defaultDirs = []string{
 	"internal/sim", "internal/cpu", "internal/engine",
 	"internal/mem", "internal/bench", "internal/funcsim",
+	"internal/lint", "internal/cost", "internal/absint",
 }
 
 // globalRandFuncs are the math/rand top-level draws backed by the
@@ -144,11 +152,15 @@ func vetFiles(fset *token.FileSet, files []*ast.File) []finding {
 					}
 				}
 			}
+			if f, ok := errorfNoWrap(fset, call); ok {
+				out = append(out, f)
+			}
 			return true
 		})
 		for _, decl := range f.Decls {
 			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
 				out = append(out, vetMapRanges(fset, fn.Body, mapFields)...)
+				out = append(out, vetAliasedCapture(fset, fn)...)
 			}
 		}
 	}
@@ -263,6 +275,176 @@ func vetMapRanges(fset *token.FileSet, body *ast.BlockStmt, mapFields map[string
 		return true
 	})
 	return out
+}
+
+// errorfNoWrap flags fmt.Errorf calls that format an error-shaped operand
+// (an identifier or field whose name says it holds an error) with %v or %s
+// while the format wraps nothing: the chain is flattened and downstream
+// errors.Is/As matching silently stops working.
+func errorfNoWrap(fset *token.FileSet, call *ast.CallExpr) (finding, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return finding{}, false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "fmt" || len(call.Args) < 2 {
+		return finding{}, false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return finding{}, false
+	}
+	format := lit.Value
+	if strings.Contains(format, "%w") ||
+		(!strings.Contains(format, "%v") && !strings.Contains(format, "%s")) {
+		return finding{}, false
+	}
+	for _, a := range call.Args[1:] {
+		if name, ok := errorishName(a); ok {
+			return finding{fset.Position(call.Pos()),
+				fmt.Sprintf("fmt.Errorf formats %s with %%v/%%s; %%w keeps the chain visible to errors.Is/As", name)}, true
+		}
+	}
+	return finding{}, false
+}
+
+// errorishName reports names that conventionally hold errors (err, runErr,
+// inst.Err, ...). Name-shaped detection keeps the check stdlib-only: no
+// type information is available without golang.org/x/tools.
+func errorishName(e ast.Expr) (string, bool) {
+	var name string
+	switch e := e.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return "", false
+	}
+	lower := strings.ToLower(name)
+	if lower == "err" || strings.HasSuffix(lower, "err") || strings.HasSuffix(lower, "error") {
+		return name, true
+	}
+	return "", false
+}
+
+// vetAliasedCapture flags slice/map-typed parameters stored bare into a
+// composite literal the function returns — directly, or appended to a
+// returned variable. A diagnostic or report built that way aliases
+// caller-owned storage: the caller reusing its buffer rewrites history.
+func vetAliasedCapture(fset *token.FileSet, fn *ast.FuncDecl) []finding {
+	if fn.Type.Results == nil || len(fn.Type.Results.List) == 0 {
+		return nil
+	}
+	aliasable := map[string]bool{}
+	if fn.Type.Params != nil {
+		for _, p := range fn.Type.Params.List {
+			if !sliceOrMapType(p.Type) {
+				continue
+			}
+			for _, name := range p.Names {
+				aliasable[name.Name] = true
+			}
+		}
+	}
+	if len(aliasable) == 0 {
+		return nil
+	}
+	// Returned names: named results plus every identifier a return lists.
+	returned := map[string]bool{}
+	for _, r := range fn.Type.Results.List {
+		for _, name := range r.Names {
+			returned[name.Name] = true
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for _, e := range ret.Results {
+				if id, ok := e.(*ast.Ident); ok {
+					returned[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var out []finding
+	capture := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			kv, ok := n.(*ast.KeyValueExpr)
+			if !ok {
+				return true
+			}
+			id, ok := kv.Value.(*ast.Ident)
+			if !ok || !aliasable[id.Name] {
+				return true
+			}
+			field := "field"
+			if k, ok := kv.Key.(*ast.Ident); ok {
+				field = k.Name
+			}
+			out = append(out, finding{fset.Position(kv.Pos()),
+				fmt.Sprintf("%s aliases slice/map parameter %s in a returned value; copy before capturing", field, id.Name)})
+			return true
+		})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if lit := compositeIn(e); lit != nil {
+					capture(lit)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				lhs, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || !returned[lhs.Name] {
+					continue
+				}
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "append" && len(call.Args) > 1 {
+					for _, a := range call.Args[1:] {
+						if lit := compositeIn(a); lit != nil {
+							capture(lit)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sliceOrMapType matches the parameter types whose storage a caller owns.
+func sliceOrMapType(t ast.Expr) bool {
+	switch t := t.(type) {
+	case *ast.ArrayType:
+		return t.Len == nil // arrays copy; slices alias
+	case *ast.MapType:
+		return true
+	}
+	return false
+}
+
+// compositeIn unwraps Lit{...} and &Lit{...}.
+func compositeIn(e ast.Expr) *ast.CompositeLit {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return e
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return compositeIn(e.X)
+		}
+	}
+	return nil
 }
 
 // isMapExpr reports whether an expression definitely yields a map:

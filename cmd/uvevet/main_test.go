@@ -125,6 +125,62 @@ func f(m map[string]int) {
 	}
 }
 
+// The pinned bug shape for check 4: an analyzer builds its returned
+// diagnostic around the scratch slice the caller handed in — once the
+// caller reuses the buffer, the diagnostic silently rewrites itself.
+func TestAliasedCaptureInReturn(t *testing.T) {
+	fs := vetSource(t, `package p
+type Diag struct{ PCs []int }
+func analyze(pcs []int) []Diag {
+	var out []Diag
+	out = append(out, Diag{PCs: pcs})
+	return out
+}
+func direct(pcs []int) Diag { return Diag{PCs: pcs} }
+func ptr(pcs []int) *Diag { return &Diag{PCs: pcs} }
+`)
+	if len(fs) != 3 {
+		t.Fatalf("want 3 findings, got %v", fs)
+	}
+	wantFinding(t, fs, "PCs aliases slice/map parameter pcs")
+}
+
+// Copies, non-returned locals, and non-slice parameters must stay clean.
+func TestAliasedCaptureClean(t *testing.T) {
+	fs := vetSource(t, `package p
+type Diag struct{ PCs []int; N int }
+func copied(pcs []int) Diag {
+	return Diag{PCs: append([]int(nil), pcs...)}
+}
+func scratch(pcs []int) int {
+	tmp := Diag{PCs: pcs} // never returned: aliasing is function-local
+	return len(tmp.PCs)
+}
+func scalar(n int) Diag { return Diag{N: n} }
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
+// The pinned bug shape for check 5: %v flattens an error another frame
+// wants to errors.Is against; %w and non-error operands stay clean.
+func TestErrorfNoWrap(t *testing.T) {
+	fs := vetSource(t, `package p
+import "fmt"
+type inst struct{ Err error }
+func f(err error) error { return fmt.Errorf("run failed: %v", err) }
+func g(i inst) error { return fmt.Errorf("build: %s", i.Err) }
+func wrapped(err error) error { return fmt.Errorf("run failed: %w", err) }
+func value(n int) error { return fmt.Errorf("bad size: %v", n) }
+`)
+	if len(fs) != 2 {
+		t.Fatalf("want 2 findings, got %v", fs)
+	}
+	wantFinding(t, fs, "fmt.Errorf formats err")
+	wantFinding(t, fs, "fmt.Errorf formats Err")
+}
+
 func TestLocalMakeMapDetected(t *testing.T) {
 	fs := vetSource(t, `package p
 import "fmt"

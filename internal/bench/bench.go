@@ -75,7 +75,15 @@ func (o *Options) scale(size int) int {
 // structural constraints (multiples of the 512-bit lane count for the
 // blocked kernels).
 func SizeFor(k *kernels.Kernel, o *Options) int {
-	n := o.scale(k.DefaultSize)
+	return QuantizeSize(k, o.scale(k.DefaultSize))
+}
+
+// QuantizeSize snaps an arbitrary problem size onto the kernel's
+// structural grid — the builders reject sizes off it (GEMM's lane
+// blocking, HACCmk's NEON unroll) rather than silently rounding, so any
+// caller generating sizes (scaled sweeps, fuzz harnesses) quantizes here
+// first.
+func QuantizeSize(k *kernels.Kernel, n int) int {
 	switch k.ID {
 	case "D", "E", "N", "F", "G": // lane-blocked matrices
 		if n < 32 {

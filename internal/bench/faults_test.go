@@ -26,16 +26,17 @@ func TestBenchMemoKeyCoversOptions(t *testing.T) {
 
 	plan := fault.DefaultPlan(3)
 	mutations := map[string]func(o *sim.Options){
-		"SkipCheck": func(o *sim.Options) { o.SkipCheck = true },
-		"Sanitize":  func(o *sim.Options) { o.Sanitize = true },
-		"HashMem":   func(o *sim.Options) { o.HashMem = true },
-		"Watchdog":  func(o *sim.Options) { o.Watchdog = 12345 },
-		"MaxCycles": func(o *sim.Options) { o.MaxCycles = 99999 },
-		"Faults":    func(o *sim.Options) { o.Faults = &plan },
-		"Trace":     func(o *sim.Options) { o.Trace = trace.NewCollector(8, 0) },
-		"Core":      func(o *sim.Options) { o.Core.ROBSize++ },
-		"Eng":       func(o *sim.Options) { o.Eng.FIFODepth++ },
-		"Fidelity":  func(o *sim.Options) { o.Fidelity = sim.Functional },
+		"SkipCheck":    func(o *sim.Options) { o.SkipCheck = true },
+		"Sanitize":     func(o *sim.Options) { o.Sanitize = sim.SanitizeOn },
+		"SanitizeAuto": func(o *sim.Options) { o.Sanitize = sim.SanitizeAuto },
+		"HashMem":      func(o *sim.Options) { o.HashMem = true },
+		"Watchdog":     func(o *sim.Options) { o.Watchdog = 12345 },
+		"MaxCycles":    func(o *sim.Options) { o.MaxCycles = 99999 },
+		"Faults":       func(o *sim.Options) { o.Faults = &plan },
+		"Trace":        func(o *sim.Options) { o.Trace = trace.NewCollector(8, 0) },
+		"Core":         func(o *sim.Options) { o.Core.ROBSize++ },
+		"Eng":          func(o *sim.Options) { o.Eng.FIFODepth++ },
+		"Fidelity":     func(o *sim.Options) { o.Fidelity = sim.Functional },
 	}
 	for name, mut := range mutations {
 		o := base()

@@ -55,7 +55,7 @@ type configFP struct {
 	forceLevel arch.CacheLevel
 	hasForce   bool
 	skipCheck  bool
-	sanitize   bool
+	sanitize   sim.SanitizeMode // modes never memo-share: auto may elide tracking
 	hashMem    bool
 	watchdog   int64
 	maxCycles  int64

@@ -27,10 +27,39 @@ func JSON(fs *flag.FlagSet) *bool {
 	return fs.Bool("json", false, "emit machine-readable JSON instead of text")
 }
 
-// Sanitize registers -sanitize: the runtime stream sanitizer.
-func Sanitize(fs *flag.FlagSet) *bool {
-	return fs.Bool("sanitize", false,
-		"shadow-track every byte live streams touch and report runtime collisions (UVE only; slow)")
+// SanitizeFlag is the -sanitize flag value: a sanitizer mode. The bare
+// boolean spellings (-sanitize, -sanitize=false) keep working and map to
+// on/off, so existing invocations are unchanged.
+type SanitizeFlag struct {
+	Mode sim.SanitizeMode
+}
+
+func (s *SanitizeFlag) String() string {
+	if s == nil {
+		return "off"
+	}
+	return s.Mode.String()
+}
+
+// Set parses off|on|auto (plus true/false for boolean compatibility).
+func (s *SanitizeFlag) Set(v string) error {
+	m, err := sim.ParseSanitizeMode(v)
+	if err != nil {
+		return err
+	}
+	s.Mode = m
+	return nil
+}
+
+// IsBoolFlag lets bare -sanitize mean -sanitize=on.
+func (s *SanitizeFlag) IsBoolFlag() bool { return true }
+
+// Sanitize registers -sanitize: the runtime stream sanitizer mode.
+func Sanitize(fs *flag.FlagSet) *SanitizeFlag {
+	f := &SanitizeFlag{}
+	fs.Var(f, "sanitize",
+		"stream sanitizer mode: off, on (shadow-track every byte live streams touch; UVE only, slow) or auto (elide tracking when the safety certificate proves all pairs disjoint); spell modes as -sanitize=auto — bare -sanitize means on")
+	return f
 }
 
 // Variant parses a machine variant name, case-insensitively.

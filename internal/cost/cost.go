@@ -168,6 +168,9 @@ func Analyze(p *program.Program, params Params) (*Estimate, error) {
 			est.ByKind[k.String()] = Exact(in.byKind[k])
 		}
 	}
+	if in.bailed {
+		tightenBailed(est, p, params)
+	}
 
 	if in.unknownLoads > 0 {
 		in.diags = append(in.diags,

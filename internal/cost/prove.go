@@ -1,0 +1,59 @@
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/absint"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// tightenBailed replaces the unbounded upper ends of a bailed estimate's
+// committed counts with bounds from the abstract interpreter: when every
+// reachable instruction has a finite per-pc execution bound (loop trip
+// counts proved from stream descriptors, counted-branch bounds, induction
+// clamps — see internal/absint), the sum of those bounds caps the total the
+// concrete walk could not finish. The low ends (the exactly resolved
+// prefix) are untouched, so the interval still contains the truth.
+func tightenBailed(est *Estimate, p *program.Program, params Params) {
+	r := absint.Analyze(p, absint.Options{Entry: params.IntArgs, VecBytes: params.Core.VecBytes})
+	var total uint64
+	byKind := make(map[isa.Kind]uint64)
+	for pc := 0; pc < p.Len(); pc++ {
+		if !r.Reachable(pc) {
+			continue
+		}
+		n, ok := r.MaxExec(pc)
+		if !ok {
+			return // one instruction unbounded: nothing sound to report
+		}
+		if total+n < total {
+			return // bound overflows; keep Unbounded
+		}
+		total += n
+		byKind[p.Insts[pc].Op.Kind()] += n
+	}
+	if total < est.Committed.Lo {
+		// The resolved prefix already exceeds the proved bound — impossible
+		// unless one analysis is wrong; surface nothing rather than a lie.
+		return
+	}
+	est.Committed.Hi = total
+	for k, q := range est.ByKind {
+		if q.Hi != Unbounded {
+			continue
+		}
+		var hi uint64
+		for kind, n := range byKind {
+			if kind.String() == k {
+				hi = n
+			}
+		}
+		if hi >= q.Lo {
+			q.Hi = hi
+			est.ByKind[k] = q
+		}
+	}
+	est.Diags = append(est.Diags, fmt.Sprintf(
+		"committed upper bound %d proved by value-range loop analysis (walk bailed before finishing)", total))
+}

@@ -1,0 +1,140 @@
+package cost_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cost"
+	"repro/internal/descriptor"
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// funcRun measures the true committed-instruction count on the functional
+// tier (the oracle the proved upper bounds must contain).
+func funcRun(t *testing.T, p *program.Program, h *mem.Hierarchy, args map[int]uint64) uint64 {
+	t.Helper()
+	m := funcsim.New(funcsim.Config{VecBytes: negVecBytes}, p, h.Mem)
+	for r, v := range args {
+		m.SetIntReg(r, v)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("functional run: %v", err)
+	}
+	return m.Committed()
+}
+
+// TestTightenBailedCountedLoop: the interpreter's step budget forces a bail
+// mid-loop, but the loop bound is a compile-time constant the abstract
+// interpreter can prove a trip count for — the committed interval's upper
+// end must become finite and still contain the truth.
+func TestTightenBailedCountedLoop(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	const n = 100
+	b := program.NewBuilder("tighten-counted")
+	b.I(isa.Li(isa.X(5), 0))
+	b.I(isa.Li(isa.X(6), n))
+	b.Label("loop")
+	b.I(isa.AddI(isa.X(5), isa.X(5), 1))
+	b.I(isa.Blt(isa.X(5), isa.X(6), "loop"))
+	b.I(isa.Halt())
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params := cost.DefaultParams(negVecBytes)
+	params.MaxSteps = 10 // bail long before the 2n-instruction loop finishes
+	est, err := cost.Analyze(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Exact {
+		t.Fatal("estimate claims exactness after a forced bail")
+	}
+	truth := uint64(3 + 2*n) // li, li, n×(addi+blt), halt
+	if est.Committed.IsExact() {
+		t.Fatalf("committed %s is a point estimate after a bail", est.Committed)
+	}
+	if est.Committed.Hi == cost.Unbounded {
+		t.Fatalf("committed %s not tightened despite a provable trip count", est.Committed)
+	}
+	if truth < est.Committed.Lo || truth > est.Committed.Hi {
+		t.Fatalf("committed %s does not contain the truth %d", est.Committed, truth)
+	}
+	m := funcRun(t, p, h, nil)
+	if m != truth {
+		t.Fatalf("truth model wrong: functional tier committed %d, expected %d", m, truth)
+	}
+}
+
+// TestTightenBailedStreamLoop: the bail happens inside a stream-terminated
+// loop whose trip count is derivable from the descriptor; the proved bound
+// must cover the functional tier's measured count.
+func TestTightenBailedStreamLoop(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	const n = 64
+	aB := h.Mem.Alloc(4*n, arch.LineSize)
+
+	b := program.NewBuilder("tighten-stream")
+	b.ConfigStream(0, descriptor.New(aB, arch.W4, descriptor.Load).
+		Linear(n, 1).MustBuild())
+	b.Label("loop")
+	b.I(isa.VMove(arch.W4, isa.V(5), isa.V(0)))
+	b.I(isa.SBNotEnd(0, "loop"))
+	b.I(isa.Halt())
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params := cost.DefaultParams(negVecBytes)
+	params.MaxSteps = 4
+	est, err := cost.Analyze(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := funcRun(t, p, h, nil)
+	if est.Committed.IsExact() {
+		t.Fatalf("committed %s is a point estimate after a bail", est.Committed)
+	}
+	if est.Committed.Hi == cost.Unbounded {
+		t.Fatalf("committed %s not tightened despite a stream-derived trip count", est.Committed)
+	}
+	if truth < est.Committed.Lo || truth > est.Committed.Hi {
+		t.Fatalf("committed %s does not contain the truth %d", est.Committed, truth)
+	}
+}
+
+// TestTightenBailedDataDependent: a memory-loaded loop bound is beyond both
+// the walk and the prover — the upper end must stay Unbounded rather than
+// become a guess.
+func TestTightenBailedDataDependent(t *testing.T) {
+	h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+	base := h.Mem.Alloc(arch.LineSize, arch.LineSize)
+	h.Mem.Write(base, arch.W8, 5)
+
+	b := program.NewBuilder("tighten-datadep")
+	b.I(isa.Li(isa.X(6), 0))
+	b.I(isa.Load(arch.W8, isa.X(5), isa.X(1), 0))
+	b.Label("loop")
+	b.I(isa.AddI(isa.X(6), isa.X(6), 1))
+	b.I(isa.Blt(isa.X(6), isa.X(5), "loop"))
+	b.I(isa.Halt())
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	params := cost.DefaultParams(negVecBytes)
+	params.IntArgs = map[int]uint64{1: base}
+	est, err := cost.Analyze(p, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Committed.Hi != cost.Unbounded {
+		t.Fatalf("committed %s claims a bound for a data-dependent loop", est.Committed)
+	}
+}

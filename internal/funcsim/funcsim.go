@@ -109,6 +109,8 @@ type Machine struct {
 
 	committed uint64
 	byKind    [isa.KindCount]uint64
+
+	stepHook func(pc int)
 }
 
 // New builds a functional machine over the program and backing store.
@@ -134,6 +136,19 @@ func (m *Machine) SetFPReg(n int, w arch.ElemWidth, v float64) {
 	m.fpR[n] = isa.FloatBits(w, v)
 }
 
+// IntReg reads integer register n's current value.
+func (m *Machine) IntReg(n int) uint64 {
+	if n < 0 || n >= isa.NumIntRegs {
+		return 0
+	}
+	return m.intR[n]
+}
+
+// SetStepHook installs fn to run immediately before each instruction
+// executes, with the register file in its pre-execution state — the probe
+// differential oracles (e.g. the absint soundness fuzzer) observe through.
+func (m *Machine) SetStepHook(fn func(pc int)) { m.stepHook = fn }
+
 // Committed returns the committed instruction count.
 func (m *Machine) Committed() uint64 { return m.committed }
 
@@ -158,6 +173,9 @@ func (m *Machine) Run() error {
 	for n := int64(0); ; n++ {
 		if n >= bound {
 			return fmt.Errorf("funcsim: instruction budget (%d) exhausted at pc %d — livelocked program?", bound, pc)
+		}
+		if m.stepHook != nil {
+			m.stepHook(pc)
 		}
 		next, halt, err := m.step(pc)
 		if err != nil {

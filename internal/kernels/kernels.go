@@ -224,6 +224,7 @@ func finalize(h *mem.Hierarchy, inst *Instance) *Instance {
 	opts := &lint.Options{
 		EntryIntVals:      inst.IntArgs,
 		MaxFootprintElems: MaxFootprintElems,
+		Prove:             ProveDeps,
 	}
 	for r := range inst.IntArgs {
 		opts.EntryInt = append(opts.EntryInt, r)
@@ -246,6 +247,12 @@ func finalize(h *mem.Hierarchy, inst *Instance) *Instance {
 // every kernel build (0 uses lint.DefaultMaxFootprintElems). cmd/uvelint's
 // -max-footprint flag sets it.
 var MaxFootprintElems int64
+
+// ProveDeps enables the abstract-interpretation prover on every kernel
+// build, so register-addressed scalar stores get value-range bounds and the
+// dependence pass can upgrade unknown verdicts. cmd/uvelint's -prove flag
+// (and tests that want the pre-prover behaviour) toggle it.
+var ProveDeps = true
 
 // lanesFor returns the vector lane count of a variant for width w.
 func lanesFor(v Variant, w arch.ElemWidth) int { return arch.LanesFor(v.VecBytes(), w) }

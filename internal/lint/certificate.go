@@ -1,0 +1,54 @@
+package lint
+
+// SafetyCertificate summarizes what the static analyses proved about a
+// program's memory behaviour, in a form the runtime can act on. It is
+// derived purely from the verifier's outputs (Certify), so any consumer
+// holding the same diagnostics and dependence pairs reconstructs the same
+// certificate.
+//
+// Two grades matter:
+//
+//   - Safe: the program has no Error diagnostics and no dependence pair was
+//     classified unknown or hazard — every simultaneously-live access pair
+//     is proved disjoint or covered by an engine ordering guarantee.
+//   - CollisionFree: strictly stronger — every pair is proved *disjoint*.
+//     Ordered pairs (lockstep WAR renaming, deferred RAW activation) are
+//     safe but do touch common bytes, so the runtime sanitizer would still
+//     record collision events for them. Only CollisionFree programs may
+//     elide shadow tracking and still be differentially indistinguishable
+//     from a sanitized run.
+type SafetyCertificate struct {
+	// Safe: no errors, every pair proved disjoint or ordered.
+	Safe bool `json:"safe"`
+	// CollisionFree: every pair proved disjoint; the sanitizer would
+	// observe zero collisions, so shadow tracking may be elided.
+	CollisionFree bool `json:"collisionFree"`
+
+	// Pair counts by verdict (Pairs is the total).
+	Pairs    int `json:"pairs"`
+	Disjoint int `json:"disjoint"`
+	Ordered  int `json:"ordered"`
+	Unknown  int `json:"unknown"`
+	Hazard   int `json:"hazard"`
+}
+
+// Certify derives the safety certificate from a verification run's outputs
+// (the diagnostics and dependence pairs returned by Analyze).
+func Certify(diags []Diagnostic, deps []DepPair) SafetyCertificate {
+	cert := SafetyCertificate{Pairs: len(deps)}
+	for _, p := range deps {
+		switch p.Verdict {
+		case DepDisjoint:
+			cert.Disjoint++
+		case DepOrdered:
+			cert.Ordered++
+		case DepHazard:
+			cert.Hazard++
+		default:
+			cert.Unknown++
+		}
+	}
+	cert.Safe = !HasErrors(diags) && cert.Unknown == 0 && cert.Hazard == 0
+	cert.CollisionFree = cert.Safe && cert.Ordered == 0
+	return cert
+}

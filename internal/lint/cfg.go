@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 
+	"repro/internal/absint"
 	"repro/internal/descriptor"
 	"repro/internal/isa"
 	"repro/internal/program"
@@ -34,6 +35,9 @@ type checker struct {
 	originUse  map[int][]int    // stream → end-part pcs of indirect consumers
 
 	in []state // dataflow fixpoint result
+
+	prove    *absint.Result // lazy value-range analysis (opts.Prove)
+	proveRan bool
 }
 
 func newChecker(p *program.Program, opts *Options) *checker {

@@ -404,6 +404,26 @@ func (c *checker) predProducerList(p int) string {
 	return "produced for " + strings.Join(parts, ", ")
 }
 
+// intProducerList names the instructions that define an integer register, so
+// an unresolved-address diagnostic can point at the producer(s) of a scalar
+// store's base rather than only at the store itself.
+func (c *checker) intProducerList(r isa.Reg) string {
+	if r.Class != isa.ClassInt || int(r.N) >= isa.NumIntRegs {
+		return "no address register"
+	}
+	var pcs []string
+	for pc := range c.insts {
+		in := &c.insts[pc]
+		if d := in.DataDst(); d.Class == isa.ClassInt && d.N == r.N {
+			pcs = append(pcs, fmt.Sprintf("%d", pc))
+		}
+	}
+	if len(pcs) == 0 {
+		return fmt.Sprintf("base x%d holds an entry value", r.N)
+	}
+	return fmt.Sprintf("base x%d produced at %s", r.N, strings.Join(pcs, ", "))
+}
+
 // checkRead validates one data-source register against the in-state.
 func (c *checker) checkRead(pc int, s *state, in *isa.Inst, r isa.Reg) {
 	if !r.Valid() {

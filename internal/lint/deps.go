@@ -318,6 +318,14 @@ func (c *checker) classifyWAR(s *state, old, new *cfgSite, fo, fn *descriptor.Fo
 // stream's already-prefetched data or race a store stream's commits.
 func (c *checker) checkScalarStore(pc int, s *state, in *isa.Inst, fp func(int) *descriptor.Footprint) {
 	lo, hi, resolved := scalarStoreRange(s, in)
+	proved := false
+	if !resolved && c.opts.Prove {
+		// The constant lattice could not pin the address; ask the abstract
+		// interpreter for a value-range bound. An interval range can prove
+		// disjointness but never an overlap (the true address is one point
+		// somewhere in it), so `exact` stays false on this path.
+		lo, hi, proved = c.intervalStoreRange(pc, in)
+	}
 	exact := resolved && (in.Op == isa.OpStore || in.Op == isa.OpFStore)
 	var unprovable []string
 	for v := 0; v < isa.NumVecRegs; v++ {
@@ -339,7 +347,7 @@ func (c *checker) checkScalarStore(pc int, s *state, in *isa.Inst, fp func(int) 
 		}
 		p := DepPair{First: v, Second: -1, FirstPC: site.endPC, SecondPC: pc, Kind: kind}
 		rel := descriptor.OverlapUnknown
-		if resolved {
+		if resolved || proved {
 			rel = fp(int(si)).RelateRange(lo, hi)
 		}
 		switch {
@@ -350,7 +358,12 @@ func (c *checker) checkScalarStore(pc int, s *state, in *isa.Inst, fp func(int) 
 			continue
 		case rel == descriptor.OverlapDisjoint:
 			p.Verdict = DepDisjoint
-			p.Detail = "store range proven outside the stream footprint"
+			if proved {
+				p.Detail = fmt.Sprintf("store range [%#x,%#x) proven outside the stream footprint by value-range analysis",
+					uint64(lo), uint64(hi))
+			} else {
+				p.Detail = "store range proven outside the stream footprint"
+			}
 			c.deps = append(c.deps, p)
 			continue
 		case rel == descriptor.OverlapYes && exact && certainlyLive(s, v):
@@ -373,9 +386,15 @@ func (c *checker) checkScalarStore(pc int, s *state, in *isa.Inst, fp func(int) 
 	}
 	if len(unprovable) > 0 {
 		sort.Strings(unprovable)
-		what := "store address is statically unknown"
-		if resolved {
+		var what string
+		switch {
+		case resolved:
 			what = "stream footprint is imprecise"
+		case proved:
+			what = fmt.Sprintf("store address range [%#x,%#x) still overlaps", uint64(lo), uint64(hi))
+		default:
+			what = fmt.Sprintf("store address is statically unknown (%s)",
+				c.intProducerList(in.Src1))
 		}
 		c.warnf(pc, "scalar store while streams %s may be live: %s, so disjointness is unprovable",
 			strings.Join(unprovable, ", "), what)

@@ -114,7 +114,25 @@ func TestDepNegativeCorpus(t *testing.T) {
 			},
 			opts: &lint.Options{EntryInt: []int{2}, Extents: []lint.Extent{buf}},
 			sev:  lint.Warn,
-			want: "scalar store while streams u0 may be live: store address is statically unknown",
+			want: "store address is statically unknown (base x2 holds an entry value)",
+		},
+		{
+			name: "unknown store address names its producing instruction",
+			build: func() *program.Program {
+				b := program.NewBuilder("bad")
+				b.I(isa.Li(isa.X(3), 7))
+				b.I(isa.Load(arch.W8, isa.X(2), isa.X(4), 0)) // pc 1: x2 ← mem
+				b.ConfigStream(0, ld(buf.Base, 64))
+				b.Label("loop")
+				b.I(isa.VMove(w, isa.V(5), isa.V(0)))
+				b.I(isa.Store(w, isa.X(2), 0, isa.X(3)))
+				b.I(isa.SBNotEnd(0, "loop"))
+				b.I(isa.Halt())
+				return mustBuild(t, b)
+			},
+			opts: &lint.Options{EntryInt: []int{4}, Extents: []lint.Extent{buf}},
+			sev:  lint.Warn,
+			want: "store address is statically unknown (base x2 produced at 1)",
 		},
 		{
 			name: "indirect stream defeats the footprint",

@@ -87,6 +87,15 @@ type Options struct {
 	// MaxFootprintElems caps per-stream address enumeration (0 = default).
 	// Streams longer than the cap are checked up to it.
 	MaxFootprintElems int64
+	// Prove enables the abstract-interpretation prover (internal/absint):
+	// scalar-store addresses the constant lattice cannot resolve are bounded
+	// by value-range analysis, upgrading unknown dependence verdicts to
+	// proved classes when the bounded range clears every live footprint.
+	Prove bool
+	// VecBytes is the physical vector width the program will run with, when
+	// known. It tightens the prover's lane-dependent bounds; zero assumes
+	// the architected maximum (sound: effective widths only shrink).
+	VecBytes int
 }
 
 // DefaultMaxFootprintElems bounds footprint enumeration so that verifying a

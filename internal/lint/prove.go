@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"repro/internal/absint"
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// This file bridges the dependence analyzer to the abstract interpreter
+// (internal/absint). The constant-propagation lattice in dataflow.go resolves
+// a scalar store's address only when it is a single known value; the prover
+// bounds register values as intervals, so loop-carried addresses (an induction
+// variable clamped by a stream-derived trip count) still yield a finite byte
+// range that footprints can be checked against. Interval ranges are used only
+// to *prove disjointness* — an overlapping interval range never produces a
+// hazard, because the true store address is one point somewhere in the range.
+
+// proveResult lazily runs the abstract interpreter over the program, seeded
+// with the known entry-register values. The result is cached: checkDeps may
+// consult it once per scalar store.
+func (c *checker) proveResult() *absint.Result {
+	if !c.proveRan {
+		c.proveRan = true
+		c.prove = absint.Analyze(c.p, absint.Options{
+			Entry:    c.opts.EntryIntVals,
+			VecBytes: c.opts.VecBytes,
+		})
+	}
+	return c.prove
+}
+
+// proveAddrMax bounds interval store addresses: ranges reaching this high are
+// treated as unresolved so the int64 byte-range arithmetic below cannot wrap.
+const proveAddrMax = uint64(1) << 62
+
+// intervalStoreRange bounds the byte range a store instruction can write
+// using the abstract interpreter's value ranges, for stores the constant
+// lattice could not resolve. ok is false when the prover has no finite bound.
+func (c *checker) intervalStoreRange(pc int, in *isa.Inst) (lo, hi int64, ok bool) {
+	r := c.proveResult()
+	if r == nil || !r.Reachable(pc) || in.Src1.Class != isa.ClassInt {
+		return 0, 0, false
+	}
+	base := r.At(pc, int(in.Src1.N))
+	if base.Hi >= proveAddrMax {
+		return 0, 0, false
+	}
+	switch in.Op {
+	case isa.OpStore, isa.OpFStore:
+		return int64(base.Lo) + in.Imm, int64(base.Hi) + in.Imm + int64(in.W), true
+	case isa.OpVStore:
+		if in.Src2.Class != isa.ClassInt {
+			return 0, 0, false
+		}
+		idx := r.At(pc, int(in.Src2.N))
+		if idx.Hi >= proveAddrMax {
+			return 0, 0, false
+		}
+		lo = int64(base.Lo) + (int64(idx.Lo)+in.Imm)*int64(in.W)
+		hi = int64(base.Hi) + (int64(idx.Hi)+in.Imm)*int64(in.W) + int64(arch.MaxVecBytes)
+		return lo, hi, true
+	}
+	return 0, 0, false
+}

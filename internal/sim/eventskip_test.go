@@ -22,7 +22,9 @@ func runWithSkip(t *testing.T, k *kernels.Kernel, v kernels.Variant, size int, s
 	o := sim.DefaultOptions(v)
 	o.Core.EventSkip = skip
 	o.HashMem = true
-	o.Sanitize = v == kernels.UVE
+	if v == kernels.UVE {
+		o.Sanitize = sim.SanitizeOn
+	}
 	o.Faults = faults
 	r, err := sim.Run(k, v, size, &o)
 	if err != nil {

@@ -35,7 +35,9 @@ func runOracle(t *testing.T, k *kernels.Kernel, v kernels.Variant, size int, pla
 	o := sim.DefaultOptions(v)
 	o.Fidelity = fid
 	o.HashMem = true
-	o.Sanitize = v == kernels.UVE
+	if v == kernels.UVE {
+		o.Sanitize = sim.SanitizeOn
+	}
 	if plan != nil {
 		o.Faults = plan
 		// An injection-induced livelock must become a diagnostic, not a

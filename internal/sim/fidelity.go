@@ -55,9 +55,10 @@ func runFunctional(id string, v kernels.Variant, size int, o *Options, h *mem.Hi
 	if o.Faults != nil && o.Faults.Enabled() {
 		return nil, fmt.Errorf("%s/%s: functional fidelity cannot inject faults (injectors perturb timing, which the tier does not model)", id, v)
 	}
+	sanitize, elided := o.resolveSanitize(v, inst)
 	cfg := funcsim.Config{
 		VecBytes: o.Core.VecBytes,
-		Sanitize: o.Sanitize && v == kernels.UVE,
+		Sanitize: sanitize,
 	}
 	// The detailed tier bounds runs in cycles; translate the same knob into
 	// an instruction budget (commit width retires at most that many per
@@ -81,6 +82,8 @@ func runFunctional(id string, v kernels.Variant, size int, o *Options, h *mem.Hi
 		Size:       size,
 		Committed:  fm.Committed(),
 		Collisions: fm.Collisions(),
+
+		SanitizerElided: elided,
 	}
 	res.Core.Committed = fm.Committed()
 	res.Core.CommittedByKind = fm.CommittedByKind()

@@ -22,7 +22,9 @@ func runTier(t *testing.T, k *kernels.Kernel, v kernels.Variant, size int, f sim
 	o := sim.DefaultOptions(v)
 	o.Fidelity = f
 	o.HashMem = true
-	o.Sanitize = v == kernels.UVE
+	if v == kernels.UVE {
+		o.Sanitize = sim.SanitizeOn
+	}
 	r, err := sim.Run(k, v, size, &o)
 	if err != nil {
 		t.Fatalf("%s/%s n=%d fidelity=%s: %v", k.ID, v, size, f, err)

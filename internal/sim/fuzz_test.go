@@ -10,6 +10,7 @@ package sim_test
 import (
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/kernels"
 	"repro/internal/sim"
 )
@@ -23,9 +24,10 @@ func FuzzTierDifferential(f *testing.F) {
 	f.Fuzz(func(t *testing.T, ki, vi uint8, rawSize uint16) {
 		k := kernels.All[int(ki)%len(kernels.All)]
 		v := []kernels.Variant{kernels.UVE, kernels.SVE, kernels.NEON}[int(vi)%3]
-		// Bound the cell so the cycle-tier cross-check stays cheap; kernels
-		// clamp structurally-invalid sizes themselves during build.
-		size := 16 + int(rawSize)%512
+		// Bound the cell so the cycle-tier cross-check stays cheap, and
+		// snap it onto the kernel's structural grid — builders reject
+		// off-grid sizes (GEMM's lane blocking) instead of rounding.
+		size := bench.QuantizeSize(k, 16+int(rawSize)%512)
 		fn := runTier(t, k, v, size, sim.Functional)
 		cyc := runTier(t, k, v, size, sim.Cycle)
 		if fn.MemHash != cyc.MemHash {

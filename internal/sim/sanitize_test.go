@@ -62,7 +62,7 @@ func TestSanitizerCrossCheck(t *testing.T) {
 			// same byte addresses an order of magnitude faster.
 			opts := DefaultOptions(kernels.UVE)
 			opts.Fidelity = Functional
-			opts.Sanitize = true
+			opts.Sanitize = SanitizeOn
 			var inst *kernels.Instance
 			res, err := RunBuilt(k.ID, kernels.UVE, size, &opts, func(h *mem.Hierarchy) *kernels.Instance {
 				inst = k.Build(h, kernels.UVE, size)

@@ -28,11 +28,13 @@ type Options struct {
 	// SkipCheck skips output validation (benchmark loops that re-run the
 	// same instance's timing many times).
 	SkipCheck bool
-	// Sanitize enables the streaming engine's shadow address tracker, which
+	// Sanitize selects the streaming engine's shadow address tracker, which
 	// records every byte live streams touch and reports runtime collisions
 	// (Result.Collisions). UVE only; byte-granular, so meant for
-	// verification runs at test sizes, not timing experiments.
-	Sanitize bool
+	// verification runs at test sizes, not timing experiments. SanitizeAuto
+	// elides tracking when the program's static safety certificate proves
+	// every dependence pair disjoint (see Result.SanitizerElided).
+	Sanitize SanitizeMode
 	// Trace, when non-nil, receives typed instrumentation events from the
 	// core and (UVE) the streaming engine. Timing is unaffected: the same
 	// cycles are simulated with or without a recorder.
@@ -109,6 +111,10 @@ type Result struct {
 	Faults fault.Stats
 	// MemHash is the final memory-image digest (Options.HashMem).
 	MemHash uint64
+	// SanitizerElided reports that SanitizeAuto skipped shadow tracking
+	// because the program's safety certificate proved every dependence pair
+	// disjoint — the sanitizer could only have observed zero collisions.
+	SanitizerElided bool
 }
 
 // IPC returns committed instructions per cycle.
@@ -175,10 +181,11 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 		h.TLB.Inject = inj.PageFault
 		h.DRAM.Inject = inj.DRAMDelay
 	}
+	sanitize, elided := o.resolveSanitize(v, inst)
 	var eng *engine.Engine
 	if v == kernels.UVE {
 		eng = engine.New(o.Eng, h)
-		if o.Sanitize {
+		if sanitize {
 			eng.EnableSanitizer()
 		}
 		if o.Trace != nil {
@@ -214,6 +221,8 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 		L1:        h.L1D.Stats,
 		L2:        h.L2.Stats,
 		BusUtil:   h.DRAM.Utilization(cycles),
+
+		SanitizerElided: elided,
 	}
 	if eng != nil {
 		res.Eng = eng.Stats

@@ -1,9 +1,10 @@
 #!/bin/sh
 # PR gate without make: formatting, vet, static kernel verification, build,
 # race-detected tests (exercising the parallel experiment runner), a short
-# fuzz smoke over the descriptor iterator and footprint abstraction, a
-# one-shot Fig 8 benchmark smoke, execution-tier differential smokes,
-# trace/fault determinism smokes, the watchdog no-hang smoke and the
+# fuzz smoke over the descriptor iterator, footprint abstraction and the
+# abstract-interpretation soundness oracle, a one-shot Fig 8 benchmark
+# smoke, execution-tier differential smokes, trace/fault determinism
+# smokes, the watchdog no-hang smoke, the prove/certificate smoke and the
 # wall-clock perf gate against the committed BENCH_simwall.json.
 set -eux
 cd "$(dirname "$0")/.."
@@ -29,6 +30,7 @@ go test -race ./...
 go test -run '^$' -fuzz '^FuzzIterator$' -fuzztime 5s ./internal/descriptor
 go test -run '^$' -fuzz '^FuzzFootprint$' -fuzztime 5s ./internal/descriptor
 go test -run '^$' -fuzz '^FuzzClosedFormWalk$' -fuzztime 5s ./internal/cost
+go test -run '^$' -fuzz '^FuzzAbsintSoundness$' -fuzztime 5s ./internal/absint
 go test -run '^$' -bench '^BenchmarkFig8$' -benchtime 1x .
 # Execution-tier smoke: the functional/cycle differential oracle and the
 # event-skip bit-equivalence suite race-detected, a short differential
@@ -57,6 +59,18 @@ cmp "$tracedir/fig8-seq.txt" "$tracedir/fig8-par.txt"
 # lint+cost report must be valid JSON end to end.
 go run ./cmd/uvebench -exp model -scale 256 > /dev/null
 go run ./cmd/uvelint -all -cost -json | go run ./scripts/jsonvalid
+# Prove smoke: the value-range prover is deterministic — two -prove sweeps
+# must render byte-identically, certificates included — and actually
+# proves: the HACCmk scalar-store pairs read disjoint only with the prover
+# on, and a certified kernel elides the sanitizer under -sanitize=auto.
+# The certified-elision wall clock rides the sanitize-on/sanitize-auto
+# BenchmarkSimWall cells, gated below against BENCH_simwall.json.
+go run ./cmd/uvelint -all -deps > "$tracedir/prove1.txt"
+go run ./cmd/uvelint -all -deps > "$tracedir/prove2.txt"
+cmp "$tracedir/prove1.txt" "$tracedir/prove2.txt"
+grep -q "proven outside the stream footprint by value-range analysis" "$tracedir/prove1.txt"
+go run ./cmd/uvelint -kernel L -variant uve -deps -prove=false | grep -q "collision-free=false"
+go run ./cmd/uvesim -kernel L -size 256 -fidelity functional -sanitize=auto | grep -q "sanitizer:         elided"
 # Fault smoke: seeded injection is deterministic — the same seed must give
 # byte-identical output for a single faulted run and for the full campaign
 # table (every kernel × {UVE,SVE} × seed grid, each checked against the

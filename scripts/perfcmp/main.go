@@ -55,6 +55,10 @@ type Baseline struct {
 	FunctionalSpeedup  float64 `json:"functional_vs_cycle_speedup"`
 	SkipSpeedup        float64 `json:"skip_vs_noskip_speedup"`
 	SkipSpeedupStarved float64 `json:"skip_vs_noskip_speedup_starved"`
+	// Aggregate sanitizer-on time over SanitizeAuto (certificate-elided)
+	// time on the certified kernels: the wall-clock the static safety
+	// proof buys on verification sweeps.
+	SanitizeElisionSpeedup float64 `json:"sanitize_elision_speedup,omitempty"`
 	// Measured once at -update time, not re-run by the gate.
 	ExpAll     *TierComparison `json:"exp_all,omitempty"`
 	FigMatrix  *TierComparison `json:"figure_matrix,omitempty"`
@@ -176,6 +180,9 @@ func writeBaseline(path, host string, cells []Cell) {
 	}
 	if sk := sum(isMode("skip")); sk > 0 {
 		doc.SkipSpeedup = round2(sum(isMode("noskip")) / sk)
+	}
+	if auto := sum(isMode("sanitize-auto")); auto > 0 {
+		doc.SanitizeElisionSpeedup = round2(sum(isMode("sanitize-on")) / auto)
 	}
 	var skStarved, noStarved float64
 	for _, c := range cells {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/funcsim"
+	"repro/internal/lint"
 	"repro/internal/mem"
 	"repro/internal/program"
 	"repro/internal/sim"
@@ -156,6 +157,9 @@ type Result struct {
 	Collisions []Collision
 	// Faults counts the injections that fired (WithFaults).
 	Faults FaultStats
+	// SanitizerElided reports that SanitizeAuto skipped shadow tracking on
+	// the strength of the program's static safety certificate.
+	SanitizerElided bool
 }
 
 // IPC returns committed instructions per cycle.
@@ -177,7 +181,7 @@ type Machine struct {
 // machineOptions collects the cross-cutting run settings the functional
 // options configure; Config stays a plain hardware description.
 type machineOptions struct {
-	sanitize bool
+	sanitize SanitizeMode
 	trace    *TraceCollector
 	faults   *FaultPlan
 	watchdog int64
@@ -188,11 +192,30 @@ type machineOptions struct {
 // Option configures a Machine beyond its hardware Config.
 type Option func(*machineOptions)
 
-// WithSanitize enables the streaming engine's shadow address tracker:
-// every byte live streams touch is recorded and runtime collisions are
-// reported in Result.Collisions. Byte-granular — meant for verification
-// runs at test sizes, not timing experiments.
-func WithSanitize() Option { return func(o *machineOptions) { o.sanitize = true } }
+// SanitizeMode selects how a run decides whether the stream sanitizer
+// (shadow address tracking) is enabled; see WithSanitize.
+type SanitizeMode = sim.SanitizeMode
+
+const (
+	// SanitizeOff never tracks (the default).
+	SanitizeOff = sim.SanitizeOff
+	// SanitizeOn always tracks on streaming machines.
+	SanitizeOn = sim.SanitizeOn
+	// SanitizeAuto statically verifies the program first and elides
+	// tracking when the safety certificate proves every simultaneously-live
+	// access pair disjoint — a certified run can only ever observe zero
+	// collisions, so skipping the tracker is observationally identical and
+	// much faster. Uncertified programs and fault-injected runs track
+	// exactly like SanitizeOn. Result.SanitizerElided reports the outcome.
+	SanitizeAuto = sim.SanitizeAuto
+)
+
+// WithSanitize selects the streaming engine's shadow address tracker mode:
+// under SanitizeOn every byte live streams touch is recorded and runtime
+// collisions are reported in Result.Collisions (byte-granular — meant for
+// verification runs at test sizes, not timing experiments); SanitizeAuto
+// elides the tracker when static analysis proves it could observe nothing.
+func WithSanitize(m SanitizeMode) Option { return func(o *machineOptions) { o.sanitize = m } }
 
 // WithTrace streams typed instrumentation events from the core and the
 // streaming engine into c. Timing is unaffected: the same cycles are
@@ -293,10 +316,11 @@ func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
 			m.hier.DRAM.Inject = nil
 		}()
 	}
+	sanitize, elided := m.resolveSanitize(p, args)
 	var eng *engine.Engine
 	if m.cfg.Streaming {
 		eng = engine.New(m.cfg.Engine, m.hier)
-		if m.opts.sanitize {
+		if sanitize {
 			eng.EnableSanitizer()
 		}
 		if m.opts.trace != nil {
@@ -338,6 +362,8 @@ func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
 		L1:        m.hier.L1D.Stats,
 		L2:        m.hier.L2.Stats,
 		BusUtil:   m.hier.DRAM.Utilization(cycles),
+
+		SanitizerElided: elided,
 	}
 	if eng != nil {
 		res.Engine = eng.Stats
@@ -360,9 +386,10 @@ func (m *Machine) runFunctional(p *Program, args []Arg) (*Result, error) {
 	if m.opts.faults != nil && m.opts.faults.Enabled() {
 		return nil, fmt.Errorf("uve: WithFidelity(Functional) cannot inject faults (injectors perturb timing, which the tier does not model)")
 	}
+	sanitize, elided := m.resolveSanitize(p, args)
 	cfg := funcsim.Config{
 		VecBytes: m.cfg.Core.VecBytes,
-		Sanitize: m.opts.sanitize && m.cfg.Streaming,
+		Sanitize: sanitize,
 	}
 	if m.cfg.Core.MaxCycles > 0 {
 		cfg.MaxInsts = m.cfg.Core.MaxCycles * int64(m.cfg.Core.CommitWidth)
@@ -377,10 +404,53 @@ func (m *Machine) runFunctional(p *Program, args []Arg) (*Result, error) {
 	res := &Result{
 		Committed:  fm.Committed(),
 		Collisions: fm.Collisions(),
+
+		SanitizerElided: elided,
 	}
 	res.Core.Committed = fm.Committed()
 	res.Core.CommittedByKind = fm.CommittedByKind()
 	return res, nil
+}
+
+// resolveSanitize decides whether shadow tracking runs for a program on
+// this machine, and whether it was elided by a safety certificate. Under
+// SanitizeAuto the program is statically verified first (entry argument
+// values seed the prover); only a certificate proving every dependence pair
+// disjoint elides the tracker, and fault campaigns never elide — injection
+// perturbs engine timing, and the sanitizer is the oracle that shows the
+// perturbation is architecturally invisible.
+func (m *Machine) resolveSanitize(p *Program, args []Arg) (enable, elided bool) {
+	if !m.cfg.Streaming {
+		return false, false
+	}
+	switch m.opts.sanitize {
+	case SanitizeOn:
+		return true, false
+	case SanitizeAuto:
+		if m.opts.faults != nil && m.opts.faults.Enabled() {
+			return true, false
+		}
+		ints := map[int]uint64{}
+		for _, a := range args {
+			if a.applyCost != nil {
+				a.applyCost(ints)
+			}
+		}
+		lo := &lint.Options{
+			EntryIntVals: ints,
+			Prove:        true,
+			VecBytes:     m.cfg.Core.VecBytes,
+		}
+		for r := range ints {
+			lo.EntryInt = append(lo.EntryInt, r)
+		}
+		diags, deps := lint.Analyze(p, lo)
+		if cert := lint.Certify(diags, deps); cert.CollisionFree {
+			return false, true
+		}
+		return true, false
+	}
+	return false, false
 }
 
 // Arg presets an architectural register before a run.

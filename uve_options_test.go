@@ -132,7 +132,7 @@ func TestWithTraceAndSanitize(t *testing.T) {
 	}
 
 	col := uve.NewTraceCollector(1<<12, 1000)
-	m, p, y := saxpyMachine(n, uve.WithTrace(col), uve.WithSanitize())
+	m, p, y := saxpyMachine(n, uve.WithTrace(col), uve.WithSanitize(uve.SanitizeOn))
 	res, err := m.Run(p, uve.FloatArg(1, uve.W4, 2.5))
 	if err != nil {
 		t.Fatal(err)
