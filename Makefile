@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke model-smoke prove-smoke perf-smoke perf-baseline bench experiments
+.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke wire-smoke model-smoke prove-smoke perf-smoke perf-baseline bench experiments
 
-check: fmt vet build lint race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke model-smoke prove-smoke perf-smoke
+check: fmt vet build lint race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke wire-smoke model-smoke prove-smoke perf-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on: $$out"; exit 1; fi
@@ -42,6 +42,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzFootprint$$' -fuzztime 5s ./internal/descriptor
 	$(GO) test -run '^$$' -fuzz '^FuzzClosedFormWalk$$' -fuzztime 5s ./internal/cost
 	$(GO) test -run '^$$' -fuzz '^FuzzAbsintSoundness$$' -fuzztime 5s ./internal/absint
+	$(GO) test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime 5s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzWireRoundTrip$$' -fuzztime 5s ./internal/wire
 
 # One Fig 8 regeneration through the benchmark harness — cheap proof that
 # the full kernel × machine matrix still assembles, runs and validates.
@@ -107,6 +109,23 @@ watchdog-smoke:
 	    echo "watchdog smoke: starved run exited zero"; exit 1; \
 	fi; \
 	grep -q watchdog "$$dir/wd.txt" && grep -q "stream table" "$$dir/wd.txt"
+
+# Wire-format smoke: the canonical encoder must be bit-reproducible (two
+# corpus encodes diff clean), every blob must disassemble, -verify must
+# certify canonicality and lint-verdict identity for the whole corpus, and
+# the README walkthrough (encode saxpy -> disassemble -> statically verify)
+# must work end to end.
+wire-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/uveasm" ./cmd/uveasm && \
+	"$$dir/uveasm" -o "$$dir/wire-a" > /dev/null && \
+	"$$dir/uveasm" -o "$$dir/wire-b" > /dev/null && \
+	diff -r "$$dir/wire-a" "$$dir/wire-b" && \
+	"$$dir/uveasm" -d "$$dir/wire-a"/*.uve > /dev/null && \
+	"$$dir/uveasm" -verify "$$dir/wire-a"/*.uve > /dev/null && \
+	"$$dir/uveasm" -kernel C -variant uve -o "$$dir/saxpy.uve" > /dev/null && \
+	"$$dir/uveasm" -d "$$dir/saxpy.uve" | grep -q saxpy && \
+	"$$dir/uveasm" -lint "$$dir/saxpy.uve" | grep -q "certificate: safe=true"
 
 # Cost-model validation sweep: the static model's exact traffic predictions
 # must match the simulator's committed counters and every cycle lower bound

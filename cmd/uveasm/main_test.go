@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/wire"
+)
+
+// runCLI invokes run() the way main does, capturing both streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// encodeSaxpy writes the C/uve corpus entry to dir and returns its path.
+func encodeSaxpy(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "C-UVE-96.uve")
+	code, stdout, stderr := runCLI(t, "-kernel", "C", "-variant", "uve", "-o", path)
+	if code != 0 {
+		t.Fatalf("encode: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "C-UVE-96") || !strings.Contains(stdout, path) {
+		t.Fatalf("encode stdout %q: want entry name and output path", stdout)
+	}
+	return path
+}
+
+func TestEncodeDisassembleLintVerify(t *testing.T) {
+	dir := t.TempDir()
+	path := encodeSaxpy(t, dir)
+
+	code, stdout, stderr := runCLI(t, "-d", path)
+	if code != 0 {
+		t.Fatalf("-d: exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{"saxpy", "streams:", "u0 @", "context:", "extent ["} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-d output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	code, stdout, stderr = runCLI(t, "-lint", path)
+	if code != 0 {
+		t.Fatalf("-lint: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "certificate: safe=true") {
+		t.Errorf("-lint output missing safe certificate:\n%s", stdout)
+	}
+
+	code, stdout, stderr = runCLI(t, "-verify", path)
+	if code != 0 {
+		t.Fatalf("-verify: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "ok (") || !strings.Contains(stdout, "verdicts identical") {
+		t.Errorf("-verify stdout %q: want canonical-ok line", stdout)
+	}
+}
+
+func TestDisassembleDescriptorBlob(t *testing.T) {
+	d := descriptor.New(0x1000, arch.W8, descriptor.Load).
+		Dim(0, 96, 1).MustBuild()
+	b, err := wire.EncodeDescriptor(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.uve")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, "-d", path)
+	if code != 0 {
+		t.Fatalf("-d descriptor: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "descriptor ") {
+		t.Errorf("-d descriptor stdout %q: want descriptor line", stdout)
+	}
+}
+
+func TestUsageAndFailureExits(t *testing.T) {
+	if code, _, stderr := runCLI(t); code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Errorf("no args: exit %d, stderr %q; want 2 + usage", code, stderr)
+	}
+	if code, _, _ := runCLI(t, "-kernel", "no-such-kernel", "-o", filepath.Join(t.TempDir(), "x.uve")); code != 2 {
+		t.Errorf("unknown kernel: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-d"); code != 2 {
+		t.Errorf("-d with no files: exit %d, want 2", code)
+	}
+
+	// A corrupt blob must fail decode with a positioned error, not panic.
+	bad := filepath.Join(t.TempDir(), "bad.uve")
+	if err := os.WriteFile(bad, []byte("UVEW\x01garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"-d", "-lint", "-verify"} {
+		code, _, stderr := runCLI(t, mode, bad)
+		if code != 2 {
+			t.Errorf("%s corrupt blob: exit %d, want 2", mode, code)
+		}
+		if !strings.Contains(stderr, "wire: offset") {
+			t.Errorf("%s corrupt blob: stderr %q lacks positioned wire error", mode, stderr)
+		}
+	}
+
+	// A truncated but well-started blob (valid prefix of a real one).
+	dir := t.TempDir()
+	path := encodeSaxpy(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "C-UVE-96-trunc.uve")
+	if err := os.WriteFile(trunc, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, "-d", trunc); code != 2 {
+		t.Errorf("-d truncated blob: exit %d, want 2", code)
+	}
+}
+
+func TestVerifyRejectsNonCorpusName(t *testing.T) {
+	dir := t.TempDir()
+	src := encodeSaxpy(t, dir)
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd := filepath.Join(dir, "mine.uve")
+	if err := os.WriteFile(odd, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-verify", odd)
+	if code != 2 || !strings.Contains(stderr, "not a corpus blob name") {
+		t.Errorf("-verify non-corpus name: exit %d, stderr %q; want 2 + name error", code, stderr)
+	}
+}

@@ -22,6 +22,12 @@
 //     them. The fix is an explicit copy (append(nil, s...), maps.Clone).
 //  5. fmt.Errorf calls that format an error-shaped operand with %v/%s and
 //     wrap nothing — %w keeps the chain visible to errors.Is/As.
+//  6. Map-range loops that append the iteration key/value into a
+//     collection the function never sorts — the slice inherits map order.
+//     (This is the shape of the Program.String label-rendering bug: a
+//     pc→labels back-map built by ranging the label map.) The canonical
+//     collect-sort-range fix stays clean because the sort call sanctions
+//     the collection.
 //
 // Usage: uvevet [dir ...] — defaults to the simulation packages. Exit 1
 // when any finding is reported, 0 when clean.
@@ -39,12 +45,17 @@ import (
 )
 
 // defaultDirs are the determinism-critical packages — everything that
-// executes programs or renders measurement reports — plus the static
-// analyzers, whose returned diagnostics the capture check (4) guards.
+// executes programs or renders measurement reports, the static analyzers
+// whose returned diagnostics the capture check (4) guards, and the
+// serialization path (program/descriptor/kernels/wire/trace), where map
+// order leaking into rendered or encoded bytes breaks the wire format's
+// canonical-form guarantee.
 var defaultDirs = []string{
 	"internal/sim", "internal/cpu", "internal/engine",
 	"internal/mem", "internal/bench", "internal/funcsim",
 	"internal/lint", "internal/cost", "internal/absint",
+	"internal/program", "internal/descriptor", "internal/trace",
+	"internal/kernels", "internal/wire",
 }
 
 // globalRandFuncs are the math/rand top-level draws backed by the
@@ -159,7 +170,8 @@ func vetFiles(fset *token.FileSet, files []*ast.File) []finding {
 		})
 		for _, decl := range f.Decls {
 			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				out = append(out, vetMapRanges(fset, fn.Body, mapFields)...)
+				out = append(out, vetMapRanges(fset, fn, mapFields)...)
+				out = append(out, vetUnsortedCollect(fset, fn, mapFields)...)
 				out = append(out, vetAliasedCapture(fset, fn)...)
 			}
 		}
@@ -218,11 +230,21 @@ func collectMapFields(files []*ast.File) map[string]bool {
 	return fields
 }
 
-// vetMapRanges flags map-range loops whose body formats or prints. Local
-// map variables are tracked per function body (make, literals, var decls).
-func vetMapRanges(fset *token.FileSet, body *ast.BlockStmt, mapFields map[string]bool) []finding {
+// collectLocalMaps gathers the names a function binds to definite map
+// values: map-typed parameters, local var declarations and assignments
+// from make/literals.
+func collectLocalMaps(fn *ast.FuncDecl) map[string]bool {
 	localMaps := map[string]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
+	if fn.Type.Params != nil {
+		for _, p := range fn.Type.Params.List {
+			if _, isMap := p.Type.(*ast.MapType); isMap {
+				for _, name := range p.Names {
+					localMaps[name.Name] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
@@ -251,9 +273,14 @@ func vetMapRanges(fset *token.FileSet, body *ast.BlockStmt, mapFields map[string
 		}
 		return true
 	})
+	return localMaps
+}
 
+// vetMapRanges flags map-range loops whose body formats or prints.
+func vetMapRanges(fset *token.FileSet, fn *ast.FuncDecl, mapFields map[string]bool) []finding {
+	localMaps := collectLocalMaps(fn)
 	var out []finding
-	ast.Inspect(body, func(n ast.Node) bool {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
 			return true
@@ -275,6 +302,114 @@ func vetMapRanges(fset *token.FileSet, body *ast.BlockStmt, mapFields map[string
 		return true
 	})
 	return out
+}
+
+// vetUnsortedCollect flags map-range loops that append the iteration
+// key/value into a collection the function never sorts: the slice inherits
+// the map's randomized order, and any later walk over it — rendering,
+// encoding, back-map construction — is nondeterministic. This is exactly
+// the shape of the Program.String label bug (a pc→labels back-map filled
+// by ranging the label map). The canonical collect-sort-range fix stays
+// clean: the sort call sanctions the collection by name.
+func vetUnsortedCollect(fset *token.FileSet, fn *ast.FuncDecl, mapFields map[string]bool) []finding {
+	localMaps := collectLocalMaps(fn)
+
+	// Names passed to any sort/slices call in this function are considered
+	// ordered, wherever the call appears.
+	sorted := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, a := range call.Args {
+			if name := exprName(a); name != "" {
+				sorted[name] = true
+			}
+		}
+		return true
+	})
+
+	var out []finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !rangesOverMap(rng.X, localMaps, mapFields) {
+			return true
+		}
+		iterVars := map[string]bool{}
+		for _, e := range []ast.Expr{rng.Key, rng.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				iterVars[id.Name] = true
+			}
+		}
+		if len(iterVars) == 0 {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fun, ok := call.Fun.(*ast.Ident)
+				if !ok || fun.Name != "append" || len(call.Args) < 2 {
+					continue
+				}
+				carries := false
+				for _, a := range call.Args[1:] {
+					if id, ok := a.(*ast.Ident); ok && iterVars[id.Name] {
+						carries = true
+					}
+				}
+				if !carries {
+					continue
+				}
+				target := exprName(as.Lhs[i])
+				if target == "" || sorted[target] {
+					continue
+				}
+				out = append(out, finding{fset.Position(as.Pos()),
+					fmt.Sprintf("map-range key/value appended into %s, never sorted in this function: element order is nondeterministic (collect, sort, then use)", target)})
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// exprName renders the identifier path an append target or sort argument
+// names: x, x.Field, or the base of an index expression (m[k] → m).
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base, ok := e.X.(*ast.Ident); ok {
+			return base.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return exprName(e.X)
+	}
+	return ""
 }
 
 // errorfNoWrap flags fmt.Errorf calls that format an error-shaped operand

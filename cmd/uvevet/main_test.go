@@ -181,6 +181,70 @@ func value(n int) error { return fmt.Errorf("bad size: %v", n) }
 	wantFinding(t, fs, "fmt.Errorf formats Err")
 }
 
+// The pinned bug shape for check 6: the Program.String label bug. A
+// pc→labels back-map is filled by ranging the label map; the per-pc
+// slices inherit map order and the rendered listing differs run to run.
+func TestUnsortedCollectBackMap(t *testing.T) {
+	fs := vetSource(t, `package p
+type Program struct{ Labels map[string]int }
+func render(p Program) map[int][]string {
+	back := map[int][]string{}
+	for name, pc := range p.Labels {
+		back[pc] = append(back[pc], name)
+	}
+	return back
+}
+`)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 finding, got %v", fs)
+	}
+	wantFinding(t, fs, "appended into back, never sorted")
+}
+
+// The shipped fix — collect the keys, sort, then build the back-map from
+// the sorted slice — must stay clean: the sort call sanctions the
+// collection, and the second loop ranges a slice, not a map.
+func TestUnsortedCollectSortedClean(t *testing.T) {
+	fs := vetSource(t, `package p
+import "sort"
+type Program struct{ Labels map[string]int }
+func render(p Program) map[int][]string {
+	names := make([]string, 0, len(p.Labels))
+	for name := range p.Labels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	back := map[int][]string{}
+	for _, name := range names {
+		back[p.Labels[name]] = append(back[p.Labels[name]], name)
+	}
+	return back
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
+// Appending values unrelated to the iteration variables stays clean: only
+// the key/value themselves carry the map's order.
+func TestUnsortedCollectUnrelatedAppendClean(t *testing.T) {
+	fs := vetSource(t, `package p
+func f(m map[string]int) int {
+	var ticks []int
+	n := 0
+	for range m {
+		ticks = append(ticks, n)
+		n++
+	}
+	return len(ticks)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
 func TestLocalMakeMapDetected(t *testing.T) {
 	fs := vetSource(t, `package p
 import "fmt"

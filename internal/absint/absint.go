@@ -2,6 +2,7 @@ package absint
 
 import (
 	"math/bits"
+	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/descriptor"
@@ -765,11 +766,7 @@ func (a *analysis) collectThresholds() {
 	for v := range seen {
 		a.thresholds = append(a.thresholds, v)
 	}
-	for i := 1; i < len(a.thresholds); i++ {
-		for j := i; j > 0 && a.thresholds[j] < a.thresholds[j-1]; j-- {
-			a.thresholds[j], a.thresholds[j-1] = a.thresholds[j-1], a.thresholds[j]
-		}
-	}
+	sort.Slice(a.thresholds, func(i, j int) bool { return a.thresholds[i] < a.thresholds[j] })
 }
 
 // widenTo extends a growing interval outward to the nearest thresholds,

@@ -1,6 +1,7 @@
 package descriptor
 
 import (
+	"maps"
 	"math"
 
 	"repro/internal/arch"
@@ -281,8 +282,10 @@ type SliceOrigin struct {
 }
 
 // NewSliceOrigin builds a SliceOrigin over the given per-stream values.
+// The map is cloned so the origin's replay state cannot be changed by a
+// caller mutating its own map afterwards.
 func NewSliceOrigin(values map[int][]uint64) *SliceOrigin {
-	return &SliceOrigin{Values: values, pos: make(map[int]int)}
+	return &SliceOrigin{Values: maps.Clone(values), pos: make(map[int]int)}
 }
 
 // NextOrigin implements OriginSource.

@@ -1,0 +1,32 @@
+package descriptor
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestEnumNumberingStable pins the numeric values of every enum the wire
+// format (internal/wire) writes to disk. Reordering these constants would
+// silently re-interpret existing blobs; this test makes the numbering an
+// explicit contract.
+func TestEnumNumberingStable(t *testing.T) {
+	if Load != 0 || Store != 1 {
+		t.Error("Kind numbering changed")
+	}
+	if TargetOffset != 0 || TargetSize != 1 || TargetStride != 2 {
+		t.Error("Target numbering changed")
+	}
+	if Add != 0 || Sub != 1 || SetAdd != 2 || SetSub != 3 || SetValue != 4 {
+		t.Error("Behavior numbering changed")
+	}
+	if MaxDims != 8 || MaxMods != 7 {
+		t.Error("architected descriptor limits changed")
+	}
+	if arch.W1 != 1 || arch.W2 != 2 || arch.W4 != 4 || arch.W8 != 8 {
+		t.Error("element widths are no longer their byte sizes")
+	}
+	if arch.LevelL1 != 0 || arch.LevelL2 != 1 || arch.LevelMem != 2 {
+		t.Error("cache-level numbering changed")
+	}
+}

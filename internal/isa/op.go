@@ -274,6 +274,15 @@ var opTable = [opMax]opInfo{
 	OpSBDimEnd:    {"so.b.dc", KindBranch, 1},
 }
 
+// NumOps is the number of defined opcodes, OpInvalid included. The wire
+// format validates decoded opcodes against it, and the stable-numbering
+// test pins every opcode's numeric value so the on-disk encoding cannot
+// drift silently when the table grows.
+const NumOps = int(opMax)
+
+// Valid reports whether o is a defined, encodable opcode.
+func (o Op) Valid() bool { return o > OpInvalid && o < opMax }
+
 // Name returns the assembly mnemonic of the opcode.
 func (o Op) Name() string {
 	if int(o) < len(opTable) && opTable[o].name != "" {

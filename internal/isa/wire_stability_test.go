@@ -1,0 +1,83 @@
+package isa
+
+import "testing"
+
+// opNames pins every opcode's numeric value by position: opNames[i] is the
+// mnemonic of Op(i). The wire format (internal/wire) stores opcodes as raw
+// numbers, so inserting an opcode mid-table — instead of before opMax —
+// would silently re-interpret every existing blob. This test turns that
+// mistake into a diff: new opcodes append here, never splice.
+var opNames = []string{
+	"invalid",
+	"nop", "halt", "li", "mv", "add", "sub", "mul", "div", "rem",
+	"addi", "slli", "srli", "andi", "and", "or", "xor", "slt", "slti",
+	"j", "beq", "bne", "blt", "bge",
+	"load", "store", "fload", "fstore",
+	"fli", "fmv", "fadd", "fsub", "fmul", "fdiv", "fsqrt", "fmadd",
+	"fmax", "fmin", "fabs", "fneg", "flt", "fle", "itof", "ftoi",
+	"vload", "vstore", "vloadg", "vstoreg", "vdup", "vdupx", "vmove",
+	"vfadd", "vfsub", "vfmul", "vfdiv", "vfsqrt", "vfmax", "vfmin",
+	"vfmla", "vfmuladd",
+	"vadd", "vsub", "vmul", "vmax", "vmin", "vand", "vor", "vxor",
+	"vfaddv", "vfmaxv", "vfminv", "vfaddvf", "vfmaxvf", "vfminvf",
+	"vextract", "vbcast",
+	"whilelt", "ptrue", "pnot", "b.first", "b.none", "incvl", "getvl",
+	"ss.cfg", "ss.setvl", "ss.suspend", "ss.resume", "ss.stop", "ss.force",
+	"so.b.nend", "so.b.end", "so.b.ndc", "so.b.dc",
+}
+
+func TestOpcodeNumberingStable(t *testing.T) {
+	if NumOps != len(opNames) {
+		t.Fatalf("NumOps = %d, golden table has %d: opcodes must be appended to both, never spliced", NumOps, len(opNames))
+	}
+	for i, want := range opNames {
+		if got := Op(i).Name(); got != want {
+			t.Errorf("Op(%d).Name() = %q, want %q: opcode numbering shifted", i, got, want)
+		}
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid must not be valid")
+	}
+	if Op(NumOps).Valid() || Op(NumOps+100).Valid() {
+		t.Error("opcodes past the table must not be valid")
+	}
+	for i := 1; i < NumOps; i++ {
+		if !Op(i).Valid() {
+			t.Errorf("Op(%d) (%s) must be valid", i, Op(i).Name())
+		}
+	}
+}
+
+// TestKindNumberingStable pins the pipeline-kind values that size dense
+// per-kind stats tables.
+func TestKindNumberingStable(t *testing.T) {
+	kinds := map[Kind]uint8{
+		KindNop: 0, KindIntALU: 1, KindFPALU: 2, KindVecALU: 3,
+		KindLoad: 4, KindStore: 5, KindBranch: 6, KindStreamCfg: 7,
+		KindStreamCtl: 8, KindCount: 9,
+	}
+	for k, want := range kinds {
+		if uint8(k) != want {
+			t.Errorf("kind %s = %d, want %d", k, uint8(k), want)
+		}
+	}
+}
+
+// TestRegClassNumberingStable pins the register-class values the wire
+// format packs into its class<<5|n register bytes.
+func TestRegClassNumberingStable(t *testing.T) {
+	classes := map[RegClass]uint8{
+		ClassNone: 0, ClassInt: 1, ClassFP: 2, ClassVec: 3, ClassPred: 4,
+	}
+	for c, want := range classes {
+		if uint8(c) != want {
+			t.Errorf("register class %s = %d, want %d", c, uint8(c), want)
+		}
+	}
+	if NumIntRegs != 32 || NumFPRegs != 32 || NumVecRegs != 32 || NumPredRegs != 16 {
+		t.Error("register file sizes changed: the 5-bit register packing no longer fits")
+	}
+}

@@ -1,0 +1,88 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/wire"
+)
+
+// CorpusSize is the problem size every corpus program is built at. Small
+// enough that assembling and statically verifying all 19 kernels × 3
+// variants is a sub-second operation, large enough that every kernel's
+// size preconditions hold and its loop structure is fully exercised.
+const CorpusSize = 96
+
+// CorpusEntry is one built corpus program: the kernel/variant identity and
+// the verified instance (program, argument registers, lint verdicts).
+type CorpusEntry struct {
+	Kernel  *Kernel
+	Variant Variant
+	Size    int
+	Inst    *Instance
+	// Extents are the instance's legal buffer extents (allocation order),
+	// captured from the hierarchy the kernel was built against.
+	Extents []mem.Extent
+}
+
+// Name returns the entry's canonical file stem, <ID>-<VARIANT>-<size>.
+func (e *CorpusEntry) Name() string {
+	return fmt.Sprintf("%s-%s-%d", e.Kernel.ID, e.Variant, e.Size)
+}
+
+// Unit packages the entry as a wire unit: the program plus the build
+// context (argument registers in canonical sorted order, buffer extents in
+// allocation order) a consumer needs to lint or execute the decoded copy
+// exactly as the original.
+func (e *CorpusEntry) Unit() *wire.Unit {
+	u := &wire.Unit{Prog: e.Inst.Prog}
+	iregs := make([]int, 0, len(e.Inst.IntArgs))
+	for r := range e.Inst.IntArgs {
+		iregs = append(iregs, r)
+	}
+	sort.Ints(iregs)
+	for _, r := range iregs {
+		u.IntArgs = append(u.IntArgs, wire.IntArg{Reg: r, Val: e.Inst.IntArgs[r]})
+	}
+	fregs := make([]int, 0, len(e.Inst.FPArgs))
+	for r := range e.Inst.FPArgs {
+		fregs = append(fregs, r)
+	}
+	sort.Ints(fregs)
+	for _, r := range fregs {
+		a := e.Inst.FPArgs[r]
+		u.FPArgs = append(u.FPArgs, wire.FPArg{Reg: r, Width: a.W, Val: a.V})
+	}
+	for _, x := range e.Extents {
+		u.Extents = append(u.Extents, wire.Extent{Base: x.Base, Size: x.Size})
+	}
+	return u
+}
+
+// Corpus builds every kernel × {UVE, SVE, NEON} at CorpusSize and returns
+// the entries in Fig 8 order (kernels sorted by ID, variants in declaration
+// order). It is the substrate for the on-disk program corpus: the wire
+// format's round-trip, canonical-form and fuzz-seed guarantees are all
+// property-tested over exactly this set. A build failure for any entry is
+// an error — the corpus must always be whole.
+func Corpus() ([]CorpusEntry, error) {
+	var out []CorpusEntry
+	for _, k := range All {
+		for _, v := range []Variant{UVE, SVE, NEON} {
+			h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+			inst := k.Build(h, v, CorpusSize)
+			if inst.Err != nil {
+				return nil, fmt.Errorf("corpus: %s/%s n=%d: %w", k.ID, v, CorpusSize, inst.Err)
+			}
+			out = append(out, CorpusEntry{
+				Kernel:  k,
+				Variant: v,
+				Size:    CorpusSize,
+				Inst:    inst,
+				Extents: h.Mem.Extents(),
+			})
+		}
+	}
+	return out, nil
+}

@@ -96,6 +96,18 @@ type Instance struct {
 	Deps []lint.DepPair
 
 	builder *program.Builder
+	// lintOpts records the verification options finalize ran with, so the
+	// same analysis can be replayed over a re-decoded copy of the program
+	// (Relint) and compared verdict-for-verdict.
+	lintOpts *lint.Options
+}
+
+// Relint re-runs the static verifier over p with exactly the options this
+// instance's own program was verified with. The wire-format round-trip
+// gate uses it: a decoded program must earn verdicts identical to the
+// Builder-built original's.
+func (inst *Instance) Relint(p *program.Program) ([]lint.Diagnostic, []lint.DepPair) {
+	return lint.Analyze(p, inst.lintOpts)
 }
 
 // Kernel describes one benchmark.
@@ -232,9 +244,15 @@ func finalize(h *mem.Hierarchy, inst *Instance) *Instance {
 	for r := range inst.FPArgs {
 		opts.EntryFP = append(opts.EntryFP, r)
 	}
+	// The entry sets are semantically unordered, but keeping them sorted
+	// means every consumer (and any rendering of the options) is
+	// independent of map iteration order.
+	sort.Ints(opts.EntryInt)
+	sort.Ints(opts.EntryFP)
 	for _, e := range h.Mem.Extents() {
 		opts.Extents = append(opts.Extents, lint.Extent{Base: e.Base, Size: e.Size})
 	}
+	inst.lintOpts = opts
 	p, err := inst.builder.BuildVerified(func(p *program.Program) error {
 		inst.Diags, inst.Deps = lint.Analyze(p, opts)
 		return lint.ToError(inst.Diags)

@@ -6,6 +6,7 @@ package program
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/descriptor"
@@ -24,7 +25,10 @@ type Program struct {
 func (p *Program) Len() int { return len(p.Insts) }
 
 // At returns the instruction at pc. Out-of-range PCs (wrong-path fetch past
-// the end) return a halt so speculation dies out naturally.
+// the end) return a halt so speculation dies out naturally. This masking is
+// a fetch-path convenience only: programs arriving from outside the Builder
+// (the wire decoder) have their branch-target ranges validated up front, so
+// a corrupt target is a positioned error there, never a silent halt here.
 func (p *Program) At(pc int) isa.Inst {
 	if pc < 0 || pc >= len(p.Insts) {
 		return isa.Halt()
@@ -35,9 +39,17 @@ func (p *Program) At(pc int) isa.Inst {
 func (p *Program) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "program %s (%d insts)\n", p.Name, len(p.Insts))
+	// Build the pc→labels back-map from the sorted label names, so two
+	// labels on one instruction always print in the same order (map
+	// iteration order must never reach the rendered text).
+	names := make([]string, 0, len(p.Labels))
+	for l := range p.Labels {
+		names = append(names, l)
+	}
+	sort.Strings(names)
 	back := make(map[int][]string)
-	for l, i := range p.Labels {
-		back[i] = append(back[i], l)
+	for _, l := range names {
+		back[p.Labels[l]] = append(back[p.Labels[l]], l)
 	}
 	for i, in := range p.Insts {
 		for _, l := range back[i] {

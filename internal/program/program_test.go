@@ -88,6 +88,29 @@ func TestProgramString(t *testing.T) {
 	}
 }
 
+// Regression test for the label-rendering determinism bug: String() used to
+// build its pc→labels back-map by ranging over the Labels map, so two labels
+// bound to the same instruction printed in whatever order map iteration
+// happened to produce. Every rendering must be byte-identical, with co-bound
+// labels in sorted order.
+func TestProgramStringDeterministicLabels(t *testing.T) {
+	p := NewBuilder("two-labels").
+		Label("outer").
+		Label("inner").
+		I(isa.Nop()).
+		I(isa.J("inner")).
+		MustBuild()
+	first := p.String()
+	if i, o := strings.Index(first, "inner:"), strings.Index(first, "outer:"); i < 0 || o < 0 || i > o {
+		t.Fatalf("co-bound labels not rendered in sorted order:\n%s", first)
+	}
+	for i := 0; i < 200; i++ {
+		if s := p.String(); s != first {
+			t.Fatalf("rendering %d differs:\n%s\nvs first:\n%s", i, s, first)
+		}
+	}
+}
+
 func TestBuildReturnsAllErrors(t *testing.T) {
 	_, err := NewBuilder("multi").
 		Errorf("size precondition: %d", 13).

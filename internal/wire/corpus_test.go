@@ -1,0 +1,137 @@
+// Property tests of the wire format over the full kernel corpus: every
+// benchmark (19 kernels × UVE/SVE/NEON) must round-trip value-exactly and
+// byte-exactly, truncations must always be positioned errors, and a decoded
+// program must earn lint verdicts identical to the Builder-built original.
+//
+// This file is an external test package: internal/kernels imports
+// internal/wire (for CorpusEntry.Unit), so the corpus tests cannot live in
+// package wire itself.
+package wire_test
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/lint"
+	"repro/internal/wire"
+)
+
+// Building all 57 corpus programs (with the full verifier pass each) takes
+// a few seconds; build once and share across the property tests.
+var corpusOnce = sync.OnceValues(kernels.Corpus)
+
+func corpus(t *testing.T) []kernels.CorpusEntry {
+	t.Helper()
+	entries, err := corpusOnce()
+	if err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	if len(entries) != 3*len(kernels.All) {
+		t.Fatalf("corpus has %d entries, want %d", len(entries), 3*len(kernels.All))
+	}
+	return entries
+}
+
+// TestCorpusRoundTrip is the format's central property: for every corpus
+// program, Decode(Encode(u)) is deeply equal to u, encoding is stable
+// across calls, and Encode(Decode(b)) reproduces b byte for byte.
+func TestCorpusRoundTrip(t *testing.T) {
+	for _, e := range corpus(t) {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			u := e.Unit()
+			b, err := wire.EncodeUnit(u)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			b2, err := wire.EncodeUnit(u)
+			if err != nil || !bytes.Equal(b, b2) {
+				t.Fatalf("encoding not stable across calls (err %v)", err)
+			}
+			got, err := wire.DecodeUnit(b)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, u) {
+				t.Fatalf("decoded unit differs from original:\ngot  %+v\nwant %+v", got, u)
+			}
+			b3, err := wire.EncodeUnit(got)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(b, b3) {
+				t.Fatal("Encode(Decode(b)) is not byte-identical to b")
+			}
+		})
+	}
+}
+
+// TestCorpusTruncation sweeps every strict prefix of every corpus blob:
+// each must be rejected with an error (a *wire.Error, never a panic) —
+// possible only because the header carries the section count, so a blob
+// cut before an optional section is still detectably incomplete.
+func TestCorpusTruncation(t *testing.T) {
+	for _, e := range corpus(t) {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			b, err := wire.EncodeUnit(e.Unit())
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			for i := 0; i < len(b); i++ {
+				if _, err := wire.DecodeUnit(b[:i]); err == nil {
+					t.Fatalf("%d-byte prefix of the %d-byte blob decoded without error", i, len(b))
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusLintVerdictIdentity re-runs the static verifier over each
+// decoded program with the original's recorded options: diagnostics,
+// dependence verdicts and the safety certificate must match exactly.
+func TestCorpusLintVerdictIdentity(t *testing.T) {
+	for _, e := range corpus(t) {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			b, err := wire.EncodeUnit(e.Unit())
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			u, err := wire.DecodeUnit(b)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			diags, deps := e.Inst.Relint(u.Prog)
+			if !reflect.DeepEqual(diags, e.Inst.Diags) {
+				t.Fatalf("diagnostics differ:\ngot  %v\nwant %v", diags, e.Inst.Diags)
+			}
+			if !reflect.DeepEqual(deps, e.Inst.Deps) {
+				t.Fatalf("dependence verdicts differ:\ngot  %v\nwant %v", deps, e.Inst.Deps)
+			}
+			got, want := lint.Certify(diags, deps), lint.Certify(e.Inst.Diags, e.Inst.Deps)
+			if got != want {
+				t.Fatalf("certificates differ:\ngot  %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestCorpusBlobsDistinct guards the corpus's use as a content-addressed
+// store: no two programs may share an encoding.
+func TestCorpusBlobsDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, e := range corpus(t) {
+		b, err := wire.EncodeUnit(e.Unit())
+		if err != nil {
+			t.Fatalf("%s: encode: %v", e.Name(), err)
+		}
+		if prev, dup := seen[string(b)]; dup {
+			t.Fatalf("%s and %s encode to identical bytes", prev, e.Name())
+		}
+		seen[string(b)] = e.Name()
+	}
+}

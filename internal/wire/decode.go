@@ -1,0 +1,617 @@
+package wire
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// reader walks a blob with bounds-checked, canonical-form reads. Every
+// failure is an *Error carrying the byte offset where decoding stopped;
+// the reader never panics, whatever the input.
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) errf(off int, format string, args ...any) error {
+	return &Error{Offset: off, PC: -1, Msg: sprintf(format, args...)}
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.pos }
+
+func (r *reader) u8(what string) (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, r.errf(r.pos, "truncated %s", what)
+	}
+	b := r.b[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// uvarint reads a minimal-length unsigned LEB128 value. Padded encodings
+// (a redundant trailing zero group) and runs past 64 bits are rejected:
+// each value has exactly one valid byte string.
+func (r *reader) uvarint(what string) (uint64, error) {
+	start := r.pos
+	var x uint64
+	var shift uint
+	for i := 0; ; i++ {
+		if r.pos >= len(r.b) {
+			return 0, r.errf(start, "truncated %s varint", what)
+		}
+		b := r.b[r.pos]
+		r.pos++
+		if shift == 63 && b > 1 {
+			return 0, r.errf(start, "%s varint overflows 64 bits", what)
+		}
+		x |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			if b == 0 && i > 0 {
+				return 0, r.errf(start, "non-minimal %s varint", what)
+			}
+			return x, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, r.errf(start, "%s varint longer than 10 bytes", what)
+		}
+	}
+}
+
+// uvarintMax reads an unsigned varint and bounds it, so the value can be
+// cast to a narrower type without silent truncation.
+func (r *reader) uvarintMax(max uint64, what string) (uint64, error) {
+	start := r.pos
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > max {
+		return 0, r.errf(start, "%s %d out of range (max %d)", what, v, max)
+	}
+	return v, nil
+}
+
+func (r *reader) varint(what string) (int64, error) {
+	u, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	return unzigzag(u), nil
+}
+
+func (r *reader) str(what string) (string, error) {
+	start := r.pos
+	n, err := r.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", r.errf(start, "%s length %d exceeds the %d remaining bytes", what, n, r.remaining())
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+// count reads an element count for entries of at least minEntry bytes and
+// rejects counts the section cannot possibly hold, bounding allocations
+// before any entry is parsed.
+func (r *reader) count(minEntry int, what string) (int, error) {
+	start := r.pos
+	n, err := r.uvarint(what + " count")
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(r.remaining()/minEntry) {
+		return 0, r.errf(start, "%s count %d exceeds section capacity", what, n)
+	}
+	return int(n), nil
+}
+
+// DecodeUnit parses a program blob, rejecting anything that is not the
+// canonical encoding of a valid unit. On success,
+// EncodeUnit(DecodeUnit(b)) reproduces b byte for byte.
+func DecodeUnit(b []byte) (*Unit, error) {
+	r := &reader{b: b}
+	if err := expectMagic(r, MagicProgram); err != nil {
+		return nil, err
+	}
+	verOff := r.pos
+	ver, err := r.uvarint("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, r.errf(verOff, "unsupported format version %d (this decoder reads %d)", ver, Version)
+	}
+	nsec, err := r.uvarintMax(6, "section count")
+	if err != nil {
+		return nil, err
+	}
+
+	u := &Unit{}
+	var insts []isa.Inst
+	var instOffs []int
+	labels := map[string]int{}
+	name := ""
+	seen := map[byte]bool{}
+	prevID := byte(0)
+	for s := uint64(0); s < nsec; s++ {
+		idOff := r.pos
+		id, err := r.u8("section id")
+		if err != nil {
+			return nil, err
+		}
+		if id <= prevID {
+			return nil, r.errf(idOff, "section id %d not after section %d (ids must strictly increase)", id, prevID)
+		}
+		if id > secExtents {
+			return nil, r.errf(idOff, "unknown section id %d", id)
+		}
+		prevID = id
+		seen[id] = true
+		lenOff := r.pos
+		length, err := r.uvarint("section length")
+		if err != nil {
+			return nil, err
+		}
+		if length > uint64(r.remaining()) {
+			return nil, r.errf(lenOff, "section %d length %d exceeds the %d remaining bytes", id, length, r.remaining())
+		}
+		end := r.pos + int(length)
+		sub := &reader{b: r.b[:end], pos: r.pos}
+		switch id {
+		case secName:
+			name = string(sub.b[sub.pos:end])
+			sub.pos = end
+		case secInsts:
+			insts, instOffs, err = decodeInsts(sub)
+		case secLabels:
+			labels, err = decodeLabels(sub)
+		case secIntArgs:
+			u.IntArgs, err = decodeIntArgs(sub)
+		case secFPArgs:
+			u.FPArgs, err = decodeFPArgs(sub)
+		case secExtents:
+			u.Extents, err = decodeExtents(sub)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if sub.pos != end {
+			return nil, r.errf(sub.pos, "section %d payload has %d unread bytes", id, end-sub.pos)
+		}
+		r.pos = end
+	}
+	for _, id := range [...]byte{secName, secInsts, secLabels} {
+		if !seen[id] {
+			return nil, r.errf(r.pos, "missing mandatory section %d", id)
+		}
+	}
+	if r.pos != len(r.b) {
+		return nil, r.errf(r.pos, "%d bytes of trailing garbage after the last section", len(r.b)-r.pos)
+	}
+
+	u.Prog = &program.Program{Name: name, Insts: insts, Labels: labels}
+	pos := func(pc int) int {
+		if pc >= 0 && pc < len(instOffs) {
+			return instOffs[pc]
+		}
+		return -1
+	}
+	if err := validateUnit(u, pos); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// DecodeProgram parses a program blob and returns the program alone.
+func DecodeProgram(b []byte) (*program.Program, error) {
+	u, err := DecodeUnit(b)
+	if err != nil {
+		return nil, err
+	}
+	return u.Prog, nil
+}
+
+func expectMagic(r *reader, magic string) error {
+	if len(r.b) < len(magic) {
+		return r.errf(0, "blob shorter than the %q magic", magic)
+	}
+	if string(r.b[:len(magic)]) != magic {
+		return r.errf(0, "bad magic %q, want %q", r.b[:len(magic)], magic)
+	}
+	r.pos = len(magic)
+	return nil
+}
+
+// decodeInsts parses the instruction section and records each
+// instruction's start offset for positioned validation errors.
+func decodeInsts(r *reader) ([]isa.Inst, []int, error) {
+	// The smallest instruction encoding is 11 bytes: opcode, five
+	// registers, immediate, width, target, empty label and the
+	// configuration-absent flag, one byte each.
+	n, err := r.count(11, "instruction")
+	if err != nil {
+		return nil, nil, err
+	}
+	insts := make([]isa.Inst, 0, n)
+	offs := make([]int, 0, n)
+	for pc := 0; pc < n; pc++ {
+		offs = append(offs, r.pos)
+		in, err := decodeInst(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		insts = append(insts, in)
+	}
+	return insts, offs, nil
+}
+
+func decodeInst(r *reader) (isa.Inst, error) {
+	var in isa.Inst
+	op, err := r.uvarintMax(math.MaxUint16, "opcode")
+	if err != nil {
+		return in, err
+	}
+	in.Op = isa.Op(op)
+	for _, dst := range [...]*isa.Reg{&in.Dst, &in.Src1, &in.Src2, &in.Src3, &in.Pred} {
+		// class<<5 | n: five low bits of register number under the class.
+		v, err := r.uvarintMax(uint64(isa.ClassPred)<<5|31, "register")
+		if err != nil {
+			return in, err
+		}
+		*dst = isa.Reg{Class: isa.RegClass(v >> 5), N: uint8(v & 31)}
+	}
+	if in.Imm, err = r.varint("immediate"); err != nil {
+		return in, err
+	}
+	w, err := r.uvarintMax(math.MaxInt32, "element width")
+	if err != nil {
+		return in, err
+	}
+	in.W = archWidth(w)
+	t, err := r.uvarintMax(math.MaxInt32, "branch target")
+	if err != nil {
+		return in, err
+	}
+	in.Target = int(t)
+	if in.Label, err = r.str("label"); err != nil {
+		return in, err
+	}
+	flagOff := r.pos
+	flag, err := r.u8("configuration flag")
+	if err != nil {
+		return in, err
+	}
+	switch flag {
+	case 0:
+	case 1:
+		cfg, err := decodeCfgPart(r)
+		if err != nil {
+			return in, err
+		}
+		in.Cfg = cfg
+	default:
+		return in, r.errf(flagOff, "configuration flag %d is neither 0 nor 1", flag)
+	}
+	return in, nil
+}
+
+func decodeCfgPart(r *reader) (*isa.StreamCfgPart, error) {
+	c := &isa.StreamCfgPart{}
+	stream, err := r.uvarintMax(math.MaxInt32, "stream number")
+	if err != nil {
+		return nil, err
+	}
+	c.Stream = int(stream)
+	flagOff := r.pos
+	flags, err := r.u8("part flags")
+	if err != nil {
+		return nil, err
+	}
+	if flags > 3 {
+		return nil, r.errf(flagOff, "part flags %#x have bits beyond start/end set", flags)
+	}
+	c.Start = flags&1 != 0
+	c.End = flags&2 != 0
+	if c.Start {
+		kind, err := r.uvarintMax(math.MaxInt32, "stream kind")
+		if err != nil {
+			return nil, err
+		}
+		c.Kind = descriptor.Kind(kind)
+		w, err := r.uvarintMax(math.MaxInt32, "element width")
+		if err != nil {
+			return nil, err
+		}
+		c.Width = archWidth(w)
+		level, err := r.uvarintMax(math.MaxInt32, "cache level")
+		if err != nil {
+			return nil, err
+		}
+		c.Level = archLevel(level)
+		if c.Base, err = r.uvarint("base address"); err != nil {
+			return nil, err
+		}
+	}
+	kindOff := r.pos
+	kind, err := r.u8("part payload kind")
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case partDim:
+		if c.Dim, err = decodeDim(r); err != nil {
+			return nil, err
+		}
+	case partMod:
+		m, err := decodeStaticMod(r)
+		if err != nil {
+			return nil, err
+		}
+		c.Mod = m
+	case partIndirect:
+		m, err := decodeIndirectMod(r)
+		if err != nil {
+			return nil, err
+		}
+		c.Ind = m
+	default:
+		return nil, r.errf(kindOff, "unknown part payload kind %d", kind)
+	}
+	return c, nil
+}
+
+func decodeDim(r *reader) (descriptor.Dim, error) {
+	var d descriptor.Dim
+	var err error
+	if d.Offset, err = r.varint("dim offset"); err != nil {
+		return d, err
+	}
+	if d.Size, err = r.varint("dim size"); err != nil {
+		return d, err
+	}
+	if d.Stride, err = r.varint("dim stride"); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+func decodeStaticMod(r *reader) (*descriptor.StaticMod, error) {
+	m := &descriptor.StaticMod{}
+	bound, err := r.uvarintMax(math.MaxInt32, "modifier bound")
+	if err != nil {
+		return nil, err
+	}
+	m.Bound = int(bound)
+	target, err := r.uvarintMax(math.MaxInt32, "modifier target")
+	if err != nil {
+		return nil, err
+	}
+	m.Target = descriptor.Target(target)
+	behav, err := r.uvarintMax(math.MaxInt32, "modifier behavior")
+	if err != nil {
+		return nil, err
+	}
+	m.Behav = descriptor.Behavior(behav)
+	if m.Disp, err = r.varint("modifier displacement"); err != nil {
+		return nil, err
+	}
+	if m.Count, err = r.varint("modifier count"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodeIndirectMod(r *reader) (*descriptor.IndirectMod, error) {
+	m := &descriptor.IndirectMod{}
+	bound, err := r.uvarintMax(math.MaxInt32, "modifier bound")
+	if err != nil {
+		return nil, err
+	}
+	m.Bound = int(bound)
+	target, err := r.uvarintMax(math.MaxInt32, "modifier target")
+	if err != nil {
+		return nil, err
+	}
+	m.Target = descriptor.Target(target)
+	behav, err := r.uvarintMax(math.MaxInt32, "modifier behavior")
+	if err != nil {
+		return nil, err
+	}
+	m.Behav = descriptor.Behavior(behav)
+	origin, err := r.uvarintMax(math.MaxInt32, "origin stream")
+	if err != nil {
+		return nil, err
+	}
+	m.Origin = int(origin)
+	return m, nil
+}
+
+// decodeLabels parses the label table, enforcing the canonical strict
+// lexicographic order (which also rules out duplicates).
+func decodeLabels(r *reader) (map[string]int, error) {
+	// Smallest entry: one-byte name length, one name byte, one pc byte.
+	n, err := r.count(3, "label")
+	if err != nil {
+		return nil, err
+	}
+	labels := make(map[string]int, n)
+	prev := ""
+	for i := 0; i < n; i++ {
+		nameOff := r.pos
+		name, err := r.str("label name")
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && name <= prev {
+			return nil, r.errf(nameOff, "label %q not sorted after %q", name, prev)
+		}
+		prev = name
+		pc, err := r.uvarintMax(math.MaxInt32, "label pc")
+		if err != nil {
+			return nil, err
+		}
+		labels[name] = int(pc)
+	}
+	return labels, nil
+}
+
+func decodeIntArgs(r *reader) ([]IntArg, error) {
+	n, err := r.count(2, "int arg")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, r.errf(r.pos, "empty optional section (must be omitted)")
+	}
+	args := make([]IntArg, 0, n)
+	for i := 0; i < n; i++ {
+		reg, err := r.uvarintMax(math.MaxInt32, "int arg register")
+		if err != nil {
+			return nil, err
+		}
+		val, err := r.uvarint("int arg value")
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, IntArg{Reg: int(reg), Val: val})
+	}
+	return args, nil
+}
+
+func decodeFPArgs(r *reader) ([]FPArg, error) {
+	n, err := r.count(3, "fp arg")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, r.errf(r.pos, "empty optional section (must be omitted)")
+	}
+	args := make([]FPArg, 0, n)
+	for i := 0; i < n; i++ {
+		reg, err := r.uvarintMax(math.MaxInt32, "fp arg register")
+		if err != nil {
+			return nil, err
+		}
+		w, err := r.uvarintMax(math.MaxInt32, "fp arg width")
+		if err != nil {
+			return nil, err
+		}
+		bits, err := r.uvarint("fp arg value")
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, FPArg{Reg: int(reg), Width: archWidth(w), Val: math.Float64frombits(bits)})
+	}
+	return args, nil
+}
+
+func decodeExtents(r *reader) ([]Extent, error) {
+	n, err := r.count(2, "extent")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, r.errf(r.pos, "empty optional section (must be omitted)")
+	}
+	exts := make([]Extent, 0, n)
+	for i := 0; i < n; i++ {
+		var e Extent
+		if e.Base, err = r.uvarint("extent base"); err != nil {
+			return nil, err
+		}
+		if e.Size, err = r.varint("extent size"); err != nil {
+			return nil, err
+		}
+		exts = append(exts, e)
+	}
+	return exts, nil
+}
+
+// DecodeDescriptor parses a standalone descriptor blob.
+func DecodeDescriptor(b []byte) (*descriptor.Descriptor, error) {
+	r := &reader{b: b}
+	if err := expectMagic(r, MagicDescriptor); err != nil {
+		return nil, err
+	}
+	verOff := r.pos
+	ver, err := r.uvarint("version")
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, r.errf(verOff, "unsupported format version %d (this decoder reads %d)", ver, Version)
+	}
+	d := &descriptor.Descriptor{}
+	kind, err := r.uvarintMax(math.MaxInt32, "stream kind")
+	if err != nil {
+		return nil, err
+	}
+	d.Kind = descriptor.Kind(kind)
+	w, err := r.uvarintMax(math.MaxInt32, "element width")
+	if err != nil {
+		return nil, err
+	}
+	d.Width = archWidth(w)
+	level, err := r.uvarintMax(math.MaxInt32, "cache level")
+	if err != nil {
+		return nil, err
+	}
+	d.Level = archLevel(level)
+	if d.Base, err = r.uvarint("base address"); err != nil {
+		return nil, err
+	}
+	ndims, err := r.count(3, "dimension")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ndims; i++ {
+		dim, err := decodeDim(r)
+		if err != nil {
+			return nil, err
+		}
+		d.Dims = append(d.Dims, dim)
+	}
+	nstatic, err := r.count(5, "static modifier")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nstatic; i++ {
+		m, err := decodeStaticMod(r)
+		if err != nil {
+			return nil, err
+		}
+		d.Static = append(d.Static, *m)
+	}
+	nind, err := r.count(4, "indirect modifier")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nind; i++ {
+		m, err := decodeIndirectMod(r)
+		if err != nil {
+			return nil, err
+		}
+		d.Indirect = append(d.Indirect, *m)
+	}
+	if r.pos != len(r.b) {
+		return nil, r.errf(r.pos, "%d bytes of trailing garbage after the descriptor", len(r.b)-r.pos)
+	}
+	if err := validateDescriptor(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// archWidth and archLevel cast bounded varints into their arch enums;
+// range validation happens in the validate pass.
+func archWidth(v uint64) arch.ElemWidth { return arch.ElemWidth(v) }
+
+func archLevel(v uint64) arch.CacheLevel { return arch.CacheLevel(v) }

@@ -1,0 +1,211 @@
+package wire
+
+import (
+	"math"
+
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// EncodeUnit renders a unit into its canonical byte form. The input is
+// validated first; an unencodable unit (invalid opcode, dangling branch
+// label, unsorted argument table, ...) returns an *Error and no bytes.
+// Encoding is a pure function of the unit's value: two calls over equal
+// units produce identical bytes.
+func EncodeUnit(u *Unit) ([]byte, error) {
+	if err := validateUnit(u, encodePos); err != nil {
+		return nil, err
+	}
+	p := u.Prog
+
+	sections := make([][]byte, 0, 6)
+	ids := make([]byte, 0, 6)
+	add := func(id byte, payload []byte) {
+		ids = append(ids, id)
+		sections = append(sections, payload)
+	}
+
+	add(secName, []byte(p.Name))
+
+	var insts []byte
+	insts = appendUvarint(insts, uint64(len(p.Insts)))
+	for i := range p.Insts {
+		insts = appendInst(insts, &p.Insts[i])
+	}
+	add(secInsts, insts)
+
+	names := sortedLabelNames(p.Labels)
+	var labels []byte
+	labels = appendUvarint(labels, uint64(len(names)))
+	for _, name := range names {
+		labels = appendString(labels, name)
+		labels = appendUvarint(labels, uint64(p.Labels[name]))
+	}
+	add(secLabels, labels)
+
+	// Optional context sections are omitted when empty: an empty section
+	// and an absent one would be two encodings of the same value.
+	if len(u.IntArgs) > 0 {
+		var b []byte
+		b = appendUvarint(b, uint64(len(u.IntArgs)))
+		for _, a := range u.IntArgs {
+			b = appendUvarint(b, uint64(a.Reg))
+			b = appendUvarint(b, a.Val)
+		}
+		add(secIntArgs, b)
+	}
+	if len(u.FPArgs) > 0 {
+		var b []byte
+		b = appendUvarint(b, uint64(len(u.FPArgs)))
+		for _, a := range u.FPArgs {
+			b = appendUvarint(b, uint64(a.Reg))
+			b = appendUvarint(b, uint64(a.Width))
+			b = appendUvarint(b, math.Float64bits(a.Val))
+		}
+		add(secFPArgs, b)
+	}
+	if len(u.Extents) > 0 {
+		var b []byte
+		b = appendUvarint(b, uint64(len(u.Extents)))
+		for _, e := range u.Extents {
+			b = appendUvarint(b, e.Base)
+			b = appendVarint(b, e.Size)
+		}
+		add(secExtents, b)
+	}
+
+	out := append([]byte(nil), MagicProgram...)
+	out = appendUvarint(out, Version)
+	out = appendUvarint(out, uint64(len(ids)))
+	for i, id := range ids {
+		out = append(out, id)
+		out = appendUvarint(out, uint64(len(sections[i])))
+		out = append(out, sections[i]...)
+	}
+	return out, nil
+}
+
+// EncodeProgram encodes a bare program (a unit with no build context).
+func EncodeProgram(p *program.Program) ([]byte, error) {
+	return EncodeUnit(&Unit{Prog: p})
+}
+
+// EncodeDescriptor renders a standalone stream descriptor under the
+// "UVED" magic, with the same canonical-form rules as programs.
+func EncodeDescriptor(d *descriptor.Descriptor) ([]byte, error) {
+	if err := validateDescriptor(d); err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), MagicDescriptor...)
+	out = appendUvarint(out, Version)
+	return appendDescriptorBody(out, d), nil
+}
+
+// appendDescriptorBody emits kind/width/level/base, then the dimension and
+// modifier tables in configuration order.
+func appendDescriptorBody(dst []byte, d *descriptor.Descriptor) []byte {
+	dst = appendUvarint(dst, uint64(d.Kind))
+	dst = appendUvarint(dst, uint64(d.Width))
+	dst = appendUvarint(dst, uint64(d.Level))
+	dst = appendUvarint(dst, d.Base)
+	dst = appendUvarint(dst, uint64(len(d.Dims)))
+	for _, dim := range d.Dims {
+		dst = appendDim(dst, dim)
+	}
+	dst = appendUvarint(dst, uint64(len(d.Static)))
+	for i := range d.Static {
+		dst = appendStaticMod(dst, &d.Static[i])
+	}
+	dst = appendUvarint(dst, uint64(len(d.Indirect)))
+	for i := range d.Indirect {
+		dst = appendIndirectMod(dst, &d.Indirect[i])
+	}
+	return dst
+}
+
+func appendDim(dst []byte, dim descriptor.Dim) []byte {
+	dst = appendVarint(dst, dim.Offset)
+	dst = appendVarint(dst, dim.Size)
+	return appendVarint(dst, dim.Stride)
+}
+
+func appendStaticMod(dst []byte, m *descriptor.StaticMod) []byte {
+	dst = appendUvarint(dst, uint64(m.Bound))
+	dst = appendUvarint(dst, uint64(m.Target))
+	dst = appendUvarint(dst, uint64(m.Behav))
+	dst = appendVarint(dst, m.Disp)
+	return appendVarint(dst, m.Count)
+}
+
+func appendIndirectMod(dst []byte, m *descriptor.IndirectMod) []byte {
+	dst = appendUvarint(dst, uint64(m.Bound))
+	dst = appendUvarint(dst, uint64(m.Target))
+	dst = appendUvarint(dst, uint64(m.Behav))
+	return appendUvarint(dst, uint64(m.Origin))
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendReg packs a register into one varint: class in the high bits, the
+// register number in the low five (every file has at most 32 registers).
+func appendReg(dst []byte, r isa.Reg) []byte {
+	return appendUvarint(dst, uint64(r.Class)<<5|uint64(r.N))
+}
+
+// appendInst emits one instruction: opcode, the five operand registers,
+// immediate, width, branch target, label and — for configuration µOps —
+// the stream-configuration payload.
+func appendInst(dst []byte, in *isa.Inst) []byte {
+	dst = appendUvarint(dst, uint64(in.Op))
+	for _, r := range [...]isa.Reg{in.Dst, in.Src1, in.Src2, in.Src3, in.Pred} {
+		dst = appendReg(dst, r)
+	}
+	dst = appendVarint(dst, in.Imm)
+	dst = appendUvarint(dst, uint64(in.W))
+	dst = appendUvarint(dst, uint64(in.Target))
+	dst = appendString(dst, in.Label)
+	if in.Cfg == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return appendCfgPart(dst, in.Cfg)
+}
+
+// Stream-configuration payload kinds.
+const (
+	partDim      = 0
+	partMod      = 1
+	partIndirect = 2
+)
+
+func appendCfgPart(dst []byte, c *isa.StreamCfgPart) []byte {
+	dst = appendUvarint(dst, uint64(c.Stream))
+	var flags byte
+	if c.Start {
+		flags |= 1
+	}
+	if c.End {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	if c.Start {
+		dst = appendUvarint(dst, uint64(c.Kind))
+		dst = appendUvarint(dst, uint64(c.Width))
+		dst = appendUvarint(dst, uint64(c.Level))
+		dst = appendUvarint(dst, c.Base)
+	}
+	switch {
+	case c.Mod != nil:
+		dst = append(dst, partMod)
+		return appendStaticMod(dst, c.Mod)
+	case c.Ind != nil:
+		dst = append(dst, partIndirect)
+		return appendIndirectMod(dst, c.Ind)
+	}
+	dst = append(dst, partDim)
+	return appendDim(dst, c.Dim)
+}

@@ -1,0 +1,131 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/kernels"
+	"repro/internal/mem"
+	"repro/internal/wire"
+)
+
+// fuzzSeeds returns a spread of valid blobs (a few real kernels plus a
+// standalone descriptor) and near-valid garbage, so the fuzzer starts on
+// both sides of the accept/reject boundary. Only a handful of kernels are
+// built — the full 57-program corpus takes tens of seconds under fuzz
+// instrumentation, which would starve the actual fuzzing in timed smokes.
+func fuzzSeeds(t interface {
+	Helper()
+	Fatalf(string, ...any)
+}) [][]byte {
+	t.Helper()
+	var seeds [][]byte
+	for _, s := range []struct {
+		id string
+		v  kernels.Variant
+	}{{"A", kernels.UVE}, {"C", kernels.SVE}, {"N", kernels.UVE}, {"C", kernels.NEON}} {
+		k := kernels.ByID(s.id)
+		if k == nil {
+			t.Fatalf("no kernel %q", s.id)
+		}
+		h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
+		inst := k.Build(h, s.v, kernels.CorpusSize)
+		if inst.Err != nil {
+			t.Fatalf("%s/%s: build: %v", s.id, s.v, inst.Err)
+		}
+		e := kernels.CorpusEntry{Kernel: k, Variant: s.v, Size: kernels.CorpusSize, Inst: inst, Extents: h.Mem.Extents()}
+		b, err := wire.EncodeUnit(e.Unit())
+		if err != nil {
+			t.Fatalf("%s: encode: %v", e.Name(), err)
+		}
+		seeds = append(seeds, b)
+	}
+	d := descriptor.New(0x100, arch.W4, descriptor.Load).
+		Dim(0, 8, 1).Dim(0, 4, 8).
+		Mod(descriptor.TargetOffset, descriptor.Add, 1, 0).
+		MustBuild()
+	db, err := wire.EncodeDescriptor(d)
+	if err != nil {
+		t.Fatalf("encode descriptor: %v", err)
+	}
+	seeds = append(seeds, db,
+		[]byte(wire.MagicProgram),
+		[]byte(wire.MagicDescriptor),
+		[]byte("UVEW\x01\x00"),
+		[]byte("not a wire blob"),
+		bytes.Repeat([]byte{0xff}, 64),
+		nil,
+	)
+	return seeds
+}
+
+// FuzzWireDecode drives arbitrary bytes through both decoders: they must
+// never panic, must reject garbage with a positioned *wire.Error, and on
+// acceptance the re-encoding must reproduce the input byte for byte (the
+// canonical-form guarantee over the whole input space).
+func FuzzWireDecode(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		u, err := wire.DecodeUnit(b)
+		if err != nil {
+			var werr *wire.Error
+			if !errors.As(err, &werr) {
+				t.Fatalf("decode error type %T, want *wire.Error (%v)", err, err)
+			}
+		} else {
+			out, err := wire.EncodeUnit(u)
+			if err != nil {
+				t.Fatalf("decoded unit does not re-encode: %v", err)
+			}
+			if !bytes.Equal(out, b) {
+				t.Fatalf("accepted a non-canonical blob:\nin  % x\nout % x", b, out)
+			}
+		}
+		d, err := wire.DecodeDescriptor(b)
+		if err != nil {
+			var werr *wire.Error
+			if !errors.As(err, &werr) {
+				t.Fatalf("descriptor decode error type %T, want *wire.Error (%v)", err, err)
+			}
+		} else {
+			out, err := wire.EncodeDescriptor(d)
+			if err != nil {
+				t.Fatalf("decoded descriptor does not re-encode: %v", err)
+			}
+			if !bytes.Equal(out, b) {
+				t.Fatalf("accepted a non-canonical descriptor blob:\nin  % x\nout % x", b, out)
+			}
+		}
+	})
+}
+
+// FuzzWireRoundTrip checks value-level stability on every accepted input:
+// decode → encode → decode must yield a deeply equal unit.
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		u, err := wire.DecodeUnit(b)
+		if err != nil {
+			return
+		}
+		out, err := wire.EncodeUnit(u)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		u2, err := wire.DecodeUnit(out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if !reflect.DeepEqual(u, u2) {
+			t.Fatalf("units diverge across a round trip:\nfirst  %+v\nsecond %+v", u, u2)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package wire
+
+// LEB128 varints, minimal-length only. The encoder emits the shortest
+// encoding; the decoder rejects any other (padded groups, overlong runs,
+// bits beyond 64) so that a varint has exactly one valid byte string —
+// the foundation of the format's canonical-form guarantee.
+
+// appendUvarint appends the minimal unsigned LEB128 encoding of v.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// appendVarint appends a signed value, zigzag-folded then LEB128-encoded.
+func appendVarint(dst []byte, v int64) []byte {
+	return appendUvarint(dst, zigzag(v))
+}
+
+// zigzag folds a signed value into an unsigned one with small magnitudes
+// staying small (..., -2→3, -1→1, 0→0, 1→2, 2→4, ...).
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag is the inverse of zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/descriptor"
+	"repro/internal/isa"
+)
+
+// The checks in this file define the set of encodable values. Encode runs
+// them before emitting a single byte, and Decode runs the same checks after
+// parsing, so both directions agree exactly on what is valid — the
+// structural half of the canonical-form guarantee (the byte-level half is
+// enforced by the reader: minimal varints, ordered sections, exact
+// lengths).
+//
+// instPos localizes an error to one instruction. Encode passes offset -1
+// (the blob does not exist yet); Decode passes the byte offset where the
+// instruction starts.
+type instPos func(pc int) int
+
+func encodePos(int) int { return -1 }
+
+// validateUnit checks a unit for encodability. pos maps an instruction
+// index to its blob offset for error anchoring.
+func validateUnit(u *Unit, pos instPos) error {
+	if u == nil || u.Prog == nil {
+		return &Error{Offset: -1, PC: -1, Msg: "nil program"}
+	}
+	p := u.Prog
+	n := len(p.Insts)
+	for pc := range p.Insts {
+		if err := validateInst(&p.Insts[pc], pc, n, p.Labels, pos); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedLabelNames(p.Labels) {
+		if name == "" {
+			return &Error{Offset: -1, PC: -1, Msg: "empty label name"}
+		}
+		if lpc := p.Labels[name]; lpc < 0 || lpc > n {
+			return &Error{Offset: -1, PC: -1,
+				Msg: sprintf("label %q bound to pc %d, outside the %d-inst program", name, lpc, n)}
+		}
+	}
+	prev := -1
+	for _, a := range u.IntArgs {
+		if a.Reg < 0 || a.Reg >= isa.NumIntRegs {
+			return &Error{Offset: -1, PC: -1, Msg: sprintf("int arg register x%d out of range", a.Reg)}
+		}
+		if a.Reg <= prev {
+			return &Error{Offset: -1, PC: -1, Msg: "int args not sorted by register"}
+		}
+		prev = a.Reg
+	}
+	prev = -1
+	for _, a := range u.FPArgs {
+		if a.Reg < 0 || a.Reg >= isa.NumFPRegs {
+			return &Error{Offset: -1, PC: -1, Msg: sprintf("fp arg register f%d out of range", a.Reg)}
+		}
+		if a.Reg <= prev {
+			return &Error{Offset: -1, PC: -1, Msg: "fp args not sorted by register"}
+		}
+		prev = a.Reg
+		if !a.Width.Valid() {
+			return &Error{Offset: -1, PC: -1, Msg: sprintf("fp arg f%d has invalid width %d", a.Reg, int(a.Width))}
+		}
+		if math.IsNaN(a.Val) {
+			return &Error{Offset: -1, PC: -1, Msg: sprintf("fp arg f%d is NaN", a.Reg)}
+		}
+	}
+	for i, e := range u.Extents {
+		if e.Size < 0 {
+			return &Error{Offset: -1, PC: -1, Msg: sprintf("extent %d has negative size %d", i, e.Size)}
+		}
+	}
+	return nil
+}
+
+// validateInst checks one instruction. The branch-target range check is the
+// decode-side counterpart of Program.At's silent halt masking: wrong-path
+// fetch past the end may halt, but a *decoded* program whose branch aims
+// outside [0, len] is corrupt and must be a positioned error.
+func validateInst(in *isa.Inst, pc, n int, labels map[string]int, pos instPos) error {
+	fail := func(msg string) error {
+		return &Error{Offset: pos(pc), PC: pc, Op: in.Op.Name(), Msg: msg}
+	}
+	if !in.Op.Valid() {
+		return &Error{Offset: pos(pc), PC: pc, Msg: sprintf("invalid opcode %d", uint16(in.Op))}
+	}
+	for _, r := range [...]isa.Reg{in.Dst, in.Src1, in.Src2, in.Src3, in.Pred} {
+		if r.Class == isa.ClassNone {
+			if r.N != 0 {
+				return fail(sprintf("absent operand with nonzero register number %d", r.N))
+			}
+			continue
+		}
+		if !r.Valid() {
+			return fail(sprintf("invalid register %s", r))
+		}
+	}
+	if in.W != 0 && !in.W.Valid() {
+		return fail(sprintf("invalid element width %d", int(in.W)))
+	}
+	if in.Target < 0 {
+		return fail(sprintf("negative branch target %d", in.Target))
+	}
+	if in.Op.IsBranch() {
+		// Target n is the implicit halt at program end (lint's CFG treats
+		// it as exit); anything beyond is out of range.
+		if in.Target > n {
+			return fail(sprintf("branch target %d past the end of the %d-inst program", in.Target, n))
+		}
+		if in.Label != "" {
+			lpc, ok := labels[in.Label]
+			if !ok {
+				return fail(sprintf("branch label %q not in the label table", in.Label))
+			}
+			if lpc != in.Target {
+				return fail(sprintf("branch label %q resolves to pc %d but target is %d", in.Label, lpc, in.Target))
+			}
+		}
+	} else if in.Label != "" {
+		return fail(sprintf("label %q on a non-branch instruction", in.Label))
+	}
+	if (in.Op == isa.OpSCfg) != (in.Cfg != nil) {
+		if in.Cfg == nil {
+			return fail("stream configuration instruction without a payload")
+		}
+		return fail("configuration payload on a non-configuration instruction")
+	}
+	if in.Cfg != nil {
+		if err := validateCfgPart(in.Cfg); err != nil {
+			return fail(err.Error())
+		}
+	}
+	return nil
+}
+
+type partError string
+
+func (e partError) Error() string { return string(e) }
+
+func partErrorf(format string, args ...any) error { return partError(sprintf(format, args...)) }
+
+// validateCfgPart checks one stream-configuration µOp payload. Fields that
+// the wire format omits for non-start parts must be zero-valued, or the
+// part cannot round-trip.
+func validateCfgPart(c *isa.StreamCfgPart) error {
+	if c.Stream < 0 || c.Stream >= isa.NumVecRegs {
+		return partErrorf("stream number u%d out of range", c.Stream)
+	}
+	if !c.Start {
+		if c.Kind != descriptor.Load || c.Width != 0 || c.Level != arch.LevelL1 || c.Base != 0 {
+			return partErrorf("non-start part carries start-only fields")
+		}
+	} else {
+		if c.Kind != descriptor.Load && c.Kind != descriptor.Store {
+			return partErrorf("invalid stream kind %d", int(c.Kind))
+		}
+		if !c.Width.Valid() {
+			return partErrorf("invalid element width %d", int(c.Width))
+		}
+		if c.Level < arch.LevelL1 || c.Level > arch.LevelMem {
+			return partErrorf("invalid cache level %d", int(c.Level))
+		}
+	}
+	switch {
+	case c.Mod != nil && c.Ind != nil:
+		return partErrorf("part carries both a static and an indirect modifier")
+	case c.Mod != nil:
+		if c.Dim != (descriptor.Dim{}) {
+			return partErrorf("modifier part carries a dimension payload")
+		}
+		return validateStaticMod(c.Mod)
+	case c.Ind != nil:
+		if c.Dim != (descriptor.Dim{}) {
+			return partErrorf("modifier part carries a dimension payload")
+		}
+		return validateIndirectMod(c.Ind)
+	}
+	return nil
+}
+
+func validateStaticMod(m *descriptor.StaticMod) error {
+	if m.Bound < 0 || m.Bound > descriptor.MaxDims {
+		return partErrorf("static modifier bound %d out of range", m.Bound)
+	}
+	if m.Target < descriptor.TargetOffset || m.Target > descriptor.TargetStride {
+		return partErrorf("invalid modifier target %d", int(m.Target))
+	}
+	if m.Behav != descriptor.Add && m.Behav != descriptor.Sub {
+		return partErrorf("static modifier with non-static behavior %d", int(m.Behav))
+	}
+	return nil
+}
+
+func validateIndirectMod(m *descriptor.IndirectMod) error {
+	if m.Bound < 0 || m.Bound > descriptor.MaxDims {
+		return partErrorf("indirect modifier bound %d out of range", m.Bound)
+	}
+	if m.Target < descriptor.TargetOffset || m.Target > descriptor.TargetStride {
+		return partErrorf("invalid modifier target %d", int(m.Target))
+	}
+	switch m.Behav {
+	case descriptor.SetAdd, descriptor.SetSub, descriptor.SetValue:
+	default:
+		return partErrorf("indirect modifier with non-indirect behavior %d", int(m.Behav))
+	}
+	if m.Origin < 0 || m.Origin >= isa.NumVecRegs {
+		return partErrorf("indirect origin stream u%d out of range", m.Origin)
+	}
+	return nil
+}
+
+// validateDescriptor checks a standalone descriptor: the architected rules
+// plus the enum ranges Validate leaves to the configuration path.
+func validateDescriptor(d *descriptor.Descriptor) error {
+	if d == nil {
+		return &Error{Offset: -1, PC: -1, Msg: "nil descriptor"}
+	}
+	if d.Kind != descriptor.Load && d.Kind != descriptor.Store {
+		return &Error{Offset: -1, PC: -1, Msg: sprintf("invalid stream kind %d", int(d.Kind))}
+	}
+	if d.Level < arch.LevelL1 || d.Level > arch.LevelMem {
+		return &Error{Offset: -1, PC: -1, Msg: sprintf("invalid cache level %d", int(d.Level))}
+	}
+	for i := range d.Static {
+		if err := validateStaticMod(&d.Static[i]); err != nil {
+			return &Error{Offset: -1, PC: -1, Msg: err.Error()}
+		}
+	}
+	for i := range d.Indirect {
+		if err := validateIndirectMod(&d.Indirect[i]); err != nil {
+			return &Error{Offset: -1, PC: -1, Msg: err.Error()}
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return &Error{Offset: -1, PC: -1, Msg: err.Error()}
+	}
+	return nil
+}

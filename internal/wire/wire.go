@@ -1,0 +1,123 @@
+// Package wire defines the canonical binary encoding of programs and
+// stream descriptors. The paper's premise (§III) is that a stream's whole
+// memory behaviour is captured by a compact configuration descriptor; this
+// package gives those descriptors — and the programs that configure them —
+// a stable on-disk form, so kernels can be saved, diffed, fuzzed and hashed
+// across processes (the content-addressed result store keys on these bytes).
+//
+// Layout (version 1):
+//
+//	magic "UVEW" | version uvarint | section count uvarint | sections
+//
+// Each section is id byte | payload length uvarint | payload. Sections
+// appear in strictly increasing id order; Name (1), Insts (2) and Labels
+// (3) are mandatory, IntArgs (4), FPArgs (5) and Extents (6) are optional
+// build context and are omitted when empty. All integers are LEB128
+// varints (signed values zigzag-folded first), as in the WebAssembly
+// binary format.
+//
+// The encoding is canonical: there is exactly one valid byte string per
+// value. Decode enforces minimal varints, ordered sections, sorted label
+// tables, exact section lengths and zero-valued absent fields, and rejects
+// everything else with a positioned error — so
+//
+//	Decode(Encode(p)) is deeply equal to p, and
+//	Encode(Decode(b)) is byte-identical to b for every valid b.
+//
+// Standalone descriptors use the same rules under magic "UVED".
+package wire
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/program"
+)
+
+// Magic numbers and the current format version. Version bumps are reserved
+// for incompatible layout changes; adding a new optional section is also a
+// version bump, because version-1 decoders must be able to reject any byte
+// they cannot reproduce (the canonical-form guarantee).
+const (
+	MagicProgram    = "UVEW"
+	MagicDescriptor = "UVED"
+	Version         = 1
+)
+
+// Section IDs, in the mandatory encoding order.
+const (
+	secName    = 1 // program name bytes
+	secInsts   = 2 // instruction sequence
+	secLabels  = 3 // label table, sorted by name
+	secIntArgs = 4 // entry integer-register values, sorted by register
+	secFPArgs  = 5 // entry FP-register values, sorted by register
+	secExtents = 6 // legal buffer extents, in declaration order
+)
+
+// Unit is the decoded form of one program blob: the program itself plus
+// the optional build context (argument registers and buffer extents) that
+// lets a consumer lint or execute it exactly as the builder-built original.
+type Unit struct {
+	Prog    *program.Program
+	IntArgs []IntArg // sorted by Reg, no duplicates
+	FPArgs  []FPArg  // sorted by Reg, no duplicates
+	Extents []Extent // declaration order (allocation order is meaningful)
+}
+
+// IntArg is one entry-defined integer register value.
+type IntArg struct {
+	Reg int
+	Val uint64
+}
+
+// FPArg is one entry-defined floating-point register value.
+type FPArg struct {
+	Reg   int
+	Width arch.ElemWidth
+	Val   float64
+}
+
+// Extent declares one legal buffer: [Base, Base+Size) in byte addresses.
+type Extent struct {
+	Base uint64
+	Size int64
+}
+
+// Error is a positioned encode/decode failure, rendered in the lint
+// diagnostic style (pc: error: message [op]) with the byte offset where
+// the decoder stopped.
+type Error struct {
+	Offset int    // byte offset into the blob; -1 for encode-side failures
+	PC     int    // instruction index when anchored to one, else -1
+	Op     string // mnemonic when PC-anchored
+	Msg    string
+}
+
+// sprintf keeps the validation/error paths terse.
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// sortedLabelNames returns the label table's keys in the canonical
+// (lexicographic) order every deterministic walk over it must use.
+func sortedLabelNames(labels map[string]int) []string {
+	names := make([]string, 0, len(labels))
+	for name := range labels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (e *Error) Error() string {
+	pos := ""
+	if e.Offset >= 0 {
+		pos = fmt.Sprintf("offset %#x: ", e.Offset)
+	}
+	switch {
+	case e.PC >= 0 && e.Op != "":
+		return fmt.Sprintf("wire: %sinst %d: error: %s [%s]", pos, e.PC, e.Msg, e.Op)
+	case e.PC >= 0:
+		return fmt.Sprintf("wire: %sinst %d: error: %s", pos, e.PC, e.Msg)
+	}
+	return fmt.Sprintf("wire: %serror: %s", pos, e.Msg)
+}

@@ -4,8 +4,9 @@
 # fuzz smoke over the descriptor iterator, footprint abstraction and the
 # abstract-interpretation soundness oracle, a one-shot Fig 8 benchmark
 # smoke, execution-tier differential smokes, trace/fault determinism
-# smokes, the watchdog no-hang smoke, the prove/certificate smoke and the
-# wall-clock perf gate against the committed BENCH_simwall.json.
+# smokes, the watchdog no-hang smoke, the wire-format canonicality smoke,
+# the prove/certificate smoke and the wall-clock perf gate against the
+# committed BENCH_simwall.json.
 set -eux
 cd "$(dirname "$0")/.."
 
@@ -31,6 +32,8 @@ go test -run '^$' -fuzz '^FuzzIterator$' -fuzztime 5s ./internal/descriptor
 go test -run '^$' -fuzz '^FuzzFootprint$' -fuzztime 5s ./internal/descriptor
 go test -run '^$' -fuzz '^FuzzClosedFormWalk$' -fuzztime 5s ./internal/cost
 go test -run '^$' -fuzz '^FuzzAbsintSoundness$' -fuzztime 5s ./internal/absint
+go test -run '^$' -fuzz '^FuzzWireDecode$' -fuzztime 5s ./internal/wire
+go test -run '^$' -fuzz '^FuzzWireRoundTrip$' -fuzztime 5s ./internal/wire
 go test -run '^$' -bench '^BenchmarkFig8$' -benchtime 1x .
 # Execution-tier smoke: the functional/cycle differential oracle and the
 # event-skip bit-equivalence suite race-detected, a short differential
@@ -52,6 +55,20 @@ cmp "$tracedir/plain.txt" "$tracedir/traced.txt"
 go run ./cmd/uvebench -exp fig8 -scale 256 -j 1 > "$tracedir/fig8-seq.txt"
 go run ./cmd/uvebench -exp fig8 -scale 256 > "$tracedir/fig8-par.txt"
 cmp "$tracedir/fig8-seq.txt" "$tracedir/fig8-par.txt"
+# Wire-format smoke: the canonical encoder must be bit-reproducible (two
+# corpus encodes diff clean), every blob must disassemble, -verify must
+# certify canonicality and lint-verdict identity for the whole corpus, and
+# the README walkthrough (encode saxpy -> disassemble -> statically verify)
+# must work end to end.
+go build -o "$tracedir/uveasm" ./cmd/uveasm
+"$tracedir/uveasm" -o "$tracedir/wire-a" > /dev/null
+"$tracedir/uveasm" -o "$tracedir/wire-b" > /dev/null
+diff -r "$tracedir/wire-a" "$tracedir/wire-b"
+"$tracedir/uveasm" -d "$tracedir/wire-a"/*.uve > /dev/null
+"$tracedir/uveasm" -verify "$tracedir/wire-a"/*.uve > /dev/null
+"$tracedir/uveasm" -kernel C -variant uve -o "$tracedir/saxpy.uve" > /dev/null
+"$tracedir/uveasm" -d "$tracedir/saxpy.uve" | grep -q saxpy
+"$tracedir/uveasm" -lint "$tracedir/saxpy.uve" | grep -q "certificate: safe=true"
 # Cost-model validation sweep: the static descriptor model's exact traffic
 # predictions must equal the simulator's committed counters and every cycle
 # lower bound must hold across the full kernel × variant matrix (-exp model
