@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke wire-smoke model-smoke prove-smoke perf-smoke perf-baseline bench experiments
+.PHONY: check fmt vet lint build test race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke wire-smoke model-smoke prove-smoke serve-smoke perf-smoke perf-baseline bench experiments
 
-check: fmt vet build lint race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke wire-smoke model-smoke prove-smoke perf-smoke
+check: fmt vet build lint race fuzz-smoke bench-smoke tier-smoke trace-smoke fault-smoke watchdog-smoke wire-smoke model-smoke prove-smoke serve-smoke perf-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on: $$out"; exit 1; fi
@@ -151,6 +151,13 @@ prove-smoke:
 	grep -q "proven outside the stream footprint by value-range analysis" "$$dir/prove1.txt" && \
 	$(GO) run ./cmd/uvelint -kernel L -variant uve -deps -prove=false | grep -q "collision-free=false" && \
 	$(GO) run ./cmd/uvesim -kernel L -size 256 -fidelity functional -sanitize=auto | grep -q "sanitizer:         elided"
+
+# Serve smoke: the uveserve daemon end to end over curl — two concurrent
+# clients receive byte-identical reports for the same kernel × variant ×
+# size matrix, SIGTERM drains cleanly with a job in flight, and a restart
+# over the same store directory serves everything from disk (hit rate > 0).
+serve-smoke:
+	./scripts/servesmoke.sh
 
 # Full custom-metric benchmark sweep (§VI figures as benchmark units).
 bench:

@@ -37,13 +37,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bench"
 	"repro/internal/cliflags"
+	"repro/internal/report"
 	"repro/internal/sim"
 )
 
@@ -110,15 +110,12 @@ func main() {
 	}
 
 	if *jsonOut {
-		doc := struct {
-			Scale       int               `json:"scale"`
-			Workers     int               `json:"workers"`
-			Runner      bench.RunnerStats `json:"runner"`
-			Experiments []bench.Report    `json:"experiments"`
-		}{*scale, o.Runner().Workers(), o.Runner().Stats(), reports}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
+		doc := report.New("uvebench")
+		doc.Bench = &report.Bench{
+			Scale: *scale, Workers: o.Runner().Workers(),
+			Runner: o.Runner().Stats(), Experiments: reports,
+		}
+		if err := emit(&doc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -133,6 +130,16 @@ func main() {
 	}
 }
 
+// emit writes a report document to stdout in the canonical rendering.
+func emit(doc *report.Document) error {
+	b, err := doc.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(b)
+	return err
+}
+
 // runFunctionalSweep is the -fidelity functional mode: the full
 // kernel×variant matrix through the program-order tier — output checks and
 // architectural digests, no cycle tables and no Degenerate gate (every
@@ -140,15 +147,12 @@ func main() {
 func runFunctionalSweep(o *bench.Options, jsonOut bool) {
 	rows := bench.FunctionalSweep(o)
 	if jsonOut {
-		doc := struct {
-			Scale   int               `json:"scale"`
-			Workers int               `json:"workers"`
-			Runner  bench.RunnerStats `json:"runner"`
-			Rows    []bench.FuncRow   `json:"functional"`
-		}{o.Scale, o.Runner().Workers(), o.Runner().Stats(), rows}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(doc); err != nil {
+		doc := report.New("uvebench")
+		doc.Bench = &report.Bench{
+			Scale: o.Scale, Workers: o.Runner().Workers(),
+			Runner: o.Runner().Stats(), Functional: rows,
+		}
+		if err := emit(&doc); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

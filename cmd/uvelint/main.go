@@ -38,7 +38,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,33 +47,9 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/lint"
 	"repro/internal/mem"
+	"repro/internal/report"
 	"repro/internal/sim"
 )
-
-// progReport is the -json element for one linted program. Field names are
-// stable: downstream tooling parses them.
-type progReport struct {
-	Kernel  string     `json:"kernel"`
-	Name    string     `json:"name"`
-	Variant string     `json:"variant"`
-	Size    int        `json:"size"`
-	Insts   int        `json:"insts"`
-	Clean   bool       `json:"clean"`
-	Diags   []progDiag `json:"diags"`
-	// Cost is the static cost model's estimate (with -cost, clean programs
-	// only).
-	Cost *cost.Estimate `json:"cost,omitempty"`
-	// Certificate summarizes the dependence verdicts: when CollisionFree,
-	// the runtime stream sanitizer may be elided (sim SanitizeAuto does).
-	Certificate lint.SafetyCertificate `json:"certificate"`
-}
-
-type progDiag struct {
-	PC       int    `json:"pc"`
-	Op       string `json:"op,omitempty"`
-	Severity string `json:"severity"`
-	Message  string `json:"message"`
-}
 
 func severityName(s lint.Severity) string {
 	if s == lint.Error {
@@ -83,23 +58,24 @@ func severityName(s lint.Severity) string {
 	return "warning"
 }
 
-// buildReport assembles, lints and (optionally) cost-analyzes one program.
-// It is the shared core of the text and -json paths; the golden-file test
-// pins its JSON rendering.
-func buildReport(k *kernels.Kernel, v kernels.Variant, n int, withCost bool) (progReport, *kernels.Instance, error) {
+// buildReport assembles, lints and (optionally) cost-analyzes one program
+// into the shared versioned schema (internal/report). It is the shared
+// core of the text and -json paths; the golden-file test pins its JSON
+// rendering.
+func buildReport(k *kernels.Kernel, v kernels.Variant, n int, withCost bool) (report.Program, *kernels.Instance, error) {
 	h := mem.NewHierarchy(mem.DefaultHierarchyConfig())
 	inst := k.Build(h, v, n)
 	if inst.Err != nil && len(inst.Diags) == 0 {
-		return progReport{}, inst, fmt.Errorf("build failed: %w", inst.Err)
+		return report.Program{}, inst, fmt.Errorf("build failed: %w", inst.Err)
 	}
-	rep := progReport{
+	rep := report.Program{
 		Kernel: k.ID, Name: k.Name, Variant: v.String(), Size: n,
 		Insts: inst.Prog.Len(), Clean: !lint.HasErrors(inst.Diags),
-		Diags:       []progDiag{},
+		Diags:       []report.Diag{},
 		Certificate: lint.Certify(inst.Diags, inst.Deps),
 	}
 	for _, d := range inst.Diags {
-		rep.Diags = append(rep.Diags, progDiag{
+		rep.Diags = append(rep.Diags, report.Diag{
 			PC: d.PC, Op: d.Op, Severity: severityName(d.Severity), Message: d.Message,
 		})
 	}
@@ -160,7 +136,7 @@ func main() {
 	}
 
 	status := 0
-	var reports []progReport
+	var reports []report.Program
 	for _, k := range targets {
 		n := *size
 		if n <= 0 {
@@ -225,9 +201,14 @@ func main() {
 		}
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reports); err != nil {
+		doc := report.New("uvelint")
+		doc.Lint = &report.Lint{Programs: reports}
+		b, err := doc.Marshal()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := os.Stdout.Write(b); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/kernels"
+	"repro/internal/report"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -31,12 +32,13 @@ func TestJSONGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode([]progReport{rep}); err != nil {
+	doc := report.New("uvelint")
+	doc.Lint = &report.Lint{Programs: []report.Program{rep}}
+	out, err := doc.Marshal()
+	if err != nil {
 		t.Fatal(err)
 	}
+	buf := *bytes.NewBuffer(out)
 
 	golden := filepath.Join("testdata", "saxpy_uve_cost.json")
 	if *update {

@@ -49,13 +49,18 @@ import (
 // whose returned diagnostics the capture check (4) guards, and the
 // serialization path (program/descriptor/kernels/wire/trace), where map
 // order leaking into rendered or encoded bytes breaks the wire format's
-// canonical-form guarantee.
+// canonical-form guarantee, plus the content-addressed result path
+// (report/store), where nondeterministic payload bytes would break the
+// byte-identical-reports guarantee. internal/serve is deliberately
+// absent: the daemon legitimately reads the clock (rate limiting, job
+// timeouts) and never renders payload bytes itself.
 var defaultDirs = []string{
 	"internal/sim", "internal/cpu", "internal/engine",
 	"internal/mem", "internal/bench", "internal/funcsim",
 	"internal/lint", "internal/cost", "internal/absint",
 	"internal/program", "internal/descriptor", "internal/trace",
-	"internal/kernels", "internal/wire",
+	"internal/kernels", "internal/wire", "internal/report",
+	"internal/store",
 }
 
 // globalRandFuncs are the math/rand top-level draws backed by the

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestFingerprintJobStable: the fingerprint is a pure function of the
+// job's content — equal jobs hash equal across calls.
+func TestFingerprintJobStable(t *testing.T) {
+	j := Job{Kernel: kernels.ByID("A"), Variant: kernels.UVE, Size: 96}
+	h1, err := FingerprintJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := FingerprintJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("same job fingerprinted differently across calls")
+	}
+}
+
+// TestFingerprintJobSeparates: kernel, variant, size and every
+// result-shaping config axis move the fingerprint.
+func TestFingerprintJobSeparates(t *testing.T) {
+	base := Job{Kernel: kernels.ByID("A"), Variant: kernels.UVE, Size: 96}
+	h0, err := FingerprintJob(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := map[string]Job{
+		"kernel":  {Kernel: kernels.ByID("C"), Variant: kernels.UVE, Size: 96},
+		"variant": {Kernel: kernels.ByID("A"), Variant: kernels.SVE, Size: 96},
+		"size":    {Kernel: kernels.ByID("A"), Variant: kernels.UVE, Size: 128},
+	}
+	opt := func(mut func(o *sim.Options)) Job {
+		o := sim.DefaultOptions(kernels.UVE)
+		mut(&o)
+		return Job{Kernel: kernels.ByID("A"), Variant: kernels.UVE, Size: 96, Opts: &o}
+	}
+	variants["fidelity"] = opt(func(o *sim.Options) { o.Fidelity = sim.Functional })
+	variants["sanitize"] = opt(func(o *sim.Options) { o.Sanitize = sim.SanitizeOn })
+	variants["faults"] = opt(func(o *sim.Options) { p := fault.DefaultPlan(1); o.Faults = &p })
+	variants["traced"] = opt(func(o *sim.Options) { o.Trace = trace.NewCollector(16, 0) })
+	variants["hashmem"] = opt(func(o *sim.Options) { o.HashMem = true })
+	for name, j := range variants {
+		h, err := FingerprintJob(j)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == h0 {
+			t.Errorf("%s change did not move the fingerprint", name)
+		}
+	}
+
+	// Trace identity reduces to presence: two different collectors are the
+	// same fingerprint (unlike the in-process memo key, which must keep
+	// per-collector runs separate).
+	ta, err := FingerprintJob(opt(func(o *sim.Options) { o.Trace = trace.NewCollector(16, 0) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := FingerprintJob(opt(func(o *sim.Options) { o.Trace = trace.NewCollector(32, 0) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta != tb {
+		t.Error("trace recorder identity leaked into the fingerprint")
+	}
+}
+
+// TestFingerprintJobDefaultSize: Size 0 fingerprints identically to the
+// kernel's DefaultSize, matching what execution would run.
+func TestFingerprintJobDefaultSize(t *testing.T) {
+	k := kernels.ByID("A")
+	h0, err := FingerprintJob(Job{Kernel: k, Variant: kernels.UVE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := FingerprintJob(Job{Kernel: k, Variant: kernels.UVE, Size: k.DefaultSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0 != hd {
+		t.Fatal("Size 0 and DefaultSize fingerprint differently")
+	}
+}
+
+// TestFingerprintCoversConfigFP: every field of the in-process memo
+// fingerprint (configFP) must have a declared counterpart in the
+// cross-process fingerprint (jobConfigFP), so a result-shaping Options
+// axis can never be added to one and forgotten in the other.
+func TestFingerprintCoversConfigFP(t *testing.T) {
+	covered := map[string]string{
+		"core":       "Core",
+		"hier":       "Hier",
+		"eng":        "Eng",
+		"forceLevel": "Eng", // HashConfig hashes the pointee through Eng.ForceLevel
+		"hasForce":   "Eng",
+		"skipCheck":  "SkipCheck",
+		"sanitize":   "Sanitize",
+		"hashMem":    "HashMem",
+		"watchdog":   "Watchdog",
+		"maxCycles":  "MaxCycles",
+		"faults":     "Faults",
+		"hasFaults":  "HasFaults",
+		"rec":        "Traced", // identity reduced to presence across processes
+		"fidelity":   "Fidelity",
+	}
+	fpType := reflect.TypeOf(configFP{})
+	jobType := reflect.TypeOf(jobConfigFP{})
+	for i := 0; i < fpType.NumField(); i++ {
+		name := fpType.Field(i).Name
+		target, ok := covered[name]
+		if !ok {
+			t.Errorf("configFP field %q has no jobConfigFP counterpart: update jobConfigFP and this map", name)
+			continue
+		}
+		if _, ok := jobType.FieldByName(target); !ok {
+			t.Errorf("configFP field %q maps to missing jobConfigFP field %q", name, target)
+		}
+	}
+}
+
+// TestJobCtxCancelEvicts: a canceled execution must not poison the memo
+// table — the next submission of the same simulation re-executes and
+// succeeds.
+func TestJobCtxCancelEvicts(t *testing.T) {
+	r := NewRunner(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := Job{Kernel: kernels.ByID("A"), Variant: kernels.UVE, Size: 96, Ctx: ctx}
+	_, err := r.Run(j)
+	if err == nil {
+		t.Fatal("pre-canceled job did not fail")
+	}
+	var ce *sim.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T (%v), want *sim.CanceledError", err, err)
+	}
+	if s := r.Stats(); s.CancelEvicted != 1 {
+		t.Fatalf("CancelEvicted = %d, want 1", s.CancelEvicted)
+	}
+
+	j.Ctx = nil
+	res, err := r.Run(j)
+	if err != nil {
+		t.Fatalf("resubmission after eviction failed: %v", err)
+	}
+	if res == nil || res.Cycles <= 0 {
+		t.Fatal("resubmission did not produce a real result")
+	}
+	s := r.Stats()
+	if s.Simulated != 2 {
+		t.Fatalf("Simulated = %d, want 2 (canceled run + re-execution)", s.Simulated)
+	}
+	if s.MemoHits != 0 {
+		t.Fatalf("MemoHits = %d, want 0 (canceled entry must not satisfy lookups)", s.MemoHits)
+	}
+}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,6 +26,15 @@ type Job struct {
 	Variant kernels.Variant
 	Size    int
 	Opts    *sim.Options // nil = sim.DefaultOptions(Variant)
+
+	// Ctx, when non-nil, bounds the job's execution: a done context aborts
+	// the simulation with a *sim.CanceledError. Ctx is execution policy,
+	// not simulation identity — it is excluded from the memo key, so jobs
+	// that differ only in Ctx memo-share one execution (and that shared
+	// execution runs under whichever job's context got there first; the
+	// entry is evicted afterwards, so a later resubmission re-executes
+	// rather than replaying the cancellation).
+	Ctx context.Context
 
 	// Build, when non-nil, replaces the Kernel's standard build with a
 	// custom instance factory (e.g. the Fig 8.E unrolled GEMMs). Key must
@@ -116,6 +127,9 @@ type RunnerStats struct {
 	Submitted int `json:"submitted"` // jobs submitted across all RunAll calls
 	Simulated int `json:"simulated"` // unique simulations actually executed
 	MemoHits  int `json:"memo_hits"` // jobs satisfied from the memo table
+	// CancelEvicted counts memo entries dropped because their execution
+	// was aborted by context cancellation (see Job.Ctx).
+	CancelEvicted int `json:"cancel_evicted,omitempty"`
 }
 
 // Runner executes simulation jobs on a fixed-size worker pool and
@@ -159,14 +173,18 @@ func execJob(j Job) (res *sim.Result, err error) {
 			err = fmt.Errorf("%s/%s n=%d: simulation panic: %v", j.id(), j.Variant, j.Size, p)
 		}
 	}()
+	ctx := j.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if j.Build != nil {
-		res, err = sim.RunBuilt(j.Key, j.Variant, j.Size, j.Opts, j.Build)
+		res, err = sim.RunBuiltContext(ctx, j.Key, j.Variant, j.Size, j.Opts, j.Build)
 		if err != nil {
 			err = fmt.Errorf("%s/%s n=%d: %w", j.Key, j.Variant, j.Size, err)
 		}
 		return res, err
 	}
-	return sim.Run(j.Kernel, j.Variant, j.Size, j.Opts)
+	return sim.RunContext(ctx, j.Kernel, j.Variant, j.Size, j.Opts)
 }
 
 // RunAll executes the jobs concurrently (bounded by the worker pool),
@@ -179,6 +197,7 @@ func (r *Runner) RunAll(jobs []Job) ([]*sim.Result, error) {
 	type work struct {
 		entry *memoEntry
 		job   Job
+		key   memoKey
 	}
 	var pending []work
 
@@ -198,7 +217,7 @@ func (r *Runner) RunAll(jobs []Job) ([]*sim.Result, error) {
 		if e == nil {
 			e = &memoEntry{done: make(chan struct{})}
 			r.memo[k] = e
-			pending = append(pending, work{e, j})
+			pending = append(pending, work{e, j, k})
 			r.stats.Simulated++
 		} else {
 			r.stats.MemoHits++
@@ -221,6 +240,7 @@ func (r *Runner) RunAll(jobs []Job) ([]*sim.Result, error) {
 				for wk := range ch {
 					wk.entry.res, wk.entry.err = execJob(wk.job)
 					close(wk.entry.done)
+					r.evictCanceled(wk.key, wk.entry)
 				}
 			}()
 		}
@@ -242,6 +262,24 @@ func (r *Runner) RunAll(jobs []Job) ([]*sim.Result, error) {
 		}
 	}
 	return results, firstErr
+}
+
+// evictCanceled drops a memo entry whose execution was aborted by context
+// cancellation. A canceled run says nothing about the simulation — only
+// about one caller's patience — so it must not satisfy future lookups.
+// Jobs already waiting on the entry still observe the cancellation error
+// (they shared the aborted execution); the next submission re-executes.
+func (r *Runner) evictCanceled(k memoKey, e *memoEntry) {
+	var ce *sim.CanceledError
+	if e.err == nil || !errors.As(e.err, &ce) {
+		return
+	}
+	r.mu.Lock()
+	if r.memo[k] == e {
+		delete(r.memo, k)
+		r.stats.CancelEvicted++
+	}
+	r.mu.Unlock()
 }
 
 // Run executes a single job through the pool and memo table.

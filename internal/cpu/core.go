@@ -206,8 +206,23 @@ type Core struct {
 	skipLog    func(string)
 	skipped    int64
 
+	// cancelCheck, when set, is polled every cancelBatch cycles during Run
+	// (and the post-halt drain). The check aborts the run by panicking with
+	// a caller-owned typed error; the core itself attaches no meaning to
+	// it. Batched polling keeps the hot loop free of per-cycle overhead and
+	// composes with event skipping, which can advance the clock past many
+	// check points at once (the next poll fires on the first iteration at
+	// or beyond the threshold).
+	cancelCheck func(cycle int64)
+	nextCancel  int64
+
 	Stats Stats
 }
+
+// cancelBatch is the cancellation polling granularity in cycles: coarse
+// enough to be free next to the per-cycle pipeline work, fine enough that
+// a context deadline stops a multi-million-cycle run promptly.
+const cancelBatch = 4096
 
 // New builds a core executing prog over the given memory hierarchy. eng may
 // be nil (baseline cores without streaming support).
@@ -295,6 +310,24 @@ func (c *Core) SetRecorder(r trace.Recorder) {
 	c.tracing = r.Enabled()
 }
 
+// SetCancel installs a cancellation check polled at cycle-batch
+// granularity during Run. The check receives the current cycle; to abort
+// the run it panics with a typed error the caller recovers (the sim layer
+// uses *sim.CanceledError). Call before Run; nil clears the check.
+func (c *Core) SetCancel(check func(cycle int64)) {
+	c.cancelCheck = check
+	c.nextCancel = 0
+}
+
+// pollCancel runs the installed cancellation check when the batched
+// threshold has passed.
+func (c *Core) pollCancel() {
+	if c.cancelCheck != nil && c.cycle >= c.nextCancel {
+		c.nextCancel = c.cycle + cancelBatch
+		c.cancelCheck(c.cycle)
+	}
+}
+
 // Cycle returns the current cycle.
 func (c *Core) Cycle() int64 { return c.cycle }
 
@@ -315,6 +348,7 @@ func (c *Core) Run() int64 {
 	for !c.halted {
 		c.Step()
 		c.maybeSkip()
+		c.pollCancel()
 	}
 	// Drain timing: outstanding stores and stream stores flow to memory.
 	drained := false
@@ -329,6 +363,7 @@ func (c *Core) Run() int64 {
 		}
 		c.Step()
 		c.maybeSkip()
+		c.pollCancel()
 	}
 	if !drained {
 		panic(c.watchdogError("post-halt store drain stalled"))

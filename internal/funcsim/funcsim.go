@@ -39,7 +39,16 @@ type Config struct {
 	// functional tier has no cycles, so forward progress is bounded in
 	// committed instructions instead.
 	MaxInsts int64
+	// Cancel, when non-nil, is polled every cancelBatch interpreted
+	// instructions; a non-nil return aborts the run with that error
+	// verbatim (the sim layer passes a check returning its typed
+	// *sim.CanceledError).
+	Cancel func(insts int64) error
 }
+
+// cancelBatch is the cancellation polling granularity in interpreted
+// instructions, mirroring the detailed core's cycle-batch polling.
+const cancelBatch = 4096
 
 // chunk is one generated vector chunk: its element addresses plus the
 // end-of-dimension flags of its closing element, exactly as the cycle
@@ -173,6 +182,11 @@ func (m *Machine) Run() error {
 	for n := int64(0); ; n++ {
 		if n >= bound {
 			return fmt.Errorf("funcsim: instruction budget (%d) exhausted at pc %d — livelocked program?", bound, pc)
+		}
+		if m.cfg.Cancel != nil && n%cancelBatch == 0 {
+			if err := m.cfg.Cancel(n); err != nil {
+				return err
+			}
 		}
 		if m.stepHook != nil {
 			m.stepHook(pc)

@@ -36,25 +36,33 @@ func (e *CorpusEntry) Name() string {
 // allocation order) a consumer needs to lint or execute the decoded copy
 // exactly as the original.
 func (e *CorpusEntry) Unit() *wire.Unit {
-	u := &wire.Unit{Prog: e.Inst.Prog}
-	iregs := make([]int, 0, len(e.Inst.IntArgs))
-	for r := range e.Inst.IntArgs {
+	return UnitOf(e.Inst, e.Extents)
+}
+
+// UnitOf packages any built instance as a wire unit, with the argument
+// registers in canonical sorted order and the extents in allocation order.
+// The unit's canonical encoding is the content-addressed identity of the
+// built program — the result store hashes exactly these bytes.
+func UnitOf(inst *Instance, extents []mem.Extent) *wire.Unit {
+	u := &wire.Unit{Prog: inst.Prog}
+	iregs := make([]int, 0, len(inst.IntArgs))
+	for r := range inst.IntArgs {
 		iregs = append(iregs, r)
 	}
 	sort.Ints(iregs)
 	for _, r := range iregs {
-		u.IntArgs = append(u.IntArgs, wire.IntArg{Reg: r, Val: e.Inst.IntArgs[r]})
+		u.IntArgs = append(u.IntArgs, wire.IntArg{Reg: r, Val: inst.IntArgs[r]})
 	}
-	fregs := make([]int, 0, len(e.Inst.FPArgs))
-	for r := range e.Inst.FPArgs {
+	fregs := make([]int, 0, len(inst.FPArgs))
+	for r := range inst.FPArgs {
 		fregs = append(fregs, r)
 	}
 	sort.Ints(fregs)
 	for _, r := range fregs {
-		a := e.Inst.FPArgs[r]
+		a := inst.FPArgs[r]
 		u.FPArgs = append(u.FPArgs, wire.FPArg{Reg: r, Width: a.W, Val: a.V})
 	}
-	for _, x := range e.Extents {
+	for _, x := range extents {
 		u.Extents = append(u.Extents, wire.Extent{Base: x.Base, Size: x.Size})
 	}
 	return u

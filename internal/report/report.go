@@ -1,0 +1,141 @@
+// Package report defines the one versioned JSON schema every tool in the
+// repo emits: uvebench -json, uvelint -json and the uveserve response
+// bodies are all the same Document envelope, distinguished by Tool and by
+// which section is populated. The envelope carries an explicit
+// schema_version so downstream consumers can detect shape changes instead
+// of inferring them; golden-file tests pin the rendering of each section.
+//
+// Versioning discipline: adding an optional field is allowed within a
+// version (consumers must ignore unknown fields); renaming, removing or
+// re-typing anything bumps SchemaVersion.
+package report
+
+import (
+	"encoding/json"
+
+	"repro/internal/bench"
+	"repro/internal/cost"
+	"repro/internal/lint"
+	"repro/internal/sim"
+)
+
+// SchemaVersion is the current document shape. Bump on any incompatible
+// change to this package's JSON structure.
+const SchemaVersion = 1
+
+// Document is the versioned envelope. Exactly one section is populated,
+// matching Tool.
+type Document struct {
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"` // "uvebench", "uvelint", "uveserve"
+
+	Bench *Bench `json:"bench,omitempty"`
+	Lint  *Lint  `json:"lint,omitempty"`
+	Serve *Serve `json:"serve,omitempty"`
+}
+
+// New returns an empty document for a tool, stamped with the current
+// schema version.
+func New(tool string) Document {
+	return Document{SchemaVersion: SchemaVersion, Tool: tool}
+}
+
+// Marshal renders the document in the repo's canonical JSON style
+// (two-space indent, trailing newline) — the exact bytes the store
+// persists and the tools print, so byte-identity comparisons work across
+// producers.
+func (d *Document) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Bench is uvebench's section: the experiment reports (cycle tier) or the
+// functional sweep rows, plus the runner's memoization counters.
+type Bench struct {
+	Scale   int               `json:"scale"`
+	Workers int               `json:"workers"`
+	Runner  bench.RunnerStats `json:"runner"`
+
+	Experiments []bench.Report  `json:"experiments,omitempty"`
+	Functional  []bench.FuncRow `json:"functional,omitempty"`
+}
+
+// Lint is uvelint's section: one Program per linted kernel/variant pair.
+type Lint struct {
+	Programs []Program `json:"programs"`
+}
+
+// Program is the lint report for one assembled program. Field names are
+// stable: downstream tooling parses them.
+type Program struct {
+	Kernel  string `json:"kernel"`
+	Name    string `json:"name"`
+	Variant string `json:"variant"`
+	Size    int    `json:"size"`
+	Insts   int    `json:"insts"`
+	Clean   bool   `json:"clean"`
+	Diags   []Diag `json:"diags"`
+	// Cost is the static cost model's estimate (with -cost, clean programs
+	// only).
+	Cost *cost.Estimate `json:"cost,omitempty"`
+	// Certificate summarizes the dependence verdicts: when CollisionFree,
+	// the runtime stream sanitizer may be elided (sim SanitizeAuto does).
+	Certificate lint.SafetyCertificate `json:"certificate"`
+}
+
+// Diag is one lint diagnostic.
+type Diag struct {
+	PC       int    `json:"pc"`
+	Op       string `json:"op,omitempty"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// Serve is uveserve's section: one completed job's result. Everything in
+// it is a deterministic function of the job's content — no job IDs, no
+// timestamps, no daemon identity — because these bytes are what the
+// content-addressed store persists and what byte-identity across clients
+// and restarts is asserted over.
+type Serve struct {
+	Result *RunResult `json:"result,omitempty"`
+}
+
+// RunResult is the schema-stable projection of a sim.Result.
+type RunResult struct {
+	Kernel    string  `json:"kernel"`
+	Variant   string  `json:"variant"`
+	Size      int     `json:"size"`
+	Fidelity  string  `json:"fidelity"`
+	Cycles    int64   `json:"cycles,omitempty"`
+	Committed uint64  `json:"committed"`
+	IPC       float64 `json:"ipc,omitempty"`
+	BusUtil   float64 `json:"bus_util,omitempty"`
+	// Collisions counts the stream sanitizer's observations.
+	Collisions      int    `json:"collisions,omitempty"`
+	SanitizerElided bool   `json:"sanitizer_elided,omitempty"`
+	MemHash         uint64 `json:"mem_hash,omitempty"`
+	// Stalls is the per-class cycle attribution (traced cycle runs only);
+	// Drain counts post-halt store-drain steps, outside Cycles.
+	Stalls map[string]int64 `json:"stalls,omitempty"`
+	Drain  int64            `json:"drain,omitempty"`
+}
+
+// FromResult projects a sim.Result onto the stable schema.
+func FromResult(res *sim.Result, fidelity sim.Fidelity) *RunResult {
+	return &RunResult{
+		Kernel:          res.Kernel,
+		Variant:         res.Variant.String(),
+		Size:            res.Size,
+		Fidelity:        fidelity.String(),
+		Cycles:          res.Cycles,
+		Committed:       res.Committed,
+		IPC:             res.IPC(),
+		BusUtil:         res.BusUtil,
+		Collisions:      len(res.Collisions),
+		SanitizerElided: res.SanitizerElided,
+		MemHash:         res.MemHash,
+	}
+}

@@ -1,0 +1,138 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden pins a document's exact rendering. Regenerate with
+// `go test ./internal/report -update` after an intentional schema change —
+// and bump SchemaVersion if the change is incompatible.
+func checkGolden(t *testing.T, name string, doc *Document) {
+	t.Helper()
+	got, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("rendering drifted from %s\n-- got --\n%s\n-- want --\n%s\n(regenerate with -update after an intentional change)",
+			golden, got, want)
+	}
+}
+
+// TestGoldenBench pins the uvebench envelope, including the runner's
+// memoization counters (the -json RunnerStats surface).
+func TestGoldenBench(t *testing.T) {
+	doc := New("uvebench")
+	doc.Bench = &Bench{
+		Scale:   256,
+		Workers: 4,
+		Runner:  bench.RunnerStats{Submitted: 10, Simulated: 7, MemoHits: 3},
+		Experiments: []bench.Report{{
+			Experiment: "fig8",
+			Summary:    map[string]float64{"geomean_speedup_vs_neon": 2.5},
+		}},
+	}
+	checkGolden(t, "bench.json", &doc)
+}
+
+// TestGoldenLint pins the uvelint envelope.
+func TestGoldenLint(t *testing.T) {
+	doc := New("uvelint")
+	doc.Lint = &Lint{Programs: []Program{{
+		Kernel: "C", Name: "saxpy", Variant: "UVE", Size: 512,
+		Insts: 12, Clean: true, Diags: []Diag{},
+	}}}
+	checkGolden(t, "lint.json", &doc)
+}
+
+// TestGoldenServe pins the uveserve response body — the exact bytes the
+// content-addressed store persists.
+func TestGoldenServe(t *testing.T) {
+	doc := New("uveserve")
+	doc.Serve = &Serve{Result: &RunResult{
+		Kernel: "C", Variant: "UVE", Size: 512, Fidelity: "cycle",
+		Cycles: 1000, Committed: 4000, IPC: 4, BusUtil: 0.5,
+		Stalls: map[string]int64{"commit": 800, "frontend": 200},
+		Drain:  3,
+	}}
+	checkGolden(t, "serve.json", &doc)
+}
+
+// TestSchemaVersionPresent: every rendered document leads with an explicit
+// schema_version — consumers must never have to infer the shape.
+func TestSchemaVersionPresent(t *testing.T) {
+	doc := New("uvebench")
+	b, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m["schema_version"].(float64)
+	if !ok || int(v) != SchemaVersion {
+		t.Fatalf("schema_version = %v, want %d", m["schema_version"], SchemaVersion)
+	}
+	if m["tool"] != "uvebench" {
+		t.Fatalf("tool = %v, want uvebench", m["tool"])
+	}
+}
+
+// TestFromResultProjection: the projection is faithful and the rendering
+// deterministic across calls (map-free except Stalls, which json sorts).
+func TestFromResultProjection(t *testing.T) {
+	res, err := sim.Run(kernels.ByID("C"), kernels.UVE, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := FromResult(res, sim.Cycle)
+	if r.Kernel != "C" || r.Variant != "UVE" || r.Size != 500 {
+		t.Fatalf("identity fields wrong: %+v", r)
+	}
+	if r.Cycles != res.Cycles || r.Committed != res.Committed {
+		t.Fatalf("measurement fields wrong: %+v", r)
+	}
+	if r.Fidelity != "cycle" {
+		t.Fatalf("fidelity = %q, want cycle", r.Fidelity)
+	}
+	d1 := New("uveserve")
+	d1.Serve = &Serve{Result: r}
+	b1, err := d1.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := New("uveserve")
+	d2.Serve = &Serve{Result: FromResult(res, sim.Cycle)}
+	b2, err := d2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("identical results rendered differently")
+	}
+}

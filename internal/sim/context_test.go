@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/kernels"
+)
+
+// TestRunContextPreCanceled: a done context aborts before the kernel is
+// even built, with the typed error wrapping context.Canceled.
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, kernels.ByID("C"), kernels.UVE, 500, nil)
+	if err == nil {
+		t.Fatal("pre-canceled context did not abort the run")
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T (%v), want *CanceledError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) is false: %v", err)
+	}
+}
+
+// TestRunContextDeadlineDetailed: an expiring deadline interrupts a
+// detailed-tier run mid-flight, and the error carries the cycle the poll
+// observed it at.
+func TestRunContextDeadlineDetailed(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, kernels.ByID("C"), kernels.UVE, 1<<16, nil)
+	if err == nil {
+		t.Skip("run finished before the 1ms deadline expired")
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T (%v), want *CanceledError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(err, context.DeadlineExceeded) is false: %v", err)
+	}
+	if ce.Cycle <= 0 {
+		t.Fatalf("detailed-tier cancellation reported cycle %d, want > 0", ce.Cycle)
+	}
+	if ce.Insts != 0 {
+		t.Fatalf("detailed-tier cancellation reported Insts=%d, want 0", ce.Insts)
+	}
+}
+
+// TestRunContextFunctionalCanceled: the functional tier honours
+// cancellation too, reporting progress in interpreted instructions.
+func TestRunContextFunctionalCanceled(t *testing.T) {
+	o := DefaultOptions(kernels.UVE)
+	o.Fidelity = Functional
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from a goroutine racing the run; the run either finishes
+	// first (skip) or aborts with the typed error.
+	go func() {
+		time.Sleep(200 * time.Microsecond)
+		cancel()
+	}()
+	_, err := RunContext(ctx, kernels.ByID("C"), kernels.UVE, 1<<16, &o)
+	if err == nil {
+		t.Skip("functional run finished before the cancel landed")
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T (%v), want *CanceledError", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) is false: %v", err)
+	}
+	if ce.Cycle != 0 {
+		t.Fatalf("functional-tier cancellation reported Cycle=%d, want 0", ce.Cycle)
+	}
+}
+
+// TestRunContextBackgroundMatchesRun: RunContext with a background context
+// is bit-for-bit the same simulation as Run.
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	r1, err := Run(kernels.ByID("C"), kernels.UVE, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunContext(context.Background(), kernels.ByID("C"), kernels.UVE, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Committed != r2.Committed {
+		t.Fatalf("Run (%d cyc, %d inst) differs from RunContext(Background) (%d cyc, %d inst)",
+			r1.Cycles, r1.Committed, r2.Cycles, r2.Committed)
+	}
+}
+
+// TestCanceledErrorString covers the three progress renderings.
+func TestCanceledErrorString(t *testing.T) {
+	cases := []struct {
+		e    CanceledError
+		want string
+	}{
+		{CanceledError{Cycle: 42, Err: context.Canceled}, "sim: run canceled at cycle 42: context canceled"},
+		{CanceledError{Insts: 7, Err: context.DeadlineExceeded}, "sim: run canceled after 7 instructions: context deadline exceeded"},
+		{CanceledError{Err: context.Canceled}, "sim: run canceled: context canceled"},
+	}
+	for _, c := range cases {
+		if got := c.e.Error(); got != c.want {
+			t.Errorf("Error() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/funcsim"
@@ -48,7 +49,7 @@ func ParseFidelity(s string) (Fidelity, error) {
 // (Committed, per-kind counts, Collisions, MemHash). Timing fields stay
 // zero — a functional Result answers "what did the program compute", never
 // "how fast".
-func runFunctional(id string, v kernels.Variant, size int, o *Options, h *mem.Hierarchy, inst *kernels.Instance) (*Result, error) {
+func runFunctional(ctx context.Context, id string, v kernels.Variant, size int, o *Options, h *mem.Hierarchy, inst *kernels.Instance) (*Result, error) {
 	if o.Trace != nil {
 		return nil, fmt.Errorf("%s/%s: functional fidelity cannot record traces (no cycles to attribute events to)", id, v)
 	}
@@ -66,6 +67,7 @@ func runFunctional(id string, v kernels.Variant, size int, o *Options, h *mem.Hi
 	if o.Core.MaxCycles > 0 {
 		cfg.MaxInsts = o.Core.MaxCycles * int64(o.Core.CommitWidth)
 	}
+	installFuncCancel(ctx, &cfg)
 	fm := funcsim.New(cfg, inst.Prog, h.Mem)
 	for r, val := range inst.IntArgs {
 		fm.SetIntReg(r, val)

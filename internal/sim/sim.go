@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -128,32 +129,28 @@ func (r *Result) IPC() float64 {
 // Run builds the kernel at the given size for the variant and executes it
 // to completion, validating the output against the kernel's reference.
 // size == 0 runs the kernel's DefaultSize; negative sizes are an error.
+// Run is RunContext with a background (never-canceled) context.
 func Run(k *kernels.Kernel, v kernels.Variant, size int, opts *Options) (*Result, error) {
-	if k == nil {
-		return nil, fmt.Errorf("sim: nil kernel")
-	}
-	if size < 0 {
-		return nil, fmt.Errorf("sim: %s/%s: invalid size %d", k.Name, v, size)
-	}
-	if size == 0 {
-		size = k.DefaultSize
-	}
-	res, err := RunBuilt(k.ID, v, size, opts, func(h *mem.Hierarchy) *kernels.Instance {
-		return k.Build(h, v, size)
-	})
-	if err != nil {
-		return res, fmt.Errorf("%s/%s n=%d: %w", k.Name, v, size, err)
-	}
-	return res, nil
+	return RunContext(context.Background(), k, v, size, opts)
 }
 
-// RunBuilt assembles the Table I machine for the variant (core + memory
-// hierarchy, plus the Streaming Engine for UVE), runs the instance the
-// build callback constructs against that hierarchy, and validates its
+// RunBuilt is RunBuiltContext with a background (never-canceled) context.
+func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(h *mem.Hierarchy) *kernels.Instance) (*Result, error) {
+	return RunBuiltContext(context.Background(), id, v, size, opts, build)
+}
+
+// RunBuiltContext assembles the Table I machine for the variant (core +
+// memory hierarchy, plus the Streaming Engine for UVE), runs the instance
+// the build callback constructs against that hierarchy, and validates its
 // output. It is the single execution path shared by Run and by custom
 // instances such as the Fig 8.E unrolled GEMMs; id labels the Result.
 // Validation errors are returned raw so callers can add kernel context.
-func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(h *mem.Hierarchy) *kernels.Instance) (*Result, error) {
+// The context is polled at cycle-batch granularity; a done context aborts
+// the run with a *CanceledError.
+func RunBuiltContext(ctx context.Context, id string, v kernels.Variant, size int, opts *Options, build func(h *mem.Hierarchy) *kernels.Instance) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Err: err}
+	}
 	var o Options
 	if opts != nil {
 		o = opts.Clone()
@@ -172,7 +169,7 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 		return nil, fmt.Errorf("%s/%s: %w", id, v, inst.Err)
 	}
 	if o.Fidelity == Functional {
-		return runFunctional(id, v, size, &o, h, inst)
+		return runFunctional(ctx, id, v, size, &o, h, inst)
 	}
 
 	var inj *fault.Injector
@@ -205,6 +202,7 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 	for r, a := range inst.FPArgs {
 		core.SetFPReg(r, a.W, a.V)
 	}
+	installCancel(ctx, core)
 	cycles, runErr := runCore(core, &o)
 	if runErr != nil {
 		return nil, fmt.Errorf("%s/%s: %w", id, v, runErr)
@@ -244,21 +242,25 @@ func RunBuilt(id string, v kernels.Variant, size int, opts *Options, build func(
 }
 
 // runCore executes the core, converting a watchdog abort (livelock or
-// cycle-bound trip, expected under adversarial fault plans) into an error
-// that carries the structured diagnostic — and, when the run was traced
-// into a Collector, the tail of the event ring for post-mortem context.
-// Other panics are modeling bugs and propagate.
+// cycle-bound trip, expected under adversarial fault plans) or a context
+// cancellation into an error — for watchdogs, one that carries the
+// structured diagnostic and, when the run was traced into a Collector,
+// the tail of the event ring for post-mortem context. Other panics are
+// modeling bugs and propagate.
 func runCore(core *cpu.Core, o *Options) (cycles int64, err error) {
 	defer func() {
 		r := recover()
 		if r == nil {
 			return
 		}
-		w, ok := r.(*cpu.WatchdogError)
-		if !ok {
+		switch e := r.(type) {
+		case *cpu.WatchdogError:
+			err = fmt.Errorf("%w%s", e, traceTail(o.Trace))
+		case *CanceledError:
+			err = e
+		default:
 			panic(r)
 		}
-		err = fmt.Errorf("%w%s", w, traceTail(o.Trace))
 	}()
 	return core.Run(), nil
 }

@@ -109,6 +109,11 @@ if go run ./cmd/uvesim -kernel C -size 65536 \
 fi
 grep -q watchdog "$tracedir/wd.txt"
 grep -q "stream table" "$tracedir/wd.txt"
+# Serve smoke: the uveserve daemon end to end over curl — two concurrent
+# clients get byte-identical reports for the same matrix, SIGTERM drains
+# cleanly with an in-flight job, and a restart over the same store serves
+# everything from disk with a positive hit rate.
+./scripts/servesmoke.sh
 # Wall-clock trajectory gate: BenchmarkSimWall cells vs the committed
 # baseline, >2x regression fails (loose on purpose: absolute numbers are
 # host-dependent; regenerate with `scripts/perfsmoke.sh -update` after an

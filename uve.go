@@ -22,6 +22,7 @@
 package uve
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -298,11 +299,33 @@ func (m *Machine) Uint64s(n int) *U64Array {
 	return &U64Array{m: m.hier.Mem, Base: m.Alloc(8 * n), N: n}
 }
 
+// CanceledError is the typed error RunContext fails with when its context
+// is canceled or its deadline expires. It wraps the context's own error
+// (errors.Is sees context.Canceled / context.DeadlineExceeded through it)
+// and records how far the run had progressed: Cycle on the detailed tier,
+// Insts on the functional tier.
+type CanceledError = sim.CanceledError
+
 // Run executes a program to completion and returns its measurements.
 // args preset architectural registers before the run (kernel arguments).
+// Run is RunContext with a background (never-canceled) context.
 func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
+	return m.RunContext(context.Background(), p, args...)
+}
+
+// RunContext is Run with cancellation and deadline support: the context
+// is polled at cycle-batch granularity on the detailed tier (and at
+// instruction-batch granularity on the functional tier), so a canceled
+// context stops a multi-million-cycle simulation promptly. The run then
+// fails with a *CanceledError wrapping ctx.Err(). The machine's simulated
+// memory may have been partially written by the aborted run; the machine
+// itself remains usable.
+func (m *Machine) RunContext(ctx context.Context, p *Program, args ...Arg) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Err: err}
+	}
 	if m.opts.fidelity == Functional {
-		return m.runFunctional(p, args)
+		return m.runFunctional(ctx, p, args)
 	}
 	var inj *fault.Injector
 	if m.opts.faults != nil && m.opts.faults.Enabled() {
@@ -337,16 +360,26 @@ func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
 	for _, a := range args {
 		a.apply(core)
 	}
+	if ctx.Done() != nil {
+		core.SetCancel(func(cycle int64) {
+			if cerr := ctx.Err(); cerr != nil {
+				panic(&CanceledError{Cycle: cycle, Err: cerr})
+			}
+		})
+	}
 	var cycles int64
 	var err error
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				if w, ok := r.(*cpu.WatchdogError); ok {
-					err = w
-					return
+				switch e := r.(type) {
+				case *cpu.WatchdogError:
+					err = e
+				case *CanceledError:
+					err = e
+				default:
+					err = fmt.Errorf("uve: simulation aborted: %v", r)
 				}
-				err = fmt.Errorf("uve: simulation aborted: %v", r)
 			}
 		}()
 		cycles = core.Run()
@@ -379,7 +412,7 @@ func (m *Machine) Run(p *Program, args ...Arg) (*Result, error) {
 // against the machine's memory, filling only the architectural fields of
 // Result. Stream descriptors iterate through the same engine address logic
 // the detailed model uses, so descriptor semantics cannot drift.
-func (m *Machine) runFunctional(p *Program, args []Arg) (*Result, error) {
+func (m *Machine) runFunctional(ctx context.Context, p *Program, args []Arg) (*Result, error) {
 	if m.opts.trace != nil {
 		return nil, fmt.Errorf("uve: WithFidelity(Functional) cannot record traces (no cycles to attribute events to)")
 	}
@@ -393,6 +426,14 @@ func (m *Machine) runFunctional(p *Program, args []Arg) (*Result, error) {
 	}
 	if m.cfg.Core.MaxCycles > 0 {
 		cfg.MaxInsts = m.cfg.Core.MaxCycles * int64(m.cfg.Core.CommitWidth)
+	}
+	if ctx.Done() != nil {
+		cfg.Cancel = func(insts int64) error {
+			if cerr := ctx.Err(); cerr != nil {
+				return &CanceledError{Insts: insts, Err: cerr}
+			}
+			return nil
+		}
 	}
 	fm := funcsim.New(cfg, p, m.hier.Mem)
 	for _, a := range args {

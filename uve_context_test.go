@@ -1,0 +1,75 @@
+package uve_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	uve "repro"
+)
+
+// TestRunContextAlreadyCanceled: a context that is done before the run
+// starts aborts immediately with the typed error, on both tiers.
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	for _, tier := range []uve.Fidelity{uve.Cycle, uve.Functional} {
+		m, p, _ := saxpyMachine(256, uve.WithFidelity(tier))
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := m.RunContext(ctx, p, uve.FloatArg(1, uve.W4, 2.0))
+		if err == nil {
+			t.Fatalf("tier %v: canceled context did not abort the run", tier)
+		}
+		var ce *uve.CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("tier %v: error is %T (%v), want *uve.CanceledError", tier, err, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("tier %v: errors.Is(err, context.Canceled) is false: %v", tier, err)
+		}
+	}
+}
+
+// TestRunContextDeadlineMidRun: an expiring deadline stops a long detailed
+// run promptly, reporting the cycle the cancellation poll observed it.
+func TestRunContextDeadlineMidRun(t *testing.T) {
+	m, p, _ := saxpyMachine(1 << 18)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := m.RunContext(ctx, p, uve.FloatArg(1, uve.W4, 2.0))
+	if err == nil {
+		// The machine got the whole run done inside the deadline — possible
+		// on a very fast host, and not a correctness failure.
+		t.Skip("run finished before the 1ms deadline expired")
+	}
+	var ce *uve.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T (%v), want *uve.CanceledError", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("errors.Is(err, context.DeadlineExceeded) is false: %v", err)
+	}
+	if ce.Cycle <= 0 {
+		t.Fatalf("mid-run cancellation reported cycle %d, want > 0", ce.Cycle)
+	}
+}
+
+// TestRunDelegatesToRunContext: Run and RunContext(Background) produce
+// identical measurements — Run is sugar, not a separate path.
+func TestRunDelegatesToRunContext(t *testing.T) {
+	const n, a = 2048, 2.5
+	m1, p1, _ := saxpyMachine(n)
+	r1, err := m1.Run(p1, uve.FloatArg(1, uve.W4, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, p2, _ := saxpyMachine(n)
+	r2, err := m2.RunContext(context.Background(), p2, uve.FloatArg(1, uve.W4, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != r2.Cycles || r1.Committed != r2.Committed {
+		t.Fatalf("Run (%d cyc, %d inst) differs from RunContext(Background) (%d cyc, %d inst)",
+			r1.Cycles, r1.Committed, r2.Cycles, r2.Committed)
+	}
+}
